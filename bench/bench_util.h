@@ -1,0 +1,33 @@
+// Shared formatting helpers for the reproduction benches.
+//
+// Every bench prints (a) the paper's reported numbers where the paper gives
+// them, (b) our measured equivalents, and (c) the deviation — so the console
+// output of `for b in build/bench/*; do $b; done` IS the reproduction record.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+inline void title(const std::string& text) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", text.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& text) {
+  std::printf("\n--- %s ---\n", text.c_str());
+}
+
+inline void row_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+inline double pct(double value, double reference) {
+  return 100.0 * (value - reference) / reference;
+}
+
+}  // namespace benchutil

@@ -1,0 +1,71 @@
+// Reproduces Fig. 2: scaled 50% propagation delay t'pd versus zeta for
+// several (RT, CT) corners, compared against eq. (9).
+//
+// The paper plots AS/X simulations for (RT, CT) = (0,0), (1,1), (5,5) over
+// zeta in [0, 2] and overlays eq. (9). We regenerate the same series from
+// the exact transmission-line response (numerical inversion of eq. (1)) and
+// print the curves plus the deviation of eq. (9) from each.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/delay_model.h"
+#include "tline/step_response.h"
+
+using namespace rlcsim;
+
+namespace {
+
+// t' of the exact system at a given (zeta, RT, CT), via the Rt = Ct = 1
+// normalization (see core/fitting.cpp for the same construction).
+double exact_scaled_delay(double zeta, double rt, double ct) {
+  const double shape = (rt + ct + rt * ct + 0.5) / std::sqrt(1.0 + ct);
+  const double lt = std::pow(0.5 * shape / zeta, 2.0);
+  const tline::GateLineLoad sys{rt, tline::LineParams{1.0, lt, 1.0}, ct};
+  const double omega_n = 1.0 / std::sqrt(lt * (1.0 + ct));
+  return tline::threshold_delay(sys) * omega_n;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::title(
+      "FIG 2 — scaled delay t'pd vs zeta, exact response vs eq. (9)\n"
+      "Paper: all curves collapse onto eq. (9); spread grows with RT = CT");
+
+  const std::vector<std::pair<double, double>> corners{{0.0, 0.0}, {1.0, 1.0},
+                                                       {5.0, 5.0}};
+  std::vector<double> zetas;
+  for (double z = 0.1; z <= 2.01; z += 0.1) zetas.push_back(z);
+
+  std::printf("\n%6s %10s | %12s %9s | %12s %9s | %12s %9s\n", "zeta", "eq.(9)",
+              "RT=CT=0", "dev%", "RT=CT=1", "dev%", "RT=CT=5", "dev%");
+  benchutil::row_rule(96);
+
+  std::vector<double> worst(corners.size(), 0.0);
+  for (double z : zetas) {
+    const double model = core::scaled_delay_of(z);
+    std::printf("%6.2f %10.4f |", z, model);
+    for (std::size_t c = 0; c < corners.size(); ++c) {
+      const double exact = exact_scaled_delay(z, corners[c].first, corners[c].second);
+      const double dev = benchutil::pct(model, exact);
+      worst[c] = std::max(worst[c], std::fabs(dev));
+      std::printf(" %12.4f %8.2f%% %s", exact, dev, c + 1 < corners.size() ? "|" : "");
+    }
+    std::printf("\n");
+  }
+
+  benchutil::section("summary");
+  for (std::size_t c = 0; c < corners.size(); ++c)
+    std::printf("RT = CT = %.0f : worst |deviation| of eq. (9) = %.2f%%\n",
+                corners[c].first, worst[c]);
+  std::printf(
+      "\nPaper's qualitative claim: t'pd is primarily a function of zeta alone,\n"
+      "tightest for RT, CT in [0, 1] (global interconnect regime). Measured:\n"
+      "a few %% over most of the sweep; the worst deviations concentrate at\n"
+      "zeta ~ 0.5-0.9 on the RT=CT=0 curve (an unloaded line's reflection\n"
+      "doubles the far-end wave — exactly the spread the paper's own Fig. 2\n"
+      "shows) and on the out-of-range RT=CT=5 curve at small zeta.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Reproduces Fig. 4: the repeater-insertion error factors h'opt(T) and
+// k'opt(T) versus T_{L/R}, comparing
+//   (a) the paper's closed forms, eqs. (14)/(15):
+//         h' = [1 + 0.16 T^3]^-0.24,   k' = [1 + 0.18 T^3]^-0.30
+//   (b) our numerical minimization of the paper's objective (eq. 19 built on
+//       eq. 9), solved in normalized (h', k') space, and
+//   (c) ground truth: full repeater-chain MNA simulations at selected T,
+//       locating the physical optimum by scanning integer designs.
+//
+// Reproduction finding (also recorded in EXPERIMENTS.md): our faithful
+// reconstruction of the objective yields error factors that decay more
+// slowly than the published fit; chain simulation puts the true optimum
+// between the two curves, on a very flat minimum. The qualitative claims —
+// h', k' = 1 at T = 0, monotonically decreasing, fewer+smaller repeaters as
+// inductance grows — reproduce cleanly.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/repeater.h"
+#include "core/repeater_numeric.h"
+#include "sim/builders.h"
+
+using namespace rlcsim;
+
+int main() {
+  benchutil::title("FIG 4 — repeater error factors h'(T), k'(T)");
+
+  std::printf("\n%6s | %9s %9s | %9s %9s | %s\n", "T_L/R", "h' numeric",
+              "h' eq(14)", "k' numeric", "k' eq(15)", "closed-form excess delay");
+  benchutil::row_rule(86);
+  for (double t : {0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0}) {
+    const core::NormalizedOptimum opt = core::normalized_optimum(t);
+    const double excess = core::closed_form_excess_delay(t);
+    std::printf("%6.2f | %9.4f %9.4f | %9.4f %9.4f | %+9.4f%%\n", t, opt.h_factor,
+                core::h_error_factor(t), opt.k_factor, core::k_error_factor(t),
+                100.0 * excess);
+  }
+  std::printf(
+      "\nPaper: closed form within 0.05%% of its numerical optimum; both start\n"
+      "at 1 and decrease. Our objective reconstruction reproduces the shape and\n"
+      "the T->0 limit exactly; at large T the published fit sizes repeaters more\n"
+      "aggressively than our optimum (see chain-simulation ground truth below).\n");
+
+  benchutil::section(
+      "ground truth at T = 5: full chain simulation of candidate sizings");
+  // Physical instantiation with k_rc ~ 26 so fractional factors map to
+  // meaningful integer section counts (same setup as the integration test).
+  const core::MinBuffer buf{3000.0, 5e-15, 1.0, 0.0};
+  const tline::LineParams line{450.0, 33.75e-9, 45e-12};
+  const core::RepeaterDesign rc = core::bakoglu_rc(line, buf);
+  std::printf("line: Rt=450 ohm, Lt=33.75 nH, Ct=45 pF; R0C0=15 ps; T=%.1f\n",
+              core::t_lr(line, buf));
+  std::printf("Bakoglu RC solution: h=%.1f k=%.1f\n", rc.size, rc.sections);
+
+  struct Candidate {
+    const char* name;
+    double hf, kf;
+  };
+  const Candidate candidates[] = {
+      {"RC sizing (h'=k'=1)", 1.0, 1.0},
+      {"paper eqs. (14)/(15)", core::h_error_factor(5.0), core::k_error_factor(5.0)},
+      {"our numeric optimum", 0.0, 0.0},  // filled below
+      {"between (0.60,0.55)", 0.60, 0.55},
+  };
+  const core::NormalizedOptimum opt5 = core::normalized_optimum(5.0);
+
+  std::printf("\n%-22s %8s %4s | %10s | %10s | %12s\n", "sizing", "h", "k",
+              "sim [ps]", "model [ps]", "area [h*k]");
+  benchutil::row_rule(86);
+  for (const Candidate& c : candidates) {
+    const double hf = (c.hf == 0.0) ? opt5.h_factor : c.hf;
+    const double kf = (c.kf == 0.0) ? opt5.k_factor : c.kf;
+    const double h = rc.size * hf;
+    const int k = static_cast<int>(std::lround(rc.sections * kf));
+    const sim::RepeaterChainSpec spec{line, k, h, buf.r0, buf.c0, 16, 1.0};
+    const double sim_delay = sim::simulate_repeater_chain_delay(spec);
+    const double model_delay =
+        core::total_delay(line, buf, {h, static_cast<double>(k)});
+    std::printf("%-22s %8.1f %4d | %10.1f | %10.1f | %12.0f\n", c.name, h, k,
+                sim_delay * 1e12, model_delay * 1e12, h * k);
+  }
+  std::printf(
+      "\nReading: the delay minimum is flat (all sizings within ~15%%), but the\n"
+      "area differs by up to ~5x — the paper's area/power argument is the\n"
+      "robust one, and RLC-aware sizing wins it decisively.\n");
+  return 0;
+}

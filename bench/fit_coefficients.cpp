@@ -1,0 +1,58 @@
+// Ablation: re-derive the paper's fitted coefficients from OUR reference
+// engines, closing the reproduction loop.
+//
+//   eq. (9):   t' = exp(-a zeta^b) + c zeta, paper {a, b, c} = {2.9, 1.35, 1.48}
+//   eq. (14):  h' = [1 + a T^3]^-b,          paper {a, b} = {0.16, 0.24}
+//   eq. (15):  k' = [1 + a T^3]^-b,          paper {a, b} = {0.18, 0.30}
+//
+// The eq. (9) re-fit lands on the paper's constants (our exact solver plays
+// the role of AS/X). The error-factor re-fits land on different constants:
+// our faithful objective reconstruction has a shallower optimum-decay than
+// the published curves (analysis in EXPERIMENTS.md); the functional family
+// fits both descriptions well.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/fitting.h"
+
+using namespace rlcsim;
+
+int main() {
+  benchutil::title("ABLATION — re-deriving the paper's fitted coefficients");
+
+  benchutil::section("eq. (9) constants from exact transmission-line responses");
+  std::vector<double> zetas;
+  for (double z = 0.15; z <= 2.5; z += 0.1) zetas.push_back(z);
+  const auto delay_samples =
+      core::generate_scaled_delay_data(zetas, {0.1, 0.5, 1.0}, {0.1, 0.5, 1.0});
+  const auto delay_fit = core::fit_delay_constants(delay_samples);
+  std::printf("%-14s %10s %10s\n", "constant", "paper", "re-fit");
+  std::printf("%-14s %10.3f %10.3f\n", "exp scale a", 2.9,
+              delay_fit.constants.exp_scale);
+  std::printf("%-14s %10.3f %10.3f\n", "exp power b", 1.35,
+              delay_fit.constants.exp_power);
+  std::printf("%-14s %10.3f %10.3f\n", "linear c", 1.48, delay_fit.constants.linear);
+  std::printf("fit quality: rms residual %.4f, worst point %.1f%% (the RT/CT\n",
+              delay_fit.rms_residual, 100.0 * delay_fit.max_rel_error);
+  std::printf("spread of Fig. 2 concentrates at RT=1, CT=0.1 near critical damping)\n");
+
+  benchutil::section("error-factor constants from the numerical repeater optimum");
+  std::vector<double> ts;
+  for (double t = 0.5; t <= 8.0; t += 0.5) ts.push_back(t);
+  const auto factor_samples = core::generate_error_factor_data(ts);
+  const auto h_fit = core::fit_h_factor(factor_samples);
+  const auto k_fit = core::fit_k_factor(factor_samples);
+  std::printf("%-22s %14s %14s\n", "curve", "paper (a, b)", "re-fit (a, b)");
+  std::printf("%-22s   (0.16, 0.24)   (%.3f, %.3f)   max dev %.2f%%\n",
+              "h'(T) = [1+aT^3]^-b", h_fit.coefficient, h_fit.exponent,
+              100.0 * h_fit.max_rel_error);
+  std::printf("%-22s   (0.18, 0.30)   (%.3f, %.3f)   max dev %.2f%%\n",
+              "k'(T) = [1+aT^3]^-b", k_fit.coefficient, k_fit.exponent,
+              100.0 * k_fit.max_rel_error);
+  std::printf(
+      "\nReading: the eq. (9) constants reproduce nearly exactly. The repeater\n"
+      "error-factor family fits our numerical optimum to ~1-2%%, but with\n"
+      "different constants than published — the documented deviation.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// google-benchmark microbenchmarks: the cost hierarchy that motivates closed
+// forms in EDA flows. Eq. (9) is a handful of flops; the two-pole model adds
+// a root solve; exact Laplace inversion costs ~100 complex transfer-function
+// evaluations per time point; MNA transient simulation costs thousands of
+// linear solves. A timing-driven optimizer evaluates delays millions of
+// times, which is why eq. (9) exists.
+#include <benchmark/benchmark.h>
+
+#include "core/delay_model.h"
+#include "core/repeater.h"
+#include "core/repeater_numeric.h"
+#include "core/two_pole.h"
+#include "tline/rc_line.h"
+#include "sim/builders.h"
+#include "tline/step_response.h"
+
+using namespace rlcsim;
+
+namespace {
+
+const tline::GateLineLoad& test_system() {
+  static const tline::GateLineLoad sys{500.0, {500.0, 1e-7, 1e-12}, 0.5e-12};
+  return sys;
+}
+
+void BM_ClosedFormDelay(benchmark::State& state) {
+  const auto& sys = test_system();
+  for (auto _ : state) benchmark::DoNotOptimize(core::rlc_delay(sys));
+}
+BENCHMARK(BM_ClosedFormDelay);
+
+void BM_ElmoreDelay(benchmark::State& state) {
+  const auto& sys = test_system();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(tline::elmore_delay(
+        sys.driver_resistance, sys.line.total_resistance,
+        sys.line.total_capacitance, sys.load_capacitance));
+}
+BENCHMARK(BM_ElmoreDelay);
+
+void BM_TwoPoleDelay(benchmark::State& state) {
+  const auto& sys = test_system();
+  for (auto _ : state) {
+    const core::TwoPoleModel model(sys);
+    benchmark::DoNotOptimize(model.threshold_delay(0.5));
+  }
+}
+BENCHMARK(BM_TwoPoleDelay);
+
+void BM_ExactLaplaceDelay(benchmark::State& state) {
+  const auto& sys = test_system();
+  for (auto _ : state) benchmark::DoNotOptimize(tline::threshold_delay(sys));
+}
+BENCHMARK(BM_ExactLaplaceDelay);
+
+void BM_MnaTransientDelay(benchmark::State& state) {
+  const auto& sys = test_system();
+  const int segments = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::simulate_gate_line_delay(sys, segments));
+  state.SetLabel(std::to_string(segments) + " segments");
+}
+BENCHMARK(BM_MnaTransientDelay)->Arg(20)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void BM_RepeaterClosedForm(benchmark::State& state) {
+  const tline::LineParams line{450.0, 33.75e-9, 45e-12};
+  const core::MinBuffer buf{3000.0, 5e-15, 1.0, 0.0};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::ismail_friedman_rlc(line, buf));
+}
+BENCHMARK(BM_RepeaterClosedForm);
+
+void BM_RepeaterNumericOptimum(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::normalized_optimum(5.0));
+  state.SetLabel("grid refine + Nelder-Mead");
+}
+BENCHMARK(BM_RepeaterNumericOptimum)->Unit(benchmark::kMillisecond);
+
+void BM_TotalDelayEvaluation(benchmark::State& state) {
+  const tline::LineParams line{450.0, 33.75e-9, 45e-12};
+  const core::MinBuffer buf{3000.0, 5e-15, 1.0, 0.0};
+  const core::RepeaterDesign d{100.0, 10.0};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::total_delay(line, buf, d));
+}
+BENCHMARK(BM_TotalDelayEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

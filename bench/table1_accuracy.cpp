@@ -1,0 +1,100 @@
+// Reproduces Table 1: eq. (9) versus dynamic circuit simulation for a CMOS
+// gate driving a distributed RLC line.
+//
+// Paper setup: Ct = 1 pF, Rtr = 500 ohm; RT in {0.1, 0.5, 1.0} (so
+// Rt = Rtr / RT), CT in {0.1, 0.5, 1.0} (CL = CT * Ct), Lt in
+// {1e-5, 1e-6, 1e-7, 1e-8} H. AS/X is replaced by our two reference engines:
+// the MNA transient simulator on a 120-segment ladder and numerical
+// inversion of the exact transfer function (printed: the MNA number; the
+// two agree to < 0.5%, which is also verified here).
+//
+// Note on the published table: the paper's claim is |error| < 5% for
+// RT, CT in [0, 1]. Its RT = 0.1 row group is numerically inconsistent with
+// Rt = Rtr/RT = 5 kohm (see DESIGN.md); we therefore print the grid under
+// the paper's stated definitions and additionally the low-resistance
+// variant (Rt = 50 ohm) that the published RT = 0.1 rows actually match.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/delay_model.h"
+#include "sim/builders.h"
+#include "tline/step_response.h"
+
+using namespace rlcsim;
+
+namespace {
+
+struct CellResult {
+  double model_ps;
+  double sim_ps;
+  double err_pct;
+};
+
+CellResult evaluate(double rt_total, double ct_ratio, double lt) {
+  const double rtr = 500.0, ct = 1e-12;
+  const tline::GateLineLoad sys{rtr, {rt_total, lt, ct}, ct_ratio * ct};
+  const double model = core::rlc_delay(sys);
+  const double sim = sim::simulate_gate_line_delay(sys, 120);
+  return {model * 1e12, sim * 1e12, benchutil::pct(model, sim)};
+}
+
+void print_grid(const std::vector<std::pair<std::string, double>>& rt_rows) {
+  const std::vector<double> cts{0.1, 0.5, 1.0};
+  const std::vector<double> lts{1e-5, 1e-6, 1e-7, 1e-8};
+
+  std::printf("\n%-8s %-7s |", "group", "Lt [H]");
+  for (double ct : cts) std::printf("   CT=%.1f: eq9/sim[ps] err  |", ct);
+  std::printf("\n");
+  benchutil::row_rule(100);
+
+  double worst = 0.0, sum = 0.0;
+  int count = 0;
+  for (const auto& [label, rt_total] : rt_rows) {
+    for (double lt : lts) {
+      std::printf("%-8s %-7.0e |", label.c_str(), lt);
+      for (double ct : cts) {
+        const CellResult cell = evaluate(rt_total, ct, lt);
+        std::printf(" %7.0f/%7.0f %+5.1f%% |", cell.model_ps, cell.sim_ps,
+                    cell.err_pct);
+        worst = std::max(worst, std::fabs(cell.err_pct));
+        sum += std::fabs(cell.err_pct);
+        ++count;
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n|error|: worst %.2f%%, mean %.2f%% over %d cells  (paper claims < 5%%)\n",
+              worst, sum / count, count);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::title(
+      "TABLE 1 — eq. (9) vs dynamic simulation (MNA, 120-segment ladder)\n"
+      "Ct = 1 pF, Rtr = 500 ohm; cells printed as eq9/sim with % error");
+
+  benchutil::section("paper's stated definitions: Rt = Rtr / RT");
+  print_grid({{"RT=0.1", 5000.0}, {"RT=0.5", 1000.0}, {"RT=1.0", 500.0}});
+
+  benchutil::section(
+      "low-resistance variant matching the published RT=0.1 row values (Rt = 50 ohm)");
+  print_grid({{"Rt=50", 50.0}});
+
+  // Cross-check the two independent reference engines on a few cells.
+  benchutil::section("reference cross-check: MNA ladder vs exact Laplace inversion");
+  double worst = 0.0;
+  for (double lt : {1e-5, 1e-7, 1e-8}) {
+    const tline::GateLineLoad sys{500.0, {1000.0, lt, 1e-12}, 0.5e-12};
+    const double mna = sim::simulate_gate_line_delay(sys, 120);
+    const double exact = tline::threshold_delay(sys);
+    const double dev = benchutil::pct(mna, exact);
+    worst = std::max(worst, std::fabs(dev));
+    std::printf("Lt=%.0e: mna=%8.1f ps  exact=%8.1f ps  dev=%+.3f%%\n", lt,
+                mna * 1e12, exact * 1e12, dev);
+  }
+  std::printf("worst reference disagreement: %.3f%%\n", worst);
+  return 0;
+}

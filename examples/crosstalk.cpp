@@ -1,0 +1,60 @@
+// Crosstalk between two parallel wide wires — the "why model inductance"
+// companion to the delay story. Sweeps capacitive and inductive coupling on
+// a victim/aggressor pair and shows the classic far-end cancellation between
+// the two mechanisms, plus the AC view of the coupled pair.
+#include <cstdio>
+
+#include "numeric/units.h"
+#include "sim/ac.h"
+#include "sim/builders.h"
+#include "sim/transient.h"
+
+using namespace rlcsim;
+using namespace rlcsim::units::literals;
+
+int main() {
+  // Two 8 mm wide-metal wires: each 100 ohm, 5 nH, 1 pF total.
+  sim::CoupledLinesSpec spec;
+  spec.line = {100.0_ohm, 5.0_nH, 1.0_pF};
+  spec.segments = 24;
+  const double rdrv = 100.0_ohm;
+  const double cload = 50.0_fF;
+
+  std::printf("victim/aggressor pair: each %s\n",
+              tline::describe(spec.line).c_str());
+  std::printf("drivers %s, loads %s\n\n", units::eng(rdrv, "ohm").c_str(),
+              units::eng(cload, "F").c_str());
+
+  std::printf("%-12s %-10s | %s\n", "Cc (total)", "k (ind.)", "victim far-end peak");
+  std::printf("--------------------------------------------------\n");
+  struct Case {
+    double cc, k;
+  };
+  const Case cases[] = {{0.0, 0.0},      {0.2e-12, 0.0}, {0.4e-12, 0.0},
+                        {0.0, 0.2},      {0.0, 0.4},     {0.2e-12, 0.2},
+                        {0.4e-12, 0.4}};
+  for (const Case& c : cases) {
+    spec.coupling_capacitance = c.cc;
+    spec.inductive_k = c.k;
+    const double peak = sim::simulate_crosstalk_peak(spec, rdrv, cload);
+    std::printf("%-12s %-10.2f | %6.1f mV%s\n", units::eng(c.cc, "F", 3).c_str(),
+                c.k, peak * 1e3,
+                (c.cc > 0.0 && c.k > 0.0) ? "   (mechanisms partially cancel)" : "");
+  }
+
+  // AC view: transfer from the aggressor's source to the victim's far end.
+  spec.coupling_capacitance = 0.3e-12;
+  spec.inductive_k = 0.3;
+  const sim::Circuit circuit = sim::build_crosstalk_pair(spec, rdrv, cload);
+  std::printf("\ncoupling transfer |V(vic.out)/V(aggressor)| vs frequency:\n");
+  for (double f : sim::log_frequencies(1e7, 2e10, 7)) {
+    const auto h = sim::ac_transfer_at(circuit, "vagg", "vic.out", f);
+    std::printf("  %10s : %7.2f dB\n", units::eng(f, "Hz", 3).c_str(),
+                20.0 * std::log10(std::abs(h)));
+  }
+  std::printf(
+      "\nCrosstalk is a high-pass phenomenon: negligible at low frequency,\n"
+      "peaking near the lines' resonance — another reason wide fast nets\n"
+      "need RLC (not RC) modeling.\n");
+  return 0;
+}

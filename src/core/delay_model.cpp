@@ -1,0 +1,81 @@
+#include "core/delay_model.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "numeric/units.h"
+#include "tline/rc_line.h"
+
+namespace rlcsim::core {
+
+double zeta_of(double rt_ratio, double ct_ratio, double rt_total, double lt_total,
+               double ct_total) {
+  if (!(lt_total > 0.0)) throw std::invalid_argument("zeta_of: Lt must be > 0");
+  if (!(ct_total > 0.0)) throw std::invalid_argument("zeta_of: Ct must be > 0");
+  const double shape = (rt_ratio + ct_ratio + rt_ratio * ct_ratio + 0.5) /
+                       std::sqrt(1.0 + ct_ratio);
+  return 0.5 * rt_total * std::sqrt(ct_total / lt_total) * shape;
+}
+
+double scaled_delay_of(double zeta, const DelayFitConstants& fit) {
+  if (!(zeta >= 0.0)) throw std::invalid_argument("scaled_delay_of: zeta must be >= 0");
+  return std::exp(-fit.exp_scale * std::pow(zeta, fit.exp_power)) + fit.linear * zeta;
+}
+
+double rlc_delay(const tline::GateLineLoad& system, const DelayFitConstants& fit) {
+  return DelayModel(system, fit).delay();
+}
+
+DelayModel::DelayModel(const tline::GateLineLoad& system, const DelayFitConstants& fit)
+    : system_(system), fit_(fit) {
+  tline::validate(system_);
+  rt_ = system_.rt_ratio();
+  ct_ = system_.ct_ratio();
+  zeta_ = zeta_of(rt_, ct_, system_.line.total_resistance,
+                  system_.line.total_inductance, system_.line.total_capacitance);
+  omega_n_ = 1.0 / std::sqrt(system_.line.total_inductance *
+                             (system_.line.total_capacitance + system_.load_capacitance));
+}
+
+double DelayModel::scaled_delay() const { return scaled_delay_of(zeta_, fit_); }
+
+double DelayModel::delay() const { return scaled_delay() / omega_n_; }
+
+DampingRegime DelayModel::regime() const {
+  if (zeta_ < 0.95) return DampingRegime::kUnderdamped;
+  if (zeta_ <= 1.05) return DampingRegime::kCriticallyDamped;
+  return DampingRegime::kOverdamped;
+}
+
+bool DelayModel::in_fitted_range() const {
+  return rt_ >= 0.0 && rt_ <= 1.0 && ct_ >= 0.0 && ct_ <= 1.0;
+}
+
+double DelayModel::rc_limit_delay() const {
+  return tline::paper_rc_limit(system_.line.total_resistance,
+                               system_.line.total_capacitance);
+}
+
+double DelayModel::lc_limit_delay() const { return system_.line.time_of_flight(); }
+
+std::string DelayModel::describe() const {
+  using rlcsim::units::eng;
+  std::string regime_name;
+  switch (regime()) {
+    case DampingRegime::kUnderdamped: regime_name = "underdamped"; break;
+    case DampingRegime::kCriticallyDamped: regime_name = "critically damped"; break;
+    case DampingRegime::kOverdamped: regime_name = "overdamped"; break;
+  }
+  // zeta, RT, CT are dimensionless: plain %.3g, not engineering notation.
+  char ratios[96];
+  std::snprintf(ratios, sizeof(ratios), "zeta=%.3g (%s), RT=%.3g, CT=%.3g", zeta_,
+                regime_name.c_str(), rt_, ct_);
+  std::string out = std::string("RLC delay model: ") + ratios +
+                    ", tpd=" + eng(delay(), "s");
+  if (!in_fitted_range())
+    out += " [outside the fitted RT,CT in [0,1] range; expect degraded accuracy]";
+  return out;
+}
+
+}  // namespace rlcsim::core

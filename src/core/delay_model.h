@@ -1,0 +1,102 @@
+// The paper's closed-form propagation delay model (Section II).
+//
+// For a CMOS gate (output resistance Rtr) driving a distributed RLC line
+// (totals Rt, Lt, Ct) into a load capacitance CL, with
+//
+//   RT = Rtr / Rt,        CT = CL / Ct                       (eq. 5)
+//   wn = 1 / sqrt(Lt (Ct + CL))                              (eq. 3)
+//   zeta = (Rt / 2) sqrt(Ct / Lt)
+//          * (RT + CT + RT CT + 0.5) / sqrt(1 + CT)          (eq. 6)
+//
+// the 50% propagation delay is
+//
+//   tpd = ( exp(-2.9 zeta^1.35) + 1.48 zeta ) / wn           (eq. 9)
+//
+// valid within ~5% of dynamic simulation for RT, CT in [0, 1] (the global-
+// interconnect regime the paper targets), degrading gracefully outside.
+//
+// Limiting cases (both derived in the paper and tested here):
+//   L -> 0 (zeta -> inf):  tpd -> 0.37 Rt Ct          (distributed RC)
+//   R -> 0 (zeta -> 0):    tpd -> sqrt(Lt Ct)         (time of flight)
+#pragma once
+
+#include <string>
+
+#include "tline/rlc.h"
+#include "tline/transfer.h"
+
+namespace rlcsim::core {
+
+// Fitted constants of eq. (9). Exposed so the fitting module can re-derive
+// them and benches can compare against the published values.
+struct DelayFitConstants {
+  double exp_scale = 2.9;
+  double exp_power = 1.35;
+  double linear = 1.48;
+};
+inline constexpr DelayFitConstants kPaperFit{2.9, 1.35, 1.48};
+
+// Damping regime of the response, classified by zeta (the system is
+// approximately second order with damping factor zeta).
+enum class DampingRegime {
+  kUnderdamped,       // zeta < 0.95: ringing, overshoot expected
+  kCriticallyDamped,  // 0.95 <= zeta <= 1.05
+  kOverdamped,        // zeta > 1.05: RC-like monotone response
+};
+
+class DelayModel {
+ public:
+  // Throws std::invalid_argument on invalid systems (Lt <= 0, Ct <= 0,
+  // negative Rtr/CL...). RT or CT far above 1 is allowed but flagged by
+  // in_fitted_range().
+  explicit DelayModel(const tline::GateLineLoad& system,
+                      const DelayFitConstants& fit = kPaperFit);
+
+  // The paper's normalized variables.
+  double rt() const { return rt_; }          // RT = Rtr / Rt
+  double ct() const { return ct_; }          // CT = CL / Ct
+  double zeta() const { return zeta_; }      // eq. (6)
+  double omega_n() const { return omega_n_; }  // eq. (3), rad/s
+
+  // Scaled (dimensionless) 50% delay t'pd = tpd * wn, eq. (9) numerator.
+  double scaled_delay() const;
+  // 50% propagation delay in seconds, eq. (9).
+  double delay() const;
+
+  DampingRegime regime() const;
+  // True when RT and CT are both within [0, 1], where the fit was tuned and
+  // the 5% accuracy claim applies.
+  bool in_fitted_range() const;
+
+  // The paper's limiting forms for this system's line (gate impedances
+  // dropped): 0.37 Rt Ct and sqrt(Lt Ct).
+  double rc_limit_delay() const;
+  double lc_limit_delay() const;
+
+  // Diagnostic summary for logs/examples.
+  std::string describe() const;
+
+  const tline::GateLineLoad& system() const { return system_; }
+
+ private:
+  tline::GateLineLoad system_;
+  DelayFitConstants fit_;
+  double rt_ = 0.0;
+  double ct_ = 0.0;
+  double zeta_ = 0.0;
+  double omega_n_ = 0.0;
+};
+
+// Free-function forms used by the repeater layer (which evaluates the model
+// on many candidate (h, k) points and does not need the class).
+//
+// zeta from the normalized variables and the line totals:
+double zeta_of(double rt_ratio, double ct_ratio, double rt_total, double lt_total,
+               double ct_total);
+// Scaled delay t'pd(zeta) — eq. (9)'s numerator.
+double scaled_delay_of(double zeta, const DelayFitConstants& fit = kPaperFit);
+// Full delay for a gate + line + load in one call.
+double rlc_delay(const tline::GateLineLoad& system,
+                 const DelayFitConstants& fit = kPaperFit);
+
+}  // namespace rlcsim::core

@@ -1,0 +1,126 @@
+#include "core/fitting.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/repeater_numeric.h"
+#include "numeric/stats.h"
+#include "tline/step_response.h"
+
+namespace rlcsim::core {
+
+std::vector<ScaledDelaySample> generate_scaled_delay_data(
+    const std::vector<double>& zetas, const std::vector<double>& rts,
+    const std::vector<double>& cts) {
+  if (zetas.empty() || rts.empty() || cts.empty())
+    throw std::invalid_argument("generate_scaled_delay_data: empty grid");
+
+  std::vector<ScaledDelaySample> samples;
+  samples.reserve(zetas.size() * rts.size() * cts.size());
+  for (double rt : rts) {
+    for (double ct : cts) {
+      const double shape = (rt + ct + rt * ct + 0.5) / std::sqrt(1.0 + ct);
+      for (double zeta : zetas) {
+        if (!(zeta > 0.0))
+          throw std::invalid_argument("generate_scaled_delay_data: zeta must be > 0");
+        // Normalization Rt = Ct = 1: zeta = 0.5 sqrt(1/Lt) shape.
+        const double lt = std::pow(0.5 * shape / zeta, 2.0);
+        const tline::GateLineLoad system{rt, tline::LineParams{1.0, lt, 1.0}, ct};
+        const double tpd = tline::threshold_delay(system, 0.5);
+        const double omega_n = 1.0 / std::sqrt(lt * (1.0 + ct));
+        samples.push_back({zeta, rt, ct, tpd * omega_n});
+      }
+    }
+  }
+  return samples;
+}
+
+DelayFitOutcome fit_delay_constants(const std::vector<ScaledDelaySample>& samples,
+                                    const DelayFitConstants& start) {
+  if (samples.size() < 4)
+    throw std::invalid_argument("fit_delay_constants: need >= 4 samples");
+
+  std::vector<double> x, y;
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    x.push_back(s.zeta);
+    y.push_back(s.scaled_delay);
+  }
+
+  // a and b must stay positive; fitting their logarithms keeps the surface
+  // smooth everywhere (hard clamps create flat regions that strand LM).
+  const numeric::FitModel model = [](double zeta, const std::vector<double>& p) {
+    const double a = std::exp(p[0]);
+    const double b = std::exp(p[1]);
+    const double c = p[2];
+    return std::exp(-a * std::pow(zeta, b)) + c * zeta;
+  };
+
+  const auto fit = numeric::fit_levenberg_marquardt(
+      model, x, y,
+      {std::log(start.exp_scale), std::log(start.exp_power), start.linear});
+
+  DelayFitOutcome out;
+  out.constants = {std::exp(fit.params[0]), std::exp(fit.params[1]), fit.params[2]};
+  out.rms_residual = std::sqrt(fit.rss / static_cast<double>(samples.size()));
+  double max_rel = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    max_rel = std::max(max_rel,
+                       numeric::rel_error(model(x[i], fit.params), y[i]));
+  out.max_rel_error = max_rel;
+  return out;
+}
+
+std::vector<ErrorFactorSample> generate_error_factor_data(
+    const std::vector<double>& t_values) {
+  std::vector<ErrorFactorSample> samples;
+  samples.reserve(t_values.size());
+  for (double t : t_values) {
+    const NormalizedOptimum opt = normalized_optimum(t);
+    samples.push_back({t, opt.h_factor, opt.k_factor});
+  }
+  return samples;
+}
+
+namespace {
+
+ErrorFactorFit fit_factor(const std::vector<ErrorFactorSample>& samples,
+                          bool use_h_factor) {
+  if (samples.size() < 3)
+    throw std::invalid_argument("fit_factor: need >= 3 samples");
+  std::vector<double> x, y;
+  for (const auto& s : samples) {
+    x.push_back(s.t_lr);
+    y.push_back(use_h_factor ? s.h_factor : s.k_factor);
+  }
+  // Log-parameterization for the same reason as fit_delay_constants: both
+  // constants are positive and LM must not see clamp-induced flat regions.
+  const numeric::FitModel model = [](double t, const std::vector<double>& p) {
+    const double a = std::exp(p[0]);
+    const double b = std::exp(p[1]);
+    return 1.0 / std::pow(1.0 + a * t * t * t, b);
+  };
+  const auto fit = numeric::fit_levenberg_marquardt(
+      model, x, y, {std::log(0.05), std::log(0.3)});
+  ErrorFactorFit out;
+  out.coefficient = std::exp(fit.params[0]);
+  out.exponent = std::exp(fit.params[1]);
+  double max_rel = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    max_rel = std::max(max_rel, numeric::rel_error(model(x[i], fit.params), y[i]));
+  out.max_rel_error = max_rel;
+  return out;
+}
+
+}  // namespace
+
+ErrorFactorFit fit_h_factor(const std::vector<ErrorFactorSample>& samples) {
+  return fit_factor(samples, true);
+}
+
+ErrorFactorFit fit_k_factor(const std::vector<ErrorFactorSample>& samples) {
+  return fit_factor(samples, false);
+}
+
+}  // namespace rlcsim::core

@@ -1,0 +1,61 @@
+// Re-derivation of the paper's fitted coefficients from our own reference
+// data — the ablation that closes the reproduction loop:
+//
+//  * eq. (9)'s {2.9, 1.35, 1.48} are re-fit against scaled 50% delays of the
+//    exact transmission-line response (numerical Laplace inversion);
+//  * eqs. (14)/(15)'s {0.16, 0.24} and {0.18, 0.30} are re-fit against the
+//    numerical repeater optimum over a T_{L/R} sweep.
+#pragma once
+
+#include <vector>
+
+#include "core/delay_model.h"
+#include "numeric/curve_fit.h"
+
+namespace rlcsim::core {
+
+// One reference sample of the scaled-delay surface.
+struct ScaledDelaySample {
+  double zeta = 0.0;
+  double rt = 0.0;
+  double ct = 0.0;
+  double scaled_delay = 0.0;  // t'pd = tpd * wn from the exact response
+};
+
+// Generates reference samples on a (zeta, RT, CT) grid using the exact
+// transfer function. For each (RT, CT) pair the line inductance is chosen so
+// that zeta hits the requested values (Rt = Ct = 1 normalization).
+std::vector<ScaledDelaySample> generate_scaled_delay_data(
+    const std::vector<double>& zetas, const std::vector<double>& rts,
+    const std::vector<double>& cts);
+
+// Fits t'(zeta) = exp(-a zeta^b) + c zeta to the samples. `start` defaults
+// to a deliberately-off initial guess so the fit demonstrably converges on
+// its own rather than echoing the paper's values.
+struct DelayFitOutcome {
+  DelayFitConstants constants;
+  double rms_residual = 0.0;
+  double max_rel_error = 0.0;  // of the fitted model vs the samples
+};
+DelayFitOutcome fit_delay_constants(const std::vector<ScaledDelaySample>& samples,
+                                    const DelayFitConstants& start = {2.0, 1.0, 1.0});
+
+// One numerical repeater-optimum sample.
+struct ErrorFactorSample {
+  double t_lr = 0.0;
+  double h_factor = 0.0;
+  double k_factor = 0.0;
+};
+std::vector<ErrorFactorSample> generate_error_factor_data(
+    const std::vector<double>& t_values);
+
+// Fits f(T) = 1 / [1 + a T^3]^b to the h' (and k') samples.
+struct ErrorFactorFit {
+  double coefficient = 0.0;  // a
+  double exponent = 0.0;     // b
+  double max_rel_error = 0.0;
+};
+ErrorFactorFit fit_h_factor(const std::vector<ErrorFactorSample>& samples);
+ErrorFactorFit fit_k_factor(const std::vector<ErrorFactorSample>& samples);
+
+}  // namespace rlcsim::core

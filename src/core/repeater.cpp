@@ -1,0 +1,121 @@
+#include "core/repeater.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlcsim::core {
+
+void validate(const MinBuffer& buffer) {
+  if (!(buffer.r0 > 0.0)) throw std::invalid_argument("MinBuffer: r0 must be > 0");
+  if (!(buffer.c0 > 0.0)) throw std::invalid_argument("MinBuffer: c0 must be > 0");
+  if (buffer.output_capacitance < 0.0)
+    throw std::invalid_argument("MinBuffer: output_capacitance must be >= 0");
+}
+
+double t_lr(const tline::LineParams& line, const MinBuffer& buffer) {
+  validate(buffer);
+  if (!(line.total_resistance > 0.0))
+    throw std::invalid_argument("t_lr: line resistance must be > 0");
+  return (line.total_inductance / line.total_resistance) / (buffer.r0 * buffer.c0);
+}
+
+RepeaterDesign bakoglu_rc(const tline::LineParams& line, const MinBuffer& buffer) {
+  validate(buffer);
+  tline::validate_rc(line);
+  if (!(line.total_resistance > 0.0))
+    throw std::invalid_argument("bakoglu_rc: line resistance must be > 0");
+  RepeaterDesign d;
+  d.size = std::sqrt(buffer.r0 * line.total_capacitance /
+                     (line.total_resistance * buffer.c0));
+  d.sections = std::sqrt(line.total_resistance * line.total_capacitance /
+                         (2.0 * buffer.r0 * buffer.c0));
+  return d;
+}
+
+double h_error_factor(double t) {
+  if (t < 0.0) throw std::invalid_argument("h_error_factor: T must be >= 0");
+  return 1.0 / std::pow(1.0 + 0.16 * t * t * t, 0.24);
+}
+
+double k_error_factor(double t) {
+  if (t < 0.0) throw std::invalid_argument("k_error_factor: T must be >= 0");
+  return 1.0 / std::pow(1.0 + 0.18 * t * t * t, 0.30);
+}
+
+RepeaterDesign ismail_friedman_rlc(const tline::LineParams& line,
+                                   const MinBuffer& buffer) {
+  const RepeaterDesign rc = bakoglu_rc(line, buffer);
+  const double t = t_lr(line, buffer);
+  return {rc.size * h_error_factor(t), rc.sections * k_error_factor(t)};
+}
+
+double total_delay(const tline::LineParams& line, const MinBuffer& buffer,
+                   const RepeaterDesign& design, const DelayFitConstants& fit) {
+  validate(buffer);
+  tline::validate(line);
+  if (!(design.size > 0.0) || !(design.sections > 0.0))
+    throw std::invalid_argument("total_delay: h and k must be > 0");
+
+  const double k = design.sections;
+  const tline::LineParams section{line.total_resistance / k,
+                                  line.total_inductance / k,
+                                  line.total_capacitance / k};
+  const tline::GateLineLoad one{buffer.r0 / design.size, section,
+                                buffer.c0 * design.size};
+  return k * rlc_delay(one, fit);
+}
+
+RepeaterDesign rounded_sections(const tline::LineParams& line, const MinBuffer& buffer,
+                                const RepeaterDesign& design,
+                                const DelayFitConstants& fit) {
+  const double k_lo = std::max(1.0, std::floor(design.sections));
+  const double k_hi = std::max(1.0, std::ceil(design.sections));
+  if (k_lo == k_hi) return {design.size, k_lo};
+  const double d_lo = total_delay(line, buffer, {design.size, k_lo}, fit);
+  const double d_hi = total_delay(line, buffer, {design.size, k_hi}, fit);
+  return {design.size, d_lo <= d_hi ? k_lo : k_hi};
+}
+
+double delay_increase_percent(const tline::LineParams& line, const MinBuffer& buffer,
+                              const DelayFitConstants& fit) {
+  const RepeaterDesign rc = bakoglu_rc(line, buffer);
+  const RepeaterDesign rlc = ismail_friedman_rlc(line, buffer);
+  const double t_rc = total_delay(line, buffer, rc, fit);
+  const double t_rlc = total_delay(line, buffer, rlc, fit);
+  return 100.0 * (t_rc - t_rlc) / t_rlc;
+}
+
+double delay_increase_percent(double t_lr_value, const DelayFitConstants& fit) {
+  if (t_lr_value < 0.0)
+    throw std::invalid_argument("delay_increase_percent: T must be >= 0");
+  if (t_lr_value == 0.0) return 0.0;
+  // Normalized instantiation: Rt = Ct = 1, r0 = c0 = 1 makes T_{L/R} = Lt.
+  // The appendix shows the ratio depends on T only, so this is general.
+  const tline::LineParams line{1.0, t_lr_value, 1.0};
+  const MinBuffer buffer{1.0, 1.0, 1.0, 0.0};
+  return delay_increase_percent(line, buffer, fit);
+}
+
+double area_increase_percent(double t) {
+  if (t < 0.0) throw std::invalid_argument("area_increase_percent: T must be >= 0");
+  const double t3 = t * t * t;
+  return 100.0 *
+         (std::pow(1.0 + 0.18 * t3, 0.30) * std::pow(1.0 + 0.16 * t3, 0.24) - 1.0);
+}
+
+double repeater_area(const MinBuffer& buffer, const RepeaterDesign& design) {
+  validate(buffer);
+  return design.size * design.sections * buffer.area;
+}
+
+double dynamic_power(const tline::LineParams& line, const MinBuffer& buffer,
+                     const RepeaterDesign& design, double frequency, double vdd) {
+  validate(buffer);
+  if (!(frequency > 0.0) || !(vdd > 0.0))
+    throw std::invalid_argument("dynamic_power: frequency and vdd must be > 0");
+  const double repeater_cap =
+      design.sections * design.size * (buffer.c0 + buffer.output_capacitance);
+  return frequency * vdd * vdd * (line.total_capacitance + repeater_cap);
+}
+
+}  // namespace rlcsim::core

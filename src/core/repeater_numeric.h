@@ -1,0 +1,60 @@
+// Numerical repeater optimization (the reference for Fig. 4 and for the
+// "< 0.05% of the numerical optimum" claim about eqs. (14)/(15)).
+//
+// The appendix proves that, written in terms of the normalized sizes
+//   h' = h / h_rc,   k' = k / k_rc,
+// the total-delay minimization depends on T_{L/R} only. We therefore solve
+// it once per T in a normalized instantiation (Rt = Ct = r0 = c0 = 1,
+// Lt = T) and scale by the Bakoglu solution.
+#pragma once
+
+#include "core/repeater.h"
+
+namespace rlcsim::core {
+
+struct NormalizedOptimum {
+  double h_factor = 1.0;  // h'opt — the solid curve of Fig. 4a
+  double k_factor = 1.0;  // k'opt — the solid curve of Fig. 4b
+  double delay = 0.0;     // minimized total delay in the normalized system
+};
+
+// Minimizes the normalized total delay over (h', k') for a given T_{L/R}.
+// Grid refinement seeds a Nelder–Mead polish; accuracy ~1e-6 in the factors.
+NormalizedOptimum normalized_optimum(double t_lr_value,
+                                     const DelayFitConstants& fit = kPaperFit);
+
+// Full-impedance optimum for a physical line/buffer pair. `min_sections`
+// clamps k (>= it); pass 0 to allow the continuous unconstrained optimum.
+struct OptimizedDesign {
+  RepeaterDesign continuous;  // unrounded (h, k)
+  RepeaterDesign practical;   // k rounded to the better integer, >= 1
+  double continuous_delay = 0.0;
+  double practical_delay = 0.0;
+};
+OptimizedDesign optimize(const tline::LineParams& line, const MinBuffer& buffer,
+                         const DelayFitConstants& fit = kPaperFit,
+                         double min_sections = 1.0);
+
+// Relative excess delay (fraction, not percent) of the closed-form sizing
+// (eqs. 14/15) versus the numerical optimum at a given T — the quantity the
+// paper bounds by 0.05%.
+double closed_form_excess_delay(double t_lr_value,
+                                const DelayFitConstants& fit = kPaperFit);
+
+// Area-constrained repeater insertion (extension of Section III): minimize
+// the total delay subject to h * k * A_min <= max_area. When the
+// unconstrained optimum fits the budget it is returned unchanged; otherwise
+// the search runs along the active constraint h = budget / (k A_min) with a
+// 1-D minimization over k. Throws std::invalid_argument when even the
+// smallest sensible design (h = k = 1) exceeds the budget.
+struct ConstrainedDesign {
+  RepeaterDesign design;       // continuous h, k on/inside the constraint
+  double delay = 0.0;
+  bool constraint_active = false;
+};
+ConstrainedDesign optimize_with_area_budget(const tline::LineParams& line,
+                                            const MinBuffer& buffer,
+                                            double max_area,
+                                            const DelayFitConstants& fit = kPaperFit);
+
+}  // namespace rlcsim::core

@@ -1,0 +1,29 @@
+#include "core/scaling.h"
+
+namespace rlcsim::core {
+
+std::vector<ScalingPoint> scaling_study(
+    const tline::LineParams& line,
+    const std::vector<std::pair<std::string, MinBuffer>>& buffers,
+    const DelayFitConstants& fit) {
+  std::vector<ScalingPoint> points;
+  points.reserve(buffers.size());
+  for (const auto& [label, buffer] : buffers) {
+    ScalingPoint p;
+    p.label = label;
+    p.r0c0 = buffer.r0 * buffer.c0;
+    p.t_lr = t_lr(line, buffer);
+    p.delay_increase = delay_increase_percent(line, buffer, fit);
+    p.area_increase = area_increase_percent(p.t_lr);
+    const RepeaterDesign rc = bakoglu_rc(line, buffer);
+    const RepeaterDesign rlc = ismail_friedman_rlc(line, buffer);
+    p.k_rc = rc.sections;
+    p.k_rlc = rlc.sections;
+    p.h_rc = rc.size;
+    p.h_rlc = rlc.size;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace rlcsim::core

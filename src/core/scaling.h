@@ -1,0 +1,36 @@
+// Technology-scaling studies (Sections III–IV).
+//
+// The paper's closing argument: T_{L/R} = (Lt/Rt)/(R0 C0) grows as the gate
+// intrinsic delay R0 C0 shrinks with technology scaling, so the error of
+// RC-only design methodologies grows with every generation. This module
+// quantifies that trend for a fixed wire across a sweep of buffer
+// technologies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/repeater.h"
+
+namespace rlcsim::core {
+
+struct ScalingPoint {
+  std::string label;           // e.g. technology node name
+  double r0c0 = 0.0;           // buffer intrinsic RC, s
+  double t_lr = 0.0;           // resulting T_{L/R}
+  double delay_increase = 0.0; // % extra delay from RC sizing (eq. 16)
+  double area_increase = 0.0;  // % extra repeater area (eq. 18)
+  double k_rc = 0.0;           // Bakoglu section count
+  double k_rlc = 0.0;          // RLC-aware section count
+  double h_rc = 0.0;
+  double h_rlc = 0.0;
+};
+
+// Evaluates the scaling trend of one wire across buffer generations.
+// `buffers` supplies (label, MinBuffer) pairs, typically from tech/nodes.h.
+std::vector<ScalingPoint> scaling_study(
+    const tline::LineParams& line,
+    const std::vector<std::pair<std::string, MinBuffer>>& buffers,
+    const DelayFitConstants& fit = kPaperFit);
+
+}  // namespace rlcsim::core

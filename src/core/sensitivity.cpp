@@ -1,0 +1,86 @@
+#include "core/sensitivity.h"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace rlcsim::core {
+namespace {
+
+// Central difference of rlc_delay along one parameter. `rebuild` returns the
+// system with that parameter set to its argument; `value` is its base value.
+double central(const std::function<tline::GateLineLoad(double)>& rebuild,
+               double value, double epsilon, const DelayFitConstants& fit) {
+  const double h = epsilon * std::max(std::fabs(value), 1e-30);
+  const double up = rlc_delay(rebuild(value + h), fit);
+  const double down = rlc_delay(rebuild(value - h), fit);
+  return (up - down) / (2.0 * h);
+}
+
+}  // namespace
+
+DelaySensitivity delay_sensitivity(const tline::GateLineLoad& system,
+                                   const DelayFitConstants& fit, double epsilon) {
+  tline::validate(system);
+  if (!(epsilon > 0.0 && epsilon < 0.1))
+    throw std::invalid_argument("delay_sensitivity: epsilon out of (0, 0.1)");
+
+  DelaySensitivity out;
+  // Rtr and CL may sit at 0; differentiate around a small positive pivot
+  // there (the delay is one-sided differentiable and smooth for x >= 0).
+  const double rtr_pivot = std::max(system.driver_resistance,
+                                    epsilon * system.line.total_resistance);
+  out.d_rtr = central(
+      [&](double v) {
+        tline::GateLineLoad s = system;
+        s.driver_resistance = v;
+        return s;
+      },
+      rtr_pivot, epsilon, fit);
+  out.d_rt = central(
+      [&](double v) {
+        tline::GateLineLoad s = system;
+        s.line.total_resistance = v;
+        return s;
+      },
+      system.line.total_resistance, epsilon, fit);
+  out.d_lt = central(
+      [&](double v) {
+        tline::GateLineLoad s = system;
+        s.line.total_inductance = v;
+        return s;
+      },
+      system.line.total_inductance, epsilon, fit);
+  out.d_ct = central(
+      [&](double v) {
+        tline::GateLineLoad s = system;
+        s.line.total_capacitance = v;
+        return s;
+      },
+      system.line.total_capacitance, epsilon, fit);
+  const double cl_pivot = std::max(system.load_capacitance,
+                                   epsilon * system.line.total_capacitance);
+  out.d_cl = central(
+      [&](double v) {
+        tline::GateLineLoad s = system;
+        s.load_capacitance = v;
+        return s;
+      },
+      cl_pivot, epsilon, fit);
+  return out;
+}
+
+LogSensitivity log_sensitivity(const tline::GateLineLoad& system,
+                               const DelayFitConstants& fit, double epsilon) {
+  const DelaySensitivity abs = delay_sensitivity(system, fit, epsilon);
+  const double tpd = rlc_delay(system, fit);
+  LogSensitivity out;
+  out.rtr = abs.d_rtr * system.driver_resistance / tpd;
+  out.rt = abs.d_rt * system.line.total_resistance / tpd;
+  out.lt = abs.d_lt * system.line.total_inductance / tpd;
+  out.ct = abs.d_ct * system.line.total_capacitance / tpd;
+  out.cl = abs.d_cl * system.load_capacitance / tpd;
+  return out;
+}
+
+}  // namespace rlcsim::core

@@ -1,0 +1,47 @@
+// Sensitivity of the eq. (9) delay to every impedance parameter.
+//
+// Timing-driven optimization (wire sizing, buffer sizing, layer assignment)
+// needs d(tpd)/d(parameter), not just tpd. Because eq. (9) is smooth and
+// cheap, sensitivities come from central differences at machine-precision-
+// limited accuracy in nanoseconds of CPU time — this module packages them
+// with the right relative scalings and a few analytic cross-checks used by
+// the tests (e.g. the RC limit d tpd/d Rtr -> 0.74 (Ct + CL)/sqrt(1+CT)).
+#pragma once
+
+#include "core/delay_model.h"
+
+namespace rlcsim::core {
+
+// All partial derivatives of the eq. (9) delay at a given operating point.
+struct DelaySensitivity {
+  double d_rtr = 0.0;  // s / ohm
+  double d_rt = 0.0;   // s / ohm
+  double d_lt = 0.0;   // s / H
+  double d_ct = 0.0;   // s / F
+  double d_cl = 0.0;   // s / F
+};
+
+// Central-difference sensitivities with relative step `epsilon`.
+// Throws on invalid systems (same rules as DelayModel).
+DelaySensitivity delay_sensitivity(const tline::GateLineLoad& system,
+                                   const DelayFitConstants& fit = kPaperFit,
+                                   double epsilon = 1e-6);
+
+// Normalized (logarithmic) sensitivities: d ln(tpd) / d ln(x) — the
+// "percent delay per percent parameter change" designers quote. For the
+// length-scaling story: S_length = S_rt + S_lt + S_ct is the local exponent
+// p of tpd ~ l^p, since Rt, Lt, Ct all scale linearly with length.
+struct LogSensitivity {
+  double rtr = 0.0;
+  double rt = 0.0;
+  double lt = 0.0;
+  double ct = 0.0;
+  double cl = 0.0;
+
+  double length_exponent() const { return rt + lt + ct; }
+};
+LogSensitivity log_sensitivity(const tline::GateLineLoad& system,
+                               const DelayFitConstants& fit = kPaperFit,
+                               double epsilon = 1e-6);
+
+}  // namespace rlcsim::core

@@ -1,0 +1,97 @@
+#include "core/two_pole.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/roots.h"
+
+namespace rlcsim::core {
+
+TwoPoleModel::TwoPoleModel(const tline::GateLineLoad& system) {
+  tline::validate(system);
+  const tline::DenominatorMoments m = tline::moments(system);
+  b1_ = m.b1;
+  b2_ = m.b2;
+  if (!(b2_ > 0.0)) throw std::invalid_argument("TwoPoleModel: b2 must be > 0");
+}
+
+TwoPoleModel::TwoPoleModel(double b1, double b2) : b1_(b1), b2_(b2) {
+  if (!(b1 > 0.0) || !(b2 > 0.0))
+    throw std::invalid_argument("TwoPoleModel: b1 and b2 must be > 0");
+}
+
+double TwoPoleModel::natural_frequency() const { return 1.0 / std::sqrt(b2_); }
+
+double TwoPoleModel::damping() const { return b1_ / (2.0 * std::sqrt(b2_)); }
+
+std::pair<std::complex<double>, std::complex<double>> TwoPoleModel::poles() const {
+  // b2 s^2 + b1 s + 1 = 0.
+  const double disc = b1_ * b1_ - 4.0 * b2_;
+  if (disc >= 0.0) {
+    const double sq = std::sqrt(disc);
+    return {std::complex<double>((-b1_ - sq) / (2.0 * b2_), 0.0),
+            std::complex<double>((-b1_ + sq) / (2.0 * b2_), 0.0)};
+  }
+  const double re = -b1_ / (2.0 * b2_);
+  const double im = std::sqrt(-disc) / (2.0 * b2_);
+  return {std::complex<double>(re, im), std::complex<double>(re, -im)};
+}
+
+double TwoPoleModel::step_response(double t) const {
+  if (t <= 0.0) return 0.0;
+  const double zeta = damping();
+  const double wn = natural_frequency();
+  if (zeta < 1.0) {
+    // Underdamped: 1 - e^{-z w t} [cos(wd t) + (z/sqrt(1-z^2)) sin(wd t)].
+    const double wd = wn * std::sqrt(1.0 - zeta * zeta);
+    const double decay = std::exp(-zeta * wn * t);
+    const double ratio = zeta / std::sqrt(1.0 - zeta * zeta);
+    return 1.0 - decay * (std::cos(wd * t) + ratio * std::sin(wd * t));
+  }
+  if (zeta == 1.0) {
+    const double wt = wn * t;
+    return 1.0 - (1.0 + wt) * std::exp(-wt);
+  }
+  // Overdamped: distinct real poles p1 < p2 < 0.
+  const auto [p1c, p2c] = poles();
+  const double p1 = p1c.real();
+  const double p2 = p2c.real();
+  return 1.0 + (p2 * std::exp(p1 * t) - p1 * std::exp(p2 * t)) / (p1 - p2);
+}
+
+double TwoPoleModel::threshold_delay(double threshold) const {
+  if (!(threshold > 0.0 && threshold < 1.0))
+    throw std::invalid_argument("TwoPoleModel::threshold_delay: threshold in (0,1)");
+  const double zeta = damping();
+  const double wn = natural_frequency();
+
+  // Upper bracket: underdamped responses reach their (overshooting) first
+  // peak at pi/wd, guaranteeing a crossing of any threshold < 1 before it.
+  // Overdamped responses cross within a few b1 time constants; expand to be
+  // safe.
+  double hi;
+  if (zeta < 1.0) {
+    hi = std::numbers::pi / (wn * std::sqrt(1.0 - zeta * zeta));
+  } else {
+    hi = 3.0 * b1_;
+    while (step_response(hi) < threshold && hi < 1e6 * b1_) hi *= 2.0;
+  }
+  return numeric::brent([&](double t) { return step_response(t) - threshold; },
+                        0.0, hi, {.x_tolerance = 1e-15 * hi + 1e-30});
+}
+
+double TwoPoleModel::overshoot() const {
+  const double zeta = damping();
+  if (zeta >= 1.0) return 0.0;
+  return std::exp(-std::numbers::pi * zeta / std::sqrt(1.0 - zeta * zeta));
+}
+
+std::optional<double> TwoPoleModel::peak_time() const {
+  const double zeta = damping();
+  if (zeta >= 1.0) return std::nullopt;
+  const double wd = natural_frequency() * std::sqrt(1.0 - zeta * zeta);
+  return std::numbers::pi / wd;
+}
+
+}  // namespace rlcsim::core

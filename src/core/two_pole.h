@@ -1,0 +1,57 @@
+// Moment-matched two-pole model (the paper's eq. (7) family).
+//
+// The exact transfer function's denominator expands as
+//   D(s) = 1 + b1 s + b2 s^2 + O(s^3)
+// with b1, b2 in closed form (tline/transfer.h). Truncating at second order
+// gives H2(s) = 1 / (1 + b1 s + b2 s^2) — a classic second-order system with
+//
+//   effective natural frequency  wn2  = 1 / sqrt(b2)
+//   effective damping factor     zeta2 = b1 / (2 sqrt(b2))
+//
+// whose step response (and hence 50% delay, overshoot, ringing period) is
+// analytic. This model is the bridge between the exact response and the
+// paper's single-parameter zeta: the paper's eq. (9) is, in effect, a curve
+// fit of this family's first-crossing time.
+#pragma once
+
+#include <complex>
+#include <optional>
+
+#include "tline/transfer.h"
+
+namespace rlcsim::core {
+
+class TwoPoleModel {
+ public:
+  explicit TwoPoleModel(const tline::GateLineLoad& system);
+  // Directly from moments (used by tests and by non-line systems).
+  TwoPoleModel(double b1, double b2);
+
+  double b1() const { return b1_; }
+  double b2() const { return b2_; }
+  double natural_frequency() const;  // 1/sqrt(b2), rad/s
+  double damping() const;            // b1 / (2 sqrt(b2))
+  bool underdamped() const { return damping() < 1.0; }
+
+  // Poles of H2 (rad/s, real parts negative for any passive system).
+  std::pair<std::complex<double>, std::complex<double>> poles() const;
+
+  // Unit-step response value at time t (exact, analytic).
+  double step_response(double t) const;
+
+  // First time the step response reaches `threshold` (fraction of the unit
+  // final value). Analytic bracketing + Brent; exact to root tolerance.
+  double threshold_delay(double threshold = 0.5) const;
+
+  // Peak overshoot fraction: exp(-pi zeta / sqrt(1 - zeta^2)) when
+  // underdamped, 0 otherwise.
+  double overshoot() const;
+  // Time of the first response peak (underdamped only).
+  std::optional<double> peak_time() const;
+
+ private:
+  double b1_ = 0.0;
+  double b2_ = 0.0;
+};
+
+}  // namespace rlcsim::core

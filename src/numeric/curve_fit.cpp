@@ -1,0 +1,127 @@
+#include "numeric/curve_fit.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/matrix.h"
+
+namespace rlcsim::numeric {
+namespace {
+
+double residual_sum_squares(const FitModel& model, const std::vector<double>& x,
+                            const std::vector<double>& y,
+                            const std::vector<double>& w,
+                            const std::vector<double>& params) {
+  double rss = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = w[i] * (y[i] - model(x[i], params));
+    rss += r * r;
+  }
+  return rss;
+}
+
+}  // namespace
+
+FitResult fit_levenberg_marquardt(const FitModel& model, const std::vector<double>& x,
+                                  const std::vector<double>& y,
+                                  const std::vector<double>& initial,
+                                  const FitOptions& options,
+                                  const std::vector<double>& weights) {
+  if (x.empty() || x.size() != y.size())
+    throw std::invalid_argument("fit_levenberg_marquardt: bad data sizes");
+  if (initial.empty())
+    throw std::invalid_argument("fit_levenberg_marquardt: no parameters");
+  if (!weights.empty() && weights.size() != x.size())
+    throw std::invalid_argument("fit_levenberg_marquardt: weight size mismatch");
+
+  const std::size_t n = x.size();
+  const std::size_t p = initial.size();
+  std::vector<double> w = weights.empty() ? std::vector<double>(n, 1.0) : weights;
+
+  std::vector<double> params = initial;
+  double lambda = options.initial_lambda;
+  double rss = residual_sum_squares(model, x, y, w, params);
+
+  FitResult result;
+  int it = 0;
+  for (; it < options.max_iterations; ++it) {
+    // Weighted residuals and forward-difference Jacobian.
+    std::vector<double> r(n);
+    for (std::size_t i = 0; i < n; ++i) r[i] = w[i] * (y[i] - model(x[i], params));
+
+    RealMatrix jac(n, p);
+    for (std::size_t j = 0; j < p; ++j) {
+      std::vector<double> bumped = params;
+      const double h = options.jacobian_epsilon *
+                       std::max(1.0, std::fabs(params[j]));
+      bumped[j] += h;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double bumped_model = model(x[i], bumped);
+        jac(i, j) = w[i] * (bumped_model - model(x[i], params)) / h;
+      }
+    }
+
+    // Normal equations: (J^T J + lambda diag(J^T J)) delta = J^T r.
+    RealMatrix jtj(p, p);
+    std::vector<double> jtr(p, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t a = 0; a < p; ++a) {
+        jtr[a] += jac(i, a) * r[i];
+        for (std::size_t b = a; b < p; ++b) jtj(a, b) += jac(i, a) * jac(i, b);
+      }
+    }
+    for (std::size_t a = 0; a < p; ++a)
+      for (std::size_t b = 0; b < a; ++b) jtj(a, b) = jtj(b, a);
+
+    double max_gradient = 0.0;
+    for (double g : jtr) max_gradient = std::max(max_gradient, std::fabs(g));
+    if (max_gradient < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Try steps, inflating lambda until one reduces the RSS.
+    bool stepped = false;
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      RealMatrix damped = jtj;
+      for (std::size_t a = 0; a < p; ++a)
+        damped(a, a) += lambda * std::max(jtj(a, a), 1e-30);
+
+      std::vector<double> delta;
+      try {
+        delta = solve(damped, jtr);
+      } catch (const std::runtime_error&) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+
+      std::vector<double> trial = params;
+      double step_norm = 0.0;
+      for (std::size_t a = 0; a < p; ++a) {
+        trial[a] += delta[a];
+        step_norm = std::max(step_norm, std::fabs(delta[a]));
+      }
+      const double trial_rss = residual_sum_squares(model, x, y, w, trial);
+      if (std::isfinite(trial_rss) && trial_rss < rss) {
+        params = std::move(trial);
+        rss = trial_rss;
+        lambda = std::max(lambda * options.lambda_down, 1e-14);
+        stepped = true;
+        if (step_norm < options.step_tolerance) result.converged = true;
+        break;
+      }
+      lambda *= options.lambda_up;
+    }
+    if (!stepped || result.converged) {
+      result.converged = result.converged || !stepped;
+      break;
+    }
+  }
+
+  result.params = std::move(params);
+  result.rss = rss;
+  result.iterations = it;
+  return result;
+}
+
+}  // namespace rlcsim::numeric

@@ -1,0 +1,95 @@
+#include "numeric/laplace.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rlcsim::numeric {
+namespace {
+
+// Binomial coefficients C(n, k) as doubles (n small, <= ~20 here).
+double binomial(int n, int k) {
+  double acc = 1.0;
+  for (int i = 1; i <= k; ++i) acc *= static_cast<double>(n - k + i) / i;
+  return acc;
+}
+
+}  // namespace
+
+double invert_euler(const LaplaceFn& f, double t, const EulerOptions& opt) {
+  if (!(t > 0.0)) throw std::invalid_argument("invert_euler: t must be > 0");
+  const double a = opt.a;
+  const int n = opt.n_terms;
+  const int m = opt.euler_terms;
+  const double pi = std::numbers::pi;
+
+  // Alternating series terms: u_k = (-1)^k Re F((a + 2 k pi i) / (2t)).
+  auto term = [&](int k) {
+    const std::complex<double> s(a / (2.0 * t), k * pi / t);
+    const double re = std::real(f(s));
+    return (k % 2 == 0) ? re : -re;
+  };
+
+  double partial = 0.5 * std::real(f(std::complex<double>(a / (2.0 * t), 0.0)));
+  for (int k = 1; k <= n; ++k) partial += term(k);
+
+  // Euler (binomial) averaging of the next m partial sums accelerates the
+  // alternating tail by many orders of magnitude.
+  std::vector<double> partials(m + 1);
+  partials[0] = partial;
+  for (int j = 1; j <= m; ++j) partials[j] = partials[j - 1] + term(n + j);
+
+  double accelerated = 0.0;
+  const double scale = std::pow(2.0, -m);
+  for (int j = 0; j <= m; ++j) accelerated += binomial(m, j) * scale * partials[j];
+
+  return std::exp(a / 2.0) / t * accelerated;
+}
+
+std::vector<double> invert_euler(const LaplaceFn& f, const std::vector<double>& times,
+                                 const EulerOptions& opt) {
+  std::vector<double> out;
+  out.reserve(times.size());
+  for (double t : times) out.push_back(invert_euler(f, t, opt));
+  return out;
+}
+
+double invert_stehfest(const LaplaceRealFn& f, double t, int n) {
+  if (!(t > 0.0)) throw std::invalid_argument("invert_stehfest: t must be > 0");
+  if (n < 2 || n > 12) throw std::invalid_argument("invert_stehfest: n out of [2,12]");
+  const double ln2 = std::numbers::ln2;
+  const int terms = 2 * n;
+
+  double acc = 0.0;
+  for (int k = 1; k <= terms; ++k) {
+    // Stehfest weight V_k.
+    double vk = 0.0;
+    const int j_lo = (k + 1) / 2;
+    const int j_hi = std::min(k, n);
+    for (int j = j_lo; j <= j_hi; ++j) {
+      // j^n (2j)! / [ (n-j)! j! (j-1)! (k-j)! (2j-k)! ]
+      //   = j^n C(2j, j) j / [ (n-j)! (k-j)! (2j-k)! ]
+      // using (2j)! = C(2j,j) j! j! — keeps intermediates tame.
+      const double num =
+          std::pow(static_cast<double>(j), n) * binomial(2 * j, j) * j;
+      double denom = 1.0;
+      for (int i = 2; i <= n - j; ++i) denom *= i;
+      for (int i = 2; i <= k - j; ++i) denom *= i;
+      for (int i = 2; i <= 2 * j - k; ++i) denom *= i;
+      vk += num / denom;
+    }
+    if ((k + n) % 2 != 0) vk = -vk;
+    acc += vk * f(k * ln2 / t);
+  }
+  return ln2 / t * acc;
+}
+
+std::vector<double> invert_stehfest(const LaplaceRealFn& f,
+                                    const std::vector<double>& times, int n) {
+  std::vector<double> out;
+  out.reserve(times.size());
+  for (double t : times) out.push_back(invert_stehfest(f, t, n));
+  return out;
+}
+
+}  // namespace rlcsim::numeric

@@ -1,0 +1,47 @@
+// Numerical inverse Laplace transforms.
+//
+// Two independent algorithms are provided because they fail differently:
+//
+//  * `invert_euler` — Abate–Whitt EULER algorithm (Bromwich integral,
+//    trapezoid rule, Euler summation of the alternating tail). Evaluates
+//    F(s) at complex s; handles the oscillatory (underdamped) responses of
+//    low-loss RLC lines well.
+//  * `invert_stehfest` — Gaver–Stehfest. Real-axis evaluations only; very
+//    accurate for smooth/overdamped responses, useless for ringing ones.
+//
+// The test suite cross-checks both against closed-form pairs and against the
+// time-domain MNA simulator, which is the point: three ways to compute the
+// same waveform that share no code.
+#pragma once
+
+#include <complex>
+#include <functional>
+#include <vector>
+
+namespace rlcsim::numeric {
+
+using LaplaceFn = std::function<std::complex<double>(std::complex<double>)>;
+using LaplaceRealFn = std::function<double(double)>;
+
+struct EulerOptions {
+  // Controls the discretization error, e^-A. A = 18.4 targets ~1e-8.
+  double a = 18.4;
+  // Terms before Euler acceleration begins and binomial averaging depth.
+  int n_terms = 38;
+  int euler_terms = 17;
+};
+
+// Inverts F at a single time t > 0. Throws std::invalid_argument for t <= 0.
+double invert_euler(const LaplaceFn& f, double t, const EulerOptions& opt = {});
+
+// Inverts F at each time in `times` (all must be > 0).
+std::vector<double> invert_euler(const LaplaceFn& f, const std::vector<double>& times,
+                                 const EulerOptions& opt = {});
+
+// Gaver–Stehfest with 2n terms (n in [4, 10]; 7 is a good double-precision
+// default). Only needs F on the positive real axis.
+double invert_stehfest(const LaplaceRealFn& f, double t, int n = 7);
+std::vector<double> invert_stehfest(const LaplaceRealFn& f,
+                                    const std::vector<double>& times, int n = 7);
+
+}  // namespace rlcsim::numeric

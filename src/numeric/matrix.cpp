@@ -1,0 +1,83 @@
+#include "numeric/matrix.h"
+
+#include <cmath>
+
+namespace rlcsim::numeric {
+namespace {
+
+double magnitude(double v) { return std::fabs(v); }
+double magnitude(const std::complex<double>& v) { return std::abs(v); }
+
+}  // namespace
+
+template <typename T>
+LuFactorization<T>::LuFactorization(Matrix<T> a)
+    : n_(a.rows()), lu_(std::move(a)), pivot_(n_) {
+  if (lu_.rows() != lu_.cols())
+    throw std::invalid_argument("LuFactorization: matrix must be square");
+
+  for (std::size_t i = 0; i < n_; ++i) pivot_[i] = i;
+
+  for (std::size_t col = 0; col < n_; ++col) {
+    // Partial pivoting: pick the largest magnitude in this column at/below
+    // the diagonal.
+    std::size_t max_row = col;
+    double max_mag = magnitude(lu_(col, col));
+    for (std::size_t r = col + 1; r < n_; ++r) {
+      const double m = magnitude(lu_(r, col));
+      if (m > max_mag) {
+        max_mag = m;
+        max_row = r;
+      }
+    }
+    if (max_mag == 0.0)
+      throw std::runtime_error("LuFactorization: matrix is singular");
+    if (max_row != col) {
+      for (std::size_t c = 0; c < n_; ++c) std::swap(lu_(col, c), lu_(max_row, c));
+      std::swap(pivot_[col], pivot_[max_row]);
+      pivot_sign_ = -pivot_sign_;
+    }
+
+    const T diag = lu_(col, col);
+    for (std::size_t r = col + 1; r < n_; ++r) {
+      const T factor = lu_(r, col) / diag;
+      lu_(r, col) = factor;  // store L below the diagonal
+      if (factor == T{}) continue;
+      for (std::size_t c = col + 1; c < n_; ++c) lu_(r, c) -= factor * lu_(col, c);
+    }
+  }
+}
+
+template <typename T>
+std::vector<T> LuFactorization<T>::solve(const std::vector<T>& b) const {
+  if (b.size() != n_)
+    throw std::invalid_argument("LuFactorization::solve: rhs size mismatch");
+
+  // Apply the row permutation, then forward- and back-substitute.
+  std::vector<T> x(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] = b[pivot_[i]];
+
+  for (std::size_t i = 1; i < n_; ++i) {
+    T sum = x[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum;
+  }
+  for (std::size_t ii = n_; ii-- > 0;) {
+    T sum = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) sum -= lu_(ii, j) * x[j];
+    x[ii] = sum / lu_(ii, ii);
+  }
+  return x;
+}
+
+template <typename T>
+T LuFactorization<T>::determinant() const {
+  T det = static_cast<T>(pivot_sign_);
+  for (std::size_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return det;
+}
+
+template class LuFactorization<double>;
+template class LuFactorization<std::complex<double>>;
+
+}  // namespace rlcsim::numeric

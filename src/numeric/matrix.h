@@ -1,0 +1,111 @@
+// Dense matrices and LU factorization, real and complex.
+//
+// The MNA simulator assembles small dense systems (tens to a few hundred
+// unknowns for ladder models), so a cache-friendly dense LU with partial
+// pivoting is the right tool — no sparse machinery needed at this scale.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace rlcsim::numeric {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  T& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return (*this)(r, c);
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return (*this)(r, c);
+  }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  Matrix operator*(const Matrix& rhs) const {
+    if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix multiply: shape mismatch");
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const T a = (*this)(i, k);
+        if (a == T{}) continue;
+        for (std::size_t j = 0; j < rhs.cols_; ++j) out(i, j) += a * rhs(k, j);
+      }
+    return out;
+  }
+
+  std::vector<T> operator*(const std::vector<T>& v) const {
+    if (cols_ != v.size()) throw std::invalid_argument("Matrix-vector: shape mismatch");
+    std::vector<T> out(rows_, T{});
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j) out[i] += (*this)(i, j) * v[j];
+    return out;
+  }
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix index out of range");
+  }
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using RealMatrix = Matrix<double>;
+using ComplexMatrix = Matrix<std::complex<double>>;
+
+// LU factorization with partial pivoting, kept separate from Matrix so a
+// factorization can be reused across many right-hand sides (the transient
+// engine re-solves the same matrix every accepted step at fixed step size).
+template <typename T>
+class LuFactorization {
+ public:
+  // Factors a square matrix. Throws std::invalid_argument for non-square
+  // input and std::runtime_error for (numerically) singular matrices.
+  explicit LuFactorization(Matrix<T> a);
+
+  std::size_t size() const { return n_; }
+
+  // Solves A x = b for one right-hand side.
+  std::vector<T> solve(const std::vector<T>& b) const;
+
+  // Determinant from the factorization (product of U's diagonal and pivot sign).
+  T determinant() const;
+
+ private:
+  std::size_t n_ = 0;
+  Matrix<T> lu_;
+  std::vector<std::size_t> pivot_;
+  int pivot_sign_ = 1;
+};
+
+using RealLu = LuFactorization<double>;
+using ComplexLu = LuFactorization<std::complex<double>>;
+
+// Convenience one-shot solve.
+template <typename T>
+std::vector<T> solve(Matrix<T> a, const std::vector<T>& b) {
+  return LuFactorization<T>(std::move(a)).solve(b);
+}
+
+}  // namespace rlcsim::numeric

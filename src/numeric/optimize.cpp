@@ -1,0 +1,242 @@
+#include "numeric/optimize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rlcsim::numeric {
+namespace {
+
+constexpr double kGolden = 0.6180339887498949;  // (sqrt(5) - 1) / 2
+
+}  // namespace
+
+Minimum1D golden_section(const std::function<double(double)>& f, double lo, double hi,
+                         const MinimizeOptions& opt) {
+  if (!(lo < hi)) throw std::invalid_argument("golden_section: lo must be < hi");
+  double a = lo, b = hi;
+  double x1 = b - kGolden * (b - a);
+  double x2 = a + kGolden * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  int it = 0;
+  while (std::fabs(b - a) > opt.x_tolerance && it < opt.max_iterations) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGolden * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGolden * (b - a);
+      f2 = f(x2);
+    }
+    ++it;
+  }
+  const double x = 0.5 * (a + b);
+  return {x, f(x), it};
+}
+
+Minimum1D brent_min(const std::function<double(double)>& f, double lo, double hi,
+                    const MinimizeOptions& opt) {
+  if (!(lo < hi)) throw std::invalid_argument("brent_min: lo must be < hi");
+  // Brent's minimization (Numerical-Recipes-style structure, reimplemented).
+  const double cgold = 1.0 - kGolden;
+  double a = lo, b = hi;
+  double x = a + cgold * (b - a);
+  double w = x, v = x;
+  double fx = f(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+  int it = 0;
+  for (; it < opt.max_iterations; ++it) {
+    const double xm = 0.5 * (a + b);
+    const double tol1 = opt.x_tolerance * std::fabs(x) + 1e-15;
+    const double tol2 = 2.0 * tol1;
+    if (std::fabs(x - xm) <= tol2 - 0.5 * (b - a)) break;
+    bool use_golden = true;
+    if (std::fabs(e) > tol1) {
+      // Parabolic fit through x, v, w.
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double e_prev = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * e_prev) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) d = (xm > x) ? tol1 : -tol1;
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x >= xm) ? a - x : b - x;
+      d = cgold * e;
+    }
+    const double u = (std::fabs(d) >= tol1) ? x + d : x + (d > 0.0 ? tol1 : -tol1);
+    const double fu = f(u);
+    if (fu <= fx) {
+      if (u >= x)
+        a = x;
+      else
+        b = x;
+      v = w; w = x; x = u;
+      fv = fw; fw = fx; fx = fu;
+    } else {
+      if (u < x)
+        a = u;
+      else
+        b = u;
+      if (fu <= fw || w == x) {
+        v = w; w = u;
+        fv = fw; fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  return {x, fx, it};
+}
+
+MinimumND nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                      const std::vector<double>& start,
+                      const std::vector<double>& initial_step,
+                      const MinimizeOptions& opt) {
+  const std::size_t n = start.size();
+  if (n == 0) throw std::invalid_argument("nelder_mead: empty start point");
+  std::vector<double> steps = initial_step;
+  if (steps.size() == 1 && n > 1) steps.assign(n, initial_step.front());
+  if (steps.size() != n)
+    throw std::invalid_argument("nelder_mead: step size count mismatch");
+
+  // Build the initial simplex.
+  std::vector<std::vector<double>> pts(n + 1, start);
+  for (std::size_t i = 0; i < n; ++i) pts[i + 1][i] += steps[i];
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) values[i] = f(pts[i]);
+
+  constexpr double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+  int it = 0;
+  bool converged = false;
+  std::vector<std::size_t> order(n + 1);
+  for (; it < opt.max_iterations; ++it) {
+    for (std::size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+
+    // Convergence: simplex diameter.
+    double diameter = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      diameter = std::max(
+          diameter, std::fabs(pts[order.back()][i] - pts[order.front()][i]));
+    }
+    if (diameter < opt.x_tolerance) {
+      converged = true;
+      break;
+    }
+
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[n - 1];
+
+    // Centroid of all but the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += pts[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double coeff) {
+      std::vector<double> p(n);
+      for (std::size_t d = 0; d < n; ++d)
+        p[d] = centroid[d] + coeff * (pts[worst][d] - centroid[d]);
+      return p;
+    };
+
+    const std::vector<double> reflected = blend(-alpha);
+    const double f_reflected = f(reflected);
+    if (f_reflected < values[best]) {
+      const std::vector<double> expanded = blend(-gamma);
+      const double f_expanded = f(expanded);
+      if (f_expanded < f_reflected) {
+        pts[worst] = expanded;
+        values[worst] = f_expanded;
+      } else {
+        pts[worst] = reflected;
+        values[worst] = f_reflected;
+      }
+      continue;
+    }
+    if (f_reflected < values[second_worst]) {
+      pts[worst] = reflected;
+      values[worst] = f_reflected;
+      continue;
+    }
+    const std::vector<double> contracted = blend(rho);
+    const double f_contracted = f(contracted);
+    if (f_contracted < values[worst]) {
+      pts[worst] = contracted;
+      values[worst] = f_contracted;
+      continue;
+    }
+    // Shrink toward the best point.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (std::size_t d = 0; d < n; ++d)
+        pts[i][d] = pts[best][d] + sigma * (pts[i][d] - pts[best][d]);
+      values[i] = f(pts[i]);
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i)
+    if (values[i] < values[best]) best = i;
+  return {pts[best], values[best], it, converged};
+}
+
+MinimumND grid_refine_2d(const std::function<double(double, double)>& f, double x_lo,
+                         double x_hi, double y_lo, double y_hi, int grid_points,
+                         int refinements) {
+  if (!(x_lo < x_hi) || !(y_lo < y_hi))
+    throw std::invalid_argument("grid_refine_2d: empty rectangle");
+  if (grid_points < 3) throw std::invalid_argument("grid_refine_2d: grid too coarse");
+
+  double best_x = x_lo, best_y = y_lo;
+  double best_value = std::numeric_limits<double>::infinity();
+  int evaluations = 0;
+  for (int r = 0; r < refinements; ++r) {
+    const double dx = (x_hi - x_lo) / (grid_points - 1);
+    const double dy = (y_hi - y_lo) / (grid_points - 1);
+    for (int i = 0; i < grid_points; ++i) {
+      for (int j = 0; j < grid_points; ++j) {
+        const double x = x_lo + i * dx;
+        const double y = y_lo + j * dy;
+        const double value = f(x, y);
+        ++evaluations;
+        if (value < best_value) {
+          best_value = value;
+          best_x = x;
+          best_y = y;
+        }
+      }
+    }
+    // Zoom into a 3-cell window around the incumbent (clamped to the original
+    // rectangle on the first pass only via max/min against current bounds).
+    x_lo = best_x - 1.5 * dx;
+    x_hi = best_x + 1.5 * dx;
+    y_lo = best_y - 1.5 * dy;
+    y_hi = best_y + 1.5 * dy;
+  }
+  return {{best_x, best_y}, best_value, evaluations, true};
+}
+
+}  // namespace rlcsim::numeric

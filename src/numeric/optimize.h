@@ -1,0 +1,55 @@
+// Derivative-free minimization, 1-D and small-N.
+//
+// Used by the repeater-insertion layer to minimize total propagation delay
+// over (h, k) and by the fitting layer as a fallback line search.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace rlcsim::numeric {
+
+struct MinimizeOptions {
+  double x_tolerance = 1e-10;
+  int max_iterations = 500;
+};
+
+struct Minimum1D {
+  double x = 0.0;
+  double value = 0.0;
+  int iterations = 0;
+};
+
+// Golden-section search on a unimodal function over [lo, hi].
+Minimum1D golden_section(const std::function<double(double)>& f, double lo, double hi,
+                         const MinimizeOptions& opt = {});
+
+// Brent's parabolic-interpolation minimizer over [lo, hi]. Faster than golden
+// section on smooth functions, falls back to golden steps when interpolation
+// misbehaves.
+Minimum1D brent_min(const std::function<double(double)>& f, double lo, double hi,
+                    const MinimizeOptions& opt = {});
+
+struct MinimumND {
+  std::vector<double> x;
+  double value = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Nelder–Mead downhill simplex. `initial_step` sets the initial simplex edge
+// lengths per coordinate (a single value is broadcast).
+MinimumND nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                      const std::vector<double>& start,
+                      const std::vector<double>& initial_step,
+                      const MinimizeOptions& opt = {});
+
+// Robust 2-D minimizer over a rectangle: coarse grid scan followed by
+// iterative grid refinement around the incumbent. Immune to the multiple
+// shallow valleys that defeat simplex methods near constraint edges; used to
+// seed (and to verify) Nelder–Mead in the repeater optimizer.
+MinimumND grid_refine_2d(const std::function<double(double, double)>& f,
+                         double x_lo, double x_hi, double y_lo, double y_hi,
+                         int grid_points = 24, int refinements = 12);
+
+}  // namespace rlcsim::numeric

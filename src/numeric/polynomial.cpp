@@ -1,0 +1,125 @@
+#include "numeric/polynomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlcsim::numeric {
+
+double polyval(const std::vector<double>& coeffs, double x) {
+  double acc = 0.0;
+  for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) acc = acc * x + *it;
+  return acc;
+}
+
+std::complex<double> polyval(const std::vector<double>& coeffs,
+                             std::complex<double> x) {
+  std::complex<double> acc = 0.0;
+  for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) acc = acc * x + *it;
+  return acc;
+}
+
+std::vector<double> polyder(const std::vector<double>& coeffs) {
+  if (coeffs.size() <= 1) return {0.0};
+  std::vector<double> d(coeffs.size() - 1);
+  for (std::size_t i = 1; i < coeffs.size(); ++i)
+    d[i - 1] = coeffs[i] * static_cast<double>(i);
+  return d;
+}
+
+QuadraticRoots solve_quadratic(double a, double b, double c) {
+  if (a == 0.0) throw std::invalid_argument("solve_quadratic: a == 0");
+  const double disc = b * b - 4.0 * a * c;
+  if (disc >= 0.0) {
+    // Numerically stable form: avoid cancellation between -b and sqrt(disc).
+    const double sq = std::sqrt(disc);
+    const double q = -0.5 * (b + (b >= 0.0 ? sq : -sq));
+    const double r1 = q / a;
+    const double r2 = (q != 0.0) ? c / q : (-b / a - r1);
+    return {std::complex<double>(r1, 0.0), std::complex<double>(r2, 0.0)};
+  }
+  const double real = -b / (2.0 * a);
+  const double imag = std::sqrt(-disc) / (2.0 * a);
+  return {std::complex<double>(real, imag), std::complex<double>(real, -imag)};
+}
+
+std::vector<std::complex<double>> solve_cubic(double a, double b, double c, double d) {
+  if (a == 0.0) throw std::invalid_argument("solve_cubic: a == 0");
+  // Depressed cubic t^3 + p t + q with x = t - b / (3a).
+  const double inv_a = 1.0 / a;
+  const double b1 = b * inv_a, c1 = c * inv_a, d1 = d * inv_a;
+  const double shift = b1 / 3.0;
+  const double p = c1 - b1 * b1 / 3.0;
+  const double q = 2.0 * b1 * b1 * b1 / 27.0 - b1 * c1 / 3.0 + d1;
+  const double disc = q * q / 4.0 + p * p * p / 27.0;
+
+  std::vector<std::complex<double>> roots;
+  roots.reserve(3);
+  if (disc > 0.0) {
+    // One real root, two complex conjugates.
+    const double sq = std::sqrt(disc);
+    const double u = std::cbrt(-q / 2.0 + sq);
+    const double v = std::cbrt(-q / 2.0 - sq);
+    const double t1 = u + v;
+    roots.emplace_back(t1 - shift, 0.0);
+    const double real = -t1 / 2.0 - shift;
+    const double imag = std::sqrt(3.0) / 2.0 * (u - v);
+    roots.emplace_back(real, imag);
+    roots.emplace_back(real, -imag);
+  } else {
+    // Three real roots (trigonometric method).
+    const double r = std::max(1e-300, std::sqrt(std::max(0.0, -p * p * p / 27.0)));
+    const double phi = std::acos(std::clamp(-q / (2.0 * r), -1.0, 1.0));
+    const double m = 2.0 * std::sqrt(std::max(0.0, -p / 3.0));
+    for (int k = 0; k < 3; ++k)
+      roots.emplace_back(m * std::cos((phi + 2.0 * M_PI * k) / 3.0) - shift, 0.0);
+  }
+  return roots;
+}
+
+std::vector<std::complex<double>> polyroots(const std::vector<double>& coeffs,
+                                            int max_iterations, double tolerance) {
+  // Strip trailing zero coefficients (degree reduction).
+  std::vector<double> c = coeffs;
+  while (c.size() > 1 && c.back() == 0.0) c.pop_back();
+  const std::size_t degree = c.size() - 1;
+  if (degree == 0) return {};
+  if (degree == 1) return {std::complex<double>(-c[0] / c[1], 0.0)};
+  if (degree == 2) {
+    const QuadraticRoots q = solve_quadratic(c[2], c[1], c[0]);
+    return {q.r1, q.r2};
+  }
+
+  // Durand–Kerner: start from non-real, non-symmetric seeds on a circle whose
+  // radius follows the Cauchy bound.
+  double bound = 0.0;
+  for (std::size_t i = 0; i < degree; ++i)
+    bound = std::max(bound, std::fabs(c[i] / c[degree]));
+  const double radius = 1.0 + bound;
+  std::vector<std::complex<double>> z(degree);
+  const std::complex<double> seed(0.4, 0.9);
+  std::complex<double> zk = 1.0;
+  for (std::size_t i = 0; i < degree; ++i) {
+    zk *= seed;
+    z[i] = zk * radius;
+  }
+
+  for (int it = 0; it < max_iterations; ++it) {
+    double max_step = 0.0;
+    for (std::size_t i = 0; i < degree; ++i) {
+      std::complex<double> denom = c[degree];
+      for (std::size_t j = 0; j < degree; ++j) {
+        if (j == i) continue;
+        denom *= (z[i] - z[j]);
+      }
+      if (denom == std::complex<double>(0.0, 0.0)) continue;
+      const std::complex<double> step = polyval(c, z[i]) / denom;
+      z[i] -= step;
+      max_step = std::max(max_step, std::abs(step));
+    }
+    if (max_step < tolerance) break;
+  }
+  return z;
+}
+
+}  // namespace rlcsim::numeric

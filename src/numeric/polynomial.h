@@ -1,0 +1,40 @@
+// Small-degree polynomial utilities.
+//
+// Coefficients are stored lowest-degree first: p(x) = c[0] + c[1] x + ... .
+// The transfer-function layer uses these for the moment-matched two-pole
+// model (quadratic denominators) and for pole extraction.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace rlcsim::numeric {
+
+// Horner evaluation of p(x) with real coefficients (lowest degree first).
+double polyval(const std::vector<double>& coeffs, double x);
+std::complex<double> polyval(const std::vector<double>& coeffs, std::complex<double> x);
+
+// Coefficients of dp/dx.
+std::vector<double> polyder(const std::vector<double>& coeffs);
+
+// Roots of a x^2 + b x + c = 0 (note: highest-degree-first arguments, matching
+// the school form). Returns both roots; they are complex conjugates when the
+// discriminant is negative. Throws std::invalid_argument when a == 0.
+struct QuadraticRoots {
+  std::complex<double> r1;
+  std::complex<double> r2;
+};
+QuadraticRoots solve_quadratic(double a, double b, double c);
+
+// Real-coefficient cubic a x^3 + b x^2 + c x + d = 0 via the trigonometric /
+// Cardano method. Throws std::invalid_argument when a == 0.
+std::vector<std::complex<double>> solve_cubic(double a, double b, double c, double d);
+
+// All (complex) roots of an arbitrary real polynomial via the Durand–Kerner
+// iteration. Intended for the low-degree (<10) denominators that arise from
+// lumped approximations; not a production eigensolver.
+std::vector<std::complex<double>> polyroots(const std::vector<double>& coeffs,
+                                            int max_iterations = 500,
+                                            double tolerance = 1e-12);
+
+}  // namespace rlcsim::numeric

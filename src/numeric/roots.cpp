@@ -1,0 +1,160 @@
+#include "numeric/roots.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace rlcsim::numeric {
+namespace {
+
+void require_finite(double v, const char* name) {
+  if (!std::isfinite(v))
+    throw std::invalid_argument(std::string(name) + " must be finite");
+}
+
+}  // namespace
+
+Bracket bracket_root(const std::function<double(double)>& f, double lo, double hi,
+                     int max_expansions) {
+  require_finite(lo, "lo");
+  require_finite(hi, "hi");
+  if (lo >= hi) throw std::invalid_argument("bracket_root: lo must be < hi");
+
+  double flo = f(lo);
+  double fhi = f(hi);
+  constexpr double kGrow = 1.6;
+  for (int i = 0; i < max_expansions; ++i) {
+    if (flo == 0.0) return {lo, lo};
+    if (fhi == 0.0) return {hi, hi};
+    if ((flo < 0.0) != (fhi < 0.0)) return {lo, hi};
+    // Expand the end with the smaller |f| — it is closer to a crossing.
+    if (std::fabs(flo) < std::fabs(fhi)) {
+      lo += kGrow * (lo - hi);
+      flo = f(lo);
+    } else {
+      hi += kGrow * (hi - lo);
+      fhi = f(hi);
+    }
+  }
+  throw std::runtime_error("bracket_root: no sign change found");
+}
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              const RootOptions& opt) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo < 0.0) == (fhi < 0.0))
+    throw std::invalid_argument("bisect: interval does not bracket a root");
+
+  for (int i = 0; i < opt.max_iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0 || std::fabs(hi - lo) < opt.x_tolerance ||
+        (opt.f_tolerance > 0.0 && std::fabs(fmid) < opt.f_tolerance))
+      return mid;
+    if ((fmid < 0.0) == (flo < 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+      fhi = fmid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double brent(const std::function<double(double)>& f, double lo, double hi,
+             const RootOptions& opt) {
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  if ((fa < 0.0) == (fb < 0.0))
+    throw std::invalid_argument("brent: interval does not bracket a root");
+
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (int i = 0; i < opt.max_iterations; ++i) {
+    if ((fb < 0.0) == (fc < 0.0)) {
+      c = a;
+      fc = fa;
+      d = e = b - a;
+    }
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol = 2.0 * std::numeric_limits<double>::epsilon() * std::fabs(b) +
+                       0.5 * opt.x_tolerance;
+    const double half = 0.5 * (c - b);
+    if (std::fabs(half) <= tol || fb == 0.0 ||
+        (opt.f_tolerance > 0.0 && std::fabs(fb) < opt.f_tolerance))
+      return b;
+
+    if (std::fabs(e) >= tol && std::fabs(fa) > std::fabs(fb)) {
+      // Attempt inverse quadratic interpolation (secant when a == c).
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * half * s;
+        q = 1.0 - s;
+      } else {
+        const double r1 = fa / fc;
+        const double r2 = fb / fc;
+        p = s * (2.0 * half * r1 * (r1 - r2) - (b - a) * (r2 - 1.0));
+        q = (r1 - 1.0) * (r2 - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      if (2.0 * p < std::min(3.0 * half * q - std::fabs(tol * q), std::fabs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = half;
+        e = d;
+      }
+    } else {
+      d = half;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    b += (std::fabs(d) > tol) ? d : (half > 0.0 ? tol : -tol);
+    fb = f(b);
+  }
+  return b;
+}
+
+double newton_safe(const std::function<double(double)>& f,
+                   const std::function<double(double)>& df, double lo, double hi,
+                   const RootOptions& opt) {
+  double flo = f(lo), fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo < 0.0) == (fhi < 0.0))
+    throw std::invalid_argument("newton_safe: interval does not bracket a root");
+  // Orient so f(lo) < 0.
+  if (flo > 0.0) std::swap(lo, hi);
+
+  double x = 0.5 * (lo + hi);
+  for (int i = 0; i < opt.max_iterations; ++i) {
+    const double fx = f(x);
+    if (fx == 0.0 || (opt.f_tolerance > 0.0 && std::fabs(fx) < opt.f_tolerance)) return x;
+    if (fx < 0.0)
+      lo = x;
+    else
+      hi = x;
+
+    const double dfx = df(x);
+    double next = (dfx != 0.0) ? x - fx / dfx : 0.5 * (lo + hi);
+    // Reject Newton steps that leave the bracket.
+    if ((next - lo) * (next - hi) >= 0.0) next = 0.5 * (lo + hi);
+    if (std::fabs(next - x) < opt.x_tolerance) return next;
+    x = next;
+  }
+  return x;
+}
+
+}  // namespace rlcsim::numeric

@@ -1,0 +1,44 @@
+// Scalar root finding on black-box functions.
+//
+// All routines work on `std::function<double(double)>`-compatible callables
+// and report failures by exception (std::invalid_argument for precondition
+// violations, std::runtime_error for non-convergence) — consistent with the
+// rest of the numeric layer.
+#pragma once
+
+#include <functional>
+
+namespace rlcsim::numeric {
+
+struct RootOptions {
+  double x_tolerance = 1e-12;   // absolute tolerance on the root location
+  double f_tolerance = 0.0;     // stop when |f| falls below this (0 = ignore)
+  int max_iterations = 200;
+};
+
+// Expands/bisects outward from [lo, hi] until f(lo) and f(hi) have opposite
+// signs. Returns the bracketing interval. Throws std::runtime_error if no
+// sign change is found within `max_expansions` geometric expansions.
+struct Bracket {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Bracket bracket_root(const std::function<double(double)>& f, double lo, double hi,
+                     int max_expansions = 60);
+
+// Classic bisection on a sign-changing interval. Robust, linear convergence.
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              const RootOptions& opt = {});
+
+// Brent's method (inverse quadratic interpolation + secant + bisection
+// safeguard). The workhorse root finder of the library.
+double brent(const std::function<double(double)>& f, double lo, double hi,
+             const RootOptions& opt = {});
+
+// Newton's method with a bisection safeguard: requires a bracketing interval
+// in addition to the derivative; never leaves the bracket.
+double newton_safe(const std::function<double(double)>& f,
+                   const std::function<double(double)>& df, double lo, double hi,
+                   const RootOptions& opt = {});
+
+}  // namespace rlcsim::numeric

@@ -1,0 +1,64 @@
+#include "numeric/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlcsim::numeric {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("mean: empty input");
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double rms(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("rms: empty input");
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double max_abs(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::sort(v.begin(), v.end());
+  const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+ErrorSummary compare(const std::vector<double>& a, const std::vector<double>& b,
+                     double rel_floor) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("compare: size mismatch or empty");
+  ErrorSummary s;
+  s.count = a.size();
+  double abs_acc = 0.0, rel_acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double abs_err = std::fabs(a[i] - b[i]);
+    const double rel = abs_err / std::max(std::fabs(b[i]), rel_floor);
+    s.max_abs = std::max(s.max_abs, abs_err);
+    s.max_rel = std::max(s.max_rel, rel);
+    abs_acc += abs_err;
+    rel_acc += rel;
+  }
+  s.mean_abs = abs_acc / static_cast<double>(s.count);
+  s.mean_rel = rel_acc / static_cast<double>(s.count);
+  return s;
+}
+
+double rel_error(double value, double reference, double rel_floor) {
+  return std::fabs(value - reference) / std::max(std::fabs(reference), rel_floor);
+}
+
+}  // namespace rlcsim::numeric

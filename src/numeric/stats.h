@@ -1,0 +1,35 @@
+// Error metrics and small descriptive statistics.
+//
+// Every reproduction bench reports model-vs-reference deviations through
+// these helpers so the output format (and the definition of "% error") is
+// uniform across tables and figures.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rlcsim::numeric {
+
+double mean(const std::vector<double>& v);
+double rms(const std::vector<double>& v);
+double max_abs(const std::vector<double>& v);
+
+// Percentile with linear interpolation between order statistics, p in [0,100].
+double percentile(std::vector<double> v, double p);
+
+// |a - b| element-wise metrics. Relative errors are |a-b| / max(|b|, floor),
+// with `floor` guarding near-zero references.
+struct ErrorSummary {
+  double max_abs = 0.0;
+  double mean_abs = 0.0;
+  double max_rel = 0.0;   // as a fraction (0.05 == 5%)
+  double mean_rel = 0.0;
+  std::size_t count = 0;
+};
+ErrorSummary compare(const std::vector<double>& a, const std::vector<double>& b,
+                     double rel_floor = 1e-30);
+
+// Convenience single-pair relative error as a fraction.
+double rel_error(double value, double reference, double rel_floor = 1e-30);
+
+}  // namespace rlcsim::numeric

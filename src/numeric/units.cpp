@@ -1,0 +1,97 @@
+#include "numeric/units.h"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <limits>
+
+namespace rlcsim::units {
+namespace {
+
+struct Prefix {
+  double scale;
+  const char* symbol;
+};
+
+// Ordered largest-to-smallest for the engineering formatter.
+constexpr std::array<Prefix, 11> kPrefixes{{
+    {1e12, "T"},
+    {1e9, "G"},
+    {1e6, "M"},
+    {1e3, "k"},
+    {1.0, ""},
+    {1e-3, "m"},
+    {1e-6, "u"},
+    {1e-9, "n"},
+    {1e-12, "p"},
+    {1e-15, "f"},
+    {1e-18, "a"},
+}};
+
+}  // namespace
+
+std::string eng(double value, const std::string& unit, int significant_digits) {
+  if (value == 0.0) return "0 " + unit;
+  if (!std::isfinite(value)) return std::to_string(value) + " " + unit;
+
+  const double magnitude = std::fabs(value);
+  const Prefix* chosen = &kPrefixes.back();
+  for (const Prefix& p : kPrefixes) {
+    if (magnitude >= p.scale) {
+      chosen = &p;
+      break;
+    }
+  }
+  const double scaled = value / chosen->scale;
+  // Significant digits -> decimals: scaled is in [1, 1000).
+  int integer_digits = 1;
+  const double abs_scaled = std::fabs(scaled);
+  if (abs_scaled >= 100.0)
+    integer_digits = 3;
+  else if (abs_scaled >= 10.0)
+    integer_digits = 2;
+  const int decimals = std::max(0, significant_digits - integer_digits);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f %s%s", decimals, scaled, chosen->symbol,
+                unit.c_str());
+  return buf;
+}
+
+double parse_spice_number(const std::string& text) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  if (text.empty()) return nan;
+
+  // Numeric part.
+  std::size_t pos = 0;
+  double base = 0.0;
+  try {
+    base = std::stod(text, &pos);
+  } catch (...) {
+    return nan;
+  }
+  if (pos >= text.size()) return base;
+
+  // Suffix part: lower-case it, then match the longest known scale prefix.
+  std::string suffix;
+  suffix.reserve(text.size() - pos);
+  for (std::size_t i = pos; i < text.size(); ++i)
+    suffix.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(text[i]))));
+
+  // "meg" must be checked before "m".
+  if (suffix.rfind("meg", 0) == 0) return base * 1e6;
+  switch (suffix.front()) {
+    case 'f': return base * 1e-15;
+    case 'p': return base * 1e-12;
+    case 'n': return base * 1e-9;
+    case 'u': return base * 1e-6;
+    case 'm': return base * 1e-3;
+    case 'k': return base * 1e3;
+    case 'g': return base * 1e9;
+    case 't': return base * 1e12;
+    default:
+      // Unknown letter: SPICE convention treats it as a unit word (e.g. "5V").
+      return std::isalpha(static_cast<unsigned char>(suffix.front())) ? base : nan;
+  }
+}
+
+}  // namespace rlcsim::units

@@ -1,0 +1,56 @@
+// SI unit helpers for electrical quantities.
+//
+// The library works in base SI units throughout (ohms, henries, farads,
+// seconds, meters). These helpers exist so that example and bench code can
+// state values the way a circuit designer writes them ("500 ohm", "1 pF",
+// "25 ps/mm") and print results in engineering notation.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace rlcsim::units {
+
+// Multiplicative scale factors. Usage: `double c = 1.0 * pico;  // 1 pF`.
+inline constexpr double femto = 1e-15;
+inline constexpr double pico = 1e-12;
+inline constexpr double nano = 1e-9;
+inline constexpr double micro = 1e-6;
+inline constexpr double milli = 1e-3;
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+
+// User-defined literals for the quantities this library actually uses.
+// They attach no type (everything stays `double`, matching EDA convention of
+// raw SI values), only scale.
+namespace literals {
+constexpr double operator""_ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kohm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_F(long double v) { return static_cast<double>(v); }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_H(long double v) { return static_cast<double>(v); }
+constexpr double operator""_nH(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pH(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_m(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mm(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+}  // namespace literals
+
+// Formats `value` in engineering notation with an SI prefix, e.g.
+// eng(3.3e-10, "s") == "330 ps". Values of exactly zero print as "0 <unit>".
+std::string eng(double value, const std::string& unit, int significant_digits = 4);
+
+// Parses a SPICE-style scaled number: "1p", "2.5n", "3meg", "4k", "10u".
+// Case-insensitive. Returns NaN on malformed input (SPICE parsers are
+// traditionally permissive; the netlist parser reports the error with
+// context). Recognized suffixes: f, p, n, u, m, k, meg, g, t and an optional
+// trailing unit word which is ignored (e.g. "5pF" -> 5e-12).
+double parse_spice_number(const std::string& text);
+
+}  // namespace rlcsim::units

@@ -1,0 +1,155 @@
+#include "sim/ac.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/matrix.h"
+#include "numeric/roots.h"
+#include "sim/mna.h"
+
+namespace rlcsim::sim {
+namespace {
+
+using Complex = std::complex<double>;
+
+void stamp_conductance(numeric::ComplexMatrix& m, NodeId a, NodeId b, Complex g) {
+  if (a != kGround) {
+    m(a, a) += g;
+    if (b != kGround) {
+      m(a, b) -= g;
+      m(b, a) -= g;
+    }
+  }
+  if (b != kGround) m(b, b) += g;
+}
+
+// Builds and solves the complex MNA system at angular frequency w with unit
+// excitation on `source_index`; returns the full unknown vector.
+std::vector<Complex> solve_at(const Circuit& circuit, const MnaAssembler& layout,
+                              std::size_t source_index, double w) {
+  const std::size_t n = layout.unknown_count();
+  numeric::ComplexMatrix m(n, n);
+  const Complex s(0.0, w);
+
+  for (const auto& r : circuit.resistors())
+    stamp_conductance(m, r.n1, r.n2, Complex(1.0 / r.resistance, 0.0));
+  for (const auto& c : circuit.capacitors())
+    stamp_conductance(m, c.n1, c.n2, s * c.capacitance);
+  for (const auto& b : circuit.buffers()) {
+    stamp_conductance(m, b.output, kGround, Complex(1.0 / b.output_resistance, 0.0));
+    if (b.input_capacitance > 0.0)
+      stamp_conductance(m, b.input, kGround, s * b.input_capacitance);
+  }
+
+  const auto& inductors = circuit.inductors();
+  for (std::size_t k = 0; k < inductors.size(); ++k) {
+    const auto& l = inductors[k];
+    const std::size_t j = layout.inductor_branch(k);
+    if (l.n1 != kGround) {
+      m(l.n1, j) += 1.0;
+      m(j, l.n1) += 1.0;
+    }
+    if (l.n2 != kGround) {
+      m(l.n2, j) -= 1.0;
+      m(j, l.n2) -= 1.0;
+    }
+    m(j, j) -= s * l.inductance;
+  }
+  for (const auto& mutual : circuit.mutuals()) {
+    const std::size_t ja = layout.inductor_branch(mutual.inductor_a);
+    const std::size_t jb = layout.inductor_branch(mutual.inductor_b);
+    m(ja, jb) -= s * mutual.mutual;
+    m(jb, ja) -= s * mutual.mutual;
+  }
+
+  const auto& vsources = circuit.voltage_sources();
+  std::vector<Complex> rhs(n, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < vsources.size(); ++k) {
+    const auto& v = vsources[k];
+    const std::size_t j = layout.vsource_branch(k);
+    if (v.positive != kGround) {
+      m(v.positive, j) += 1.0;
+      m(j, v.positive) += 1.0;
+    }
+    if (v.negative != kGround) {
+      m(v.negative, j) -= 1.0;
+      m(j, v.negative) -= 1.0;
+    }
+    if (k == source_index) rhs[j] = Complex(1.0, 0.0);
+  }
+  // AC current sources are not excited (the API drives one V source).
+
+  return numeric::ComplexLu(std::move(m)).solve(rhs);
+}
+
+std::size_t find_source(const Circuit& circuit, const std::string& name) {
+  const auto& vsources = circuit.voltage_sources();
+  for (std::size_t i = 0; i < vsources.size(); ++i)
+    if (vsources[i].name == name) return i;
+  throw std::invalid_argument("ac_transfer: no voltage source named '" + name + "'");
+}
+
+}  // namespace
+
+double AcSample::magnitude_db() const { return 20.0 * std::log10(magnitude()); }
+
+double AcSample::phase_deg() const {
+  return std::arg(value) * 180.0 / std::numbers::pi;
+}
+
+std::vector<AcSample> ac_transfer(const Circuit& circuit,
+                                  const std::string& source_name,
+                                  const std::string& node,
+                                  const std::vector<double>& frequencies) {
+  const MnaAssembler layout(circuit);
+  const std::size_t source = find_source(circuit, source_name);
+  const auto node_id = circuit.find_node(node);
+  if (!node_id || *node_id == kGround)
+    throw std::invalid_argument("ac_transfer: unknown (or ground) node '" + node + "'");
+
+  std::vector<AcSample> out;
+  out.reserve(frequencies.size());
+  for (double f : frequencies) {
+    if (!(f >= 0.0)) throw std::invalid_argument("ac_transfer: negative frequency");
+    const auto x = solve_at(circuit, layout, source, 2.0 * std::numbers::pi * f);
+    out.push_back({f, x[static_cast<std::size_t>(*node_id)]});
+  }
+  return out;
+}
+
+std::complex<double> ac_transfer_at(const Circuit& circuit,
+                                    const std::string& source_name,
+                                    const std::string& node, double frequency) {
+  return ac_transfer(circuit, source_name, node, {frequency}).front().value;
+}
+
+std::vector<double> log_frequencies(double f_lo, double f_hi, int points) {
+  if (!(f_lo > 0.0) || !(f_hi > f_lo) || points < 2)
+    throw std::invalid_argument("log_frequencies: need 0 < f_lo < f_hi, points >= 2");
+  std::vector<double> out(points);
+  const double ratio = std::log(f_hi / f_lo);
+  for (int i = 0; i < points; ++i)
+    out[i] = f_lo * std::exp(ratio * i / (points - 1));
+  return out;
+}
+
+double bandwidth_3db(const Circuit& circuit, const std::string& source_name,
+                     const std::string& node, double f_lo, double f_hi) {
+  const double dc_mag = std::abs(ac_transfer_at(circuit, source_name, node, f_lo));
+  const double target = dc_mag / std::sqrt(2.0);
+  const auto below = [&](double f) {
+    return std::abs(ac_transfer_at(circuit, source_name, node, f)) - target;
+  };
+  // Scan log-spaced points for the first drop below the target, then refine.
+  const auto freqs = log_frequencies(f_lo, f_hi, 60);
+  for (std::size_t i = 1; i < freqs.size(); ++i) {
+    if (below(freqs[i]) < 0.0) {
+      return numeric::brent(below, freqs[i - 1], freqs[i],
+                            {.x_tolerance = freqs[i] * 1e-9});
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace rlcsim::sim

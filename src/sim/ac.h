@@ -1,0 +1,52 @@
+// AC (small-signal frequency-domain) analysis.
+//
+// Solves the complex MNA system at s = j*2*pi*f with one chosen voltage
+// source set to 1 V (all other independent sources zeroed) and returns the
+// node transfer function H(f) = V(node)/V(source). Buffers contribute their
+// input capacitance and output conductance (quiescent output stage).
+//
+// This shares the element stamps' topology with the transient engine but
+// uses the true admittances sC and sL instead of companion models, so
+// AC-vs-transient agreement is a genuine cross-check of the integrator, and
+// AC-vs-ABCD agreement (tline/two_port.h) a cross-check of the stamps.
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "sim/circuit.h"
+
+namespace rlcsim::sim {
+
+struct AcSample {
+  double frequency = 0.0;  // Hz
+  std::complex<double> value;
+
+  double magnitude() const { return std::abs(value); }
+  double magnitude_db() const;
+  double phase_deg() const;
+};
+
+// Transfer from `source_name` (a voltage source) to `node`. Throws
+// std::invalid_argument if the source or node does not exist.
+std::vector<AcSample> ac_transfer(const Circuit& circuit,
+                                  const std::string& source_name,
+                                  const std::string& node,
+                                  const std::vector<double>& frequencies);
+
+// Convenience single-frequency version.
+std::complex<double> ac_transfer_at(const Circuit& circuit,
+                                    const std::string& source_name,
+                                    const std::string& node, double frequency);
+
+// Logarithmically spaced frequency grid [f_lo, f_hi], points >= 2.
+std::vector<double> log_frequencies(double f_lo, double f_hi, int points);
+
+// -3 dB bandwidth of a low-pass transfer: the lowest frequency where |H|
+// falls below |H(DC)|/sqrt(2), refined by bisection. Returns 0 if it never
+// falls within [f_lo, f_hi].
+double bandwidth_3db(const Circuit& circuit, const std::string& source_name,
+                     const std::string& node, double f_lo, double f_hi);
+
+}  // namespace rlcsim::sim

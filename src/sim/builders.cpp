@@ -1,0 +1,229 @@
+#include "sim/builders.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tline/rc_line.h"
+
+namespace rlcsim::sim {
+
+void add_rlc_ladder(Circuit& circuit, const std::string& prefix, const std::string& in,
+                    const std::string& out, const tline::LineParams& line,
+                    int segments) {
+  if (segments < 1) throw std::invalid_argument("add_rlc_ladder: segments must be >= 1");
+  tline::validate_rc(line);
+  const double n = static_cast<double>(segments);
+  const double r_seg = line.total_resistance / n;
+  const double l_seg = line.total_inductance / n;
+  const double c_half = line.total_capacitance / (2.0 * n);
+
+  std::string near = in;
+  for (int i = 0; i < segments; ++i) {
+    const std::string tag = prefix + "." + std::to_string(i);
+    const std::string far = (i == segments - 1) ? out : prefix + ".n" + std::to_string(i);
+    circuit.add_capacitor(near, "0", c_half, 0.0, tag + ".cn");
+    if (l_seg > 0.0) {
+      const std::string mid = tag + ".m";
+      circuit.add_resistor(near, mid, r_seg, tag + ".r");
+      circuit.add_inductor(mid, far, l_seg, 0.0, tag + ".l");
+    } else {
+      circuit.add_resistor(near, far, r_seg, tag + ".r");
+    }
+    circuit.add_capacitor(far, "0", c_half, 0.0, tag + ".cf");
+    near = far;
+  }
+}
+
+Circuit build_gate_line_load(const tline::GateLineLoad& system, int segments,
+                             double vdd, double source_rise) {
+  tline::validate(system);
+  Circuit circuit;
+  circuit.add_voltage_source("vin", "0", StepSpec{0.0, vdd, 0.0, source_rise}, "vsrc");
+  if (system.driver_resistance > 0.0) {
+    circuit.add_resistor("vin", "drv", system.driver_resistance, "rtr");
+  } else {
+    // Zero driver resistance: the ladder hangs directly off the source.
+    // A tiny series resistance keeps the topology uniform without affecting
+    // the response (1e-6 of the line resistance or 1 micro-ohm).
+    const double tiny = std::max(1e-6, 1e-9 * system.line.total_resistance);
+    circuit.add_resistor("vin", "drv", tiny, "rtr");
+  }
+  add_rlc_ladder(circuit, "line", "drv", "out", system.line, segments);
+  if (system.load_capacitance > 0.0)
+    circuit.add_capacitor("out", "0", system.load_capacitance, 0.0, "cload");
+  return circuit;
+}
+
+namespace {
+
+// A robust simulation horizon for a gate + line + load system: several times
+// the larger of the Elmore delay and the time of flight.
+double default_horizon(const tline::GateLineLoad& system) {
+  const double elmore = tline::elmore_delay(
+      system.driver_resistance, system.line.total_resistance,
+      system.line.total_capacitance, system.load_capacitance);
+  const double tof = std::sqrt(system.line.total_inductance *
+                               (system.line.total_capacitance + system.load_capacitance));
+  return 8.0 * std::max(elmore, tof);
+}
+
+}  // namespace
+
+double simulate_gate_line_delay(const tline::GateLineLoad& system, int segments,
+                                double t_stop, double dt, double threshold) {
+  const Circuit circuit = build_gate_line_load(system, segments);
+  TransientOptions options;
+  options.t_stop = (t_stop > 0.0) ? t_stop : default_horizon(system);
+  options.dt = dt;
+  TransientResult result = run_transient(circuit, options);
+  Trace out = result.waveforms.trace("out");
+
+  // If the horizon was too short (response hasn't crossed), extend and retry.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const auto crossing = out.crossing(threshold * 1.0, 0.0, +1);
+    if (crossing) return *crossing;
+    options.t_stop *= 4.0;
+    options.dt = dt;  // keep caller's dt policy (0 re-derives from t_stop)
+    result = run_transient(circuit, options);
+    out = result.waveforms.trace("out");
+  }
+  throw std::runtime_error(
+      "simulate_gate_line_delay: output never crossed the threshold");
+}
+
+void add_coupled_lines(Circuit& circuit, const std::string& prefix,
+                       const std::string& in_a, const std::string& out_a,
+                       const std::string& in_b, const std::string& out_b,
+                       const CoupledLinesSpec& spec) {
+  if (spec.segments < 1)
+    throw std::invalid_argument("add_coupled_lines: segments must be >= 1");
+  if (spec.coupling_capacitance < 0.0)
+    throw std::invalid_argument("add_coupled_lines: coupling capacitance must be >= 0");
+  tline::validate(spec.line);
+
+  const std::string pa = prefix + ".a";
+  const std::string pb = prefix + ".b";
+  add_rlc_ladder(circuit, pa, in_a, out_a, spec.line, spec.segments);
+  add_rlc_ladder(circuit, pb, in_b, out_b, spec.line, spec.segments);
+
+  // Line-to-line capacitance between corresponding ladder nodes. The ladder
+  // names its far nodes "<prefix>.nK" (and the last one is `out`).
+  const auto node_of = [&](const std::string& p, const std::string& out, int i) {
+    return (i == spec.segments - 1) ? out : p + ".n" + std::to_string(i);
+  };
+  const double cc_seg = spec.coupling_capacitance / spec.segments;
+  if (cc_seg > 0.0) {
+    for (int i = 0; i < spec.segments; ++i) {
+      circuit.add_capacitor(node_of(pa, out_a, i), node_of(pb, out_b, i), cc_seg,
+                            0.0, prefix + ".cc" + std::to_string(i));
+    }
+  }
+  // Inductive coupling between corresponding segment inductors (named
+  // "<prefix>.<i>.l" by add_rlc_ladder).
+  if (spec.inductive_k > 0.0) {
+    for (int i = 0; i < spec.segments; ++i) {
+      const std::string tag = "." + std::to_string(i) + ".l";
+      circuit.add_mutual(pa + tag, pb + tag, spec.inductive_k,
+                         prefix + ".k" + std::to_string(i));
+    }
+  }
+}
+
+Circuit build_crosstalk_pair(const CoupledLinesSpec& spec, double driver_resistance,
+                             double load_capacitance, double vdd) {
+  if (!(driver_resistance > 0.0))
+    throw std::invalid_argument("build_crosstalk_pair: driver resistance must be > 0");
+  Circuit circuit;
+  circuit.add_voltage_source("agg.vin", "0", StepSpec{0.0, vdd, 0.0, 0.0}, "vagg");
+  circuit.add_resistor("agg.vin", "agg.drv", driver_resistance, "agg.rtr");
+  // Quiet victim: held low through an identical driver.
+  circuit.add_voltage_source("vic.vin", "0", DcSpec{0.0}, "vvic");
+  circuit.add_resistor("vic.vin", "vic.drv", driver_resistance, "vic.rtr");
+
+  add_coupled_lines(circuit, "xt", "agg.drv", "agg.out", "vic.drv", "vic.out", spec);
+
+  if (load_capacitance > 0.0) {
+    circuit.add_capacitor("agg.out", "0", load_capacitance, 0.0, "agg.cl");
+    circuit.add_capacitor("vic.out", "0", load_capacitance, 0.0, "vic.cl");
+  }
+  return circuit;
+}
+
+double simulate_crosstalk_peak(const CoupledLinesSpec& spec,
+                               double driver_resistance, double load_capacitance,
+                               double t_stop) {
+  const Circuit circuit =
+      build_crosstalk_pair(spec, driver_resistance, load_capacitance);
+  const tline::GateLineLoad one{driver_resistance, spec.line, load_capacitance};
+  TransientOptions options;
+  options.t_stop = (t_stop > 0.0) ? t_stop : default_horizon(one);
+  const TransientResult result = run_transient(circuit, options);
+  const Trace victim = result.waveforms.trace("vic.out");
+  return std::max(std::fabs(victim.max_value()), std::fabs(victim.min_value()));
+}
+
+Circuit build_repeater_chain(const RepeaterChainSpec& spec) {
+  tline::validate_rc(spec.line);
+  if (spec.sections < 1)
+    throw std::invalid_argument("build_repeater_chain: sections must be >= 1");
+  if (!(spec.size > 0.0))
+    throw std::invalid_argument("build_repeater_chain: size h must be > 0");
+  if (!(spec.r0 > 0.0 && spec.c0 > 0.0))
+    throw std::invalid_argument("build_repeater_chain: r0 and c0 must be > 0");
+
+  const tline::LineParams section = spec.line.section(spec.sections);
+  const double rtr = spec.r0 / spec.size;
+  const double cin = spec.c0 * spec.size;
+
+  Circuit circuit;
+  // Stage 1: ideal step behind the buffer output resistance.
+  circuit.add_voltage_source("vin", "0", StepSpec{0.0, spec.vdd, 0.0, 0.0}, "vsrc");
+  circuit.add_resistor("vin", "stage1.drv", rtr, "stage1.rtr");
+  add_rlc_ladder(circuit, "stage1", "stage1.drv", "stage1.out", section,
+                 spec.segments_per_section);
+
+  for (int i = 2; i <= spec.sections; ++i) {
+    const std::string prev_out = "stage" + std::to_string(i - 1) + ".out";
+    const std::string tag = "stage" + std::to_string(i);
+    circuit.add_buffer(prev_out, tag + ".drv", rtr, cin, spec.vdd, 0.5, tag + ".buf");
+    add_rlc_ladder(circuit, tag, tag + ".drv", tag + ".out", section,
+                   spec.segments_per_section);
+  }
+
+  // The final section drives the input capacitance of the next logic stage.
+  const std::string last_out = "stage" + std::to_string(spec.sections) + ".out";
+  circuit.add_capacitor(last_out, "0", cin, 0.0, "cload");
+  return circuit;
+}
+
+double simulate_repeater_chain_delay(const RepeaterChainSpec& spec, double t_stop,
+                                     double dt) {
+  const Circuit circuit = build_repeater_chain(spec);
+  const std::string last_out = "stage" + std::to_string(spec.sections) + ".out";
+
+  // Horizon estimate: k times a generous single-section bound.
+  const tline::LineParams section = spec.line.section(spec.sections);
+  const tline::GateLineLoad one{spec.r0 / spec.size, section, spec.c0 * spec.size};
+  const double elmore = tline::elmore_delay(
+      one.driver_resistance, section.total_resistance, section.total_capacitance,
+      one.load_capacitance);
+  const double tof = std::sqrt(section.total_inductance *
+                               (section.total_capacitance + one.load_capacitance));
+  double horizon =
+      (t_stop > 0.0) ? t_stop : 10.0 * spec.sections * std::max(elmore, tof);
+
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    TransientOptions options;
+    options.t_stop = horizon;
+    options.dt = dt;
+    const TransientResult result = run_transient(circuit, options);
+    const auto crossing =
+        result.waveforms.trace(last_out).crossing(0.5 * spec.vdd, 0.0, +1);
+    if (crossing) return *crossing;
+    horizon *= 4.0;
+  }
+  throw std::runtime_error(
+      "simulate_repeater_chain_delay: final stage never crossed 50%");
+}
+
+}  // namespace rlcsim::sim

@@ -1,0 +1,85 @@
+// Circuit construction helpers for the structures this library studies:
+// lumped ladders for distributed lines, gate + line + load systems, and
+// repeater chains (paper, Fig. 3).
+#pragma once
+
+#include <string>
+
+#include "sim/circuit.h"
+#include "sim/transient.h"
+#include "tline/rlc.h"
+#include "tline/transfer.h"
+
+namespace rlcsim::sim {
+
+// Appends an N-segment lumped-pi RLC ladder between `in` and `out`.
+// Each segment: shunt Ct/2N at the near node, series Rt/N then Lt/N, shunt
+// Ct/2N at the far node. Internal nodes are "<prefix>.mN"/"<prefix>.nN".
+void add_rlc_ladder(Circuit& circuit, const std::string& prefix, const std::string& in,
+                    const std::string& out, const tline::LineParams& line, int segments);
+
+// Builds the canonical system: step source (0 -> vdd at t=0, linear rise
+// `source_rise`) behind Rtr, driving the ladder into CL. Nodes: "vin" (ideal
+// source), "drv" (after Rtr), "out" (far end).
+Circuit build_gate_line_load(const tline::GateLineLoad& system, int segments,
+                             double vdd = 1.0, double source_rise = 0.0);
+
+// Convenience: simulate build_gate_line_load and return the 50% delay of
+// "out". `t_stop` = 0 picks a horizon from the system's time scales
+// automatically; `dt` = 0 picks t_stop / 4000.
+double simulate_gate_line_delay(const tline::GateLineLoad& system, int segments = 100,
+                                double t_stop = 0.0, double dt = 0.0,
+                                double threshold = 0.5);
+
+// Two identical parallel RLC ladders ("aggressor" and "victim") with
+// capacitive and inductive coupling per segment — the crosstalk structure
+// wide parallel buses and clock shields form. `coupling_capacitance` is the
+// TOTAL line-to-line capacitance; `inductive_k` couples corresponding
+// segment inductors.
+struct CoupledLinesSpec {
+  tline::LineParams line;            // each line's own totals
+  double coupling_capacitance = 0.0; // total Cc between the lines, F
+  double inductive_k = 0.0;          // mutual coefficient per segment, [0, 1)
+  int segments = 40;
+};
+void add_coupled_lines(Circuit& circuit, const std::string& prefix,
+                       const std::string& in_a, const std::string& out_a,
+                       const std::string& in_b, const std::string& out_b,
+                       const CoupledLinesSpec& spec);
+
+// Crosstalk testbench: aggressor driven by a step behind `driver_resistance`,
+// victim held by an identical quiescent driver; both loaded with
+// `load_capacitance`. Nodes: "agg.out", "vic.out".
+Circuit build_crosstalk_pair(const CoupledLinesSpec& spec, double driver_resistance,
+                             double load_capacitance, double vdd = 1.0);
+
+// Peak |voltage| induced on the quiet victim's far end, volts.
+double simulate_crosstalk_peak(const CoupledLinesSpec& spec,
+                               double driver_resistance, double load_capacitance,
+                               double t_stop = 0.0);
+
+// Repeater chain per Fig. 3: k equal line sections, each driven by a buffer
+// h times the minimum size (output resistance r0/h, input capacitance h*c0).
+// The first stage is an ideal step behind r0/h; stages 2..k are behavioral
+// buffers switching at 50% of vdd; the final section is loaded by h*c0
+// (the input of the next stage of logic).
+//
+// Node of interest: "stage<k>.out" — the far end of the last section. The
+// total delay of the repeater system is the 50% crossing of that node (the
+// final load's voltage), matching the paper's k * tpd_section definition.
+struct RepeaterChainSpec {
+  tline::LineParams line;  // totals of the WHOLE line
+  int sections = 1;        // k
+  double size = 1.0;       // h
+  double r0 = 0.0;         // minimum-buffer output resistance
+  double c0 = 0.0;         // minimum-buffer input capacitance
+  int segments_per_section = 40;
+  double vdd = 1.0;
+};
+Circuit build_repeater_chain(const RepeaterChainSpec& spec);
+
+// Simulates the chain and returns the 50% delay at the final load.
+double simulate_repeater_chain_delay(const RepeaterChainSpec& spec, double t_stop = 0.0,
+                                     double dt = 0.0);
+
+}  // namespace rlcsim::sim

@@ -1,0 +1,75 @@
+// Modified Nodal Analysis assembly.
+//
+// Unknown vector layout: [ node voltages (0..N-1) | voltage-source branch
+// currents | inductor branch currents ]. Capacitors enter through Norton
+// companion models (conductance + history current source); inductors keep
+// their branch current as an unknown so zero-resistance inductive loops stay
+// well-conditioned. Buffers contribute their input capacitance and a Norton
+// (source/Rout) output stage, so they add no extra unknowns.
+#pragma once
+
+#include <vector>
+
+#include "numeric/matrix.h"
+#include "sim/circuit.h"
+
+namespace rlcsim::sim {
+
+enum class Integrator {
+  kBackwardEuler,
+  kTrapezoidal,
+};
+
+// Dynamic state carried between transient steps.
+struct TransientState {
+  double time = 0.0;
+  std::vector<double> node_voltage;       // size N
+  std::vector<double> capacitor_current;  // per capacitor (trapezoidal history)
+  std::vector<double> inductor_current;   // per inductor
+  std::vector<double> buffer_fire_time;   // per buffer; +inf until fired
+};
+
+class MnaAssembler {
+ public:
+  explicit MnaAssembler(const Circuit& circuit);
+
+  std::size_t node_count() const { return n_nodes_; }
+  std::size_t unknown_count() const { return n_unknowns_; }
+  std::size_t vsource_branch(std::size_t vsource_index) const;
+  std::size_t inductor_branch(std::size_t inductor_index) const;
+
+  // DC operating point matrix/RHS at time t: capacitors removed, inductors
+  // shorted (their branch equation becomes v1 - v2 = 0). A Gmin conductance
+  // is added on every node so capacitor-only nodes do not make the matrix
+  // singular.
+  numeric::RealMatrix dc_matrix(double gmin = 1e-12) const;
+  std::vector<double> dc_rhs(double t, const TransientState& state) const;
+
+  // Companion-model transient matrix for step size dt. Depends only on dt
+  // and the integrator, so callers cache the LU factorization per dt.
+  numeric::RealMatrix transient_matrix(double dt, Integrator method) const;
+
+  // RHS for advancing from `state` (at time state.time) to state.time + dt.
+  std::vector<double> transient_rhs(double dt, Integrator method,
+                                    const TransientState& state) const;
+
+  // Initializes state from a DC solution vector.
+  TransientState initial_state(const std::vector<double>& dc_solution) const;
+
+  // Post-solve state update: extracts new node voltages, recomputes companion
+  // histories. `solution` is the MNA unknown vector at state.time + dt.
+  void advance_state(const std::vector<double>& solution, double dt, Integrator method,
+                     TransientState& state) const;
+
+  // Buffer output source voltage at time t given its fire time.
+  static double buffer_drive(const Buffer& buffer, double fire_time, double t);
+
+ private:
+  const Circuit& circuit_;
+  std::size_t n_nodes_ = 0;
+  std::size_t n_unknowns_ = 0;
+  std::size_t vsource_base_ = 0;
+  std::size_t inductor_base_ = 0;
+};
+
+}  // namespace rlcsim::sim

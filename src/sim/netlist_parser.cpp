@@ -1,0 +1,246 @@
+#include "sim/netlist_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "numeric/units.h"
+
+namespace rlcsim::sim {
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+// Splits on whitespace, but keeps "FN(...)" function groups together even if
+// they contain spaces, and splits '(' ')' ',' as separators inside groups.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  int paren_depth = 0;
+  for (char c : line) {
+    if (c == '(') ++paren_depth;
+    if (c == ')') --paren_depth;
+    if (std::isspace(static_cast<unsigned char>(c)) && paren_depth == 0) {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+double number_or_throw(const std::string& token, int line) {
+  const double v = units::parse_spice_number(token);
+  if (std::isnan(v)) throw ParseError(line, "bad number '" + token + "'");
+  return v;
+}
+
+// Parses "name(a b c)" or "name(a,b,c)"; returns arguments. `token` has
+// already been matched against `name` case-insensitively by the caller.
+std::vector<double> function_args(const std::string& token, std::size_t name_len,
+                                  int line) {
+  const std::size_t open = token.find('(');
+  const std::size_t close = token.rfind(')');
+  if (open != name_len || close == std::string::npos || close < open)
+    throw ParseError(line, "malformed source '" + token + "'");
+  std::string inner = token.substr(open + 1, close - open - 1);
+  std::replace(inner.begin(), inner.end(), ',', ' ');
+  std::istringstream stream(inner);
+  std::vector<double> args;
+  std::string word;
+  while (stream >> word) args.push_back(number_or_throw(word, line));
+  return args;
+}
+
+SourceSpec parse_source(const std::vector<std::string>& tokens, std::size_t first,
+                        int line) {
+  if (first >= tokens.size())
+    throw ParseError(line, "missing source specification");
+  // Re-join remaining tokens so "PULSE (0 1 ...)" and "PULSE(0 1 ...)" both work.
+  std::string joined;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    if (!joined.empty()) joined += ' ';
+    joined += tokens[i];
+  }
+  const std::string lower = to_lower(joined);
+
+  if (lower.rfind("dc", 0) == 0) {
+    std::istringstream stream(joined.substr(2));
+    std::string value;
+    if (!(stream >> value)) throw ParseError(line, "DC source needs a value");
+    return DcSpec{number_or_throw(value, line)};
+  }
+  if (lower.rfind("step", 0) == 0) {
+    const auto args = function_args(joined, 4, line);
+    if (args.size() < 3 || args.size() > 4)
+      throw ParseError(line, "STEP needs (v0 v1 tdelay [trise])");
+    StepSpec s{args[0], args[1], args[2], args.size() == 4 ? args[3] : 0.0};
+    return s;
+  }
+  if (lower.rfind("pulse", 0) == 0) {
+    const auto args = function_args(joined, 5, line);
+    if (args.size() < 6 || args.size() > 7)
+      throw ParseError(line, "PULSE needs (v0 v1 td tr tf pw [period])");
+    PulseSpec p{args[0], args[1], args[2], args[3], args[4], args[5],
+                args.size() == 7 ? args[6] : 0.0};
+    return p;
+  }
+  if (lower.rfind("pwl", 0) == 0) {
+    const auto args = function_args(joined, 3, line);
+    if (args.size() < 4 || args.size() % 2 != 0)
+      throw ParseError(line, "PWL needs an even number (>= 4) of values");
+    PwlSpec p;
+    for (std::size_t i = 0; i < args.size(); i += 2) {
+      if (!p.points.empty() && args[i] <= p.points.back().first)
+        throw ParseError(line, "PWL times must be strictly increasing");
+      p.points.emplace_back(args[i], args[i + 1]);
+    }
+    return p;
+  }
+  // Bare value == DC.
+  return DcSpec{number_or_throw(tokens[first], line)};
+}
+
+// Extracts "key=value" (case-insensitive key) from tokens; returns nullopt
+// when absent.
+std::optional<double> keyword_value(const std::vector<std::string>& tokens,
+                                    std::size_t first, const std::string& key,
+                                    int line) {
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const std::string lower = to_lower(tokens[i]);
+    const std::string prefix = to_lower(key) + "=";
+    if (lower.rfind(prefix, 0) == 0)
+      return number_or_throw(tokens[i].substr(prefix.size()), line);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ParsedNetlist parse_netlist(const std::string& text) {
+  ParsedNetlist out;
+  std::istringstream stream(text);
+  std::string raw;
+  int line_no = 0;
+  bool first_content_line = true;
+  bool ended = false;
+
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    // Strip comments: '*' at start of line, or " ; " trailing.
+    std::string line = raw;
+    if (!line.empty() && line.front() == '*') continue;
+    const std::size_t semi = line.find(';');
+    if (semi != std::string::npos) line = line.substr(0, semi);
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (ended)
+      throw ParseError(line_no, "content after .end");
+
+    const std::string head_lower = to_lower(tokens[0]);
+
+    if (head_lower[0] == '.') {
+      if (head_lower == ".end") {
+        ended = true;
+        continue;
+      }
+      if (head_lower == ".tran") {
+        if (tokens.size() != 3) throw ParseError(line_no, ".tran needs tstep tstop");
+        TransientOptions tran;
+        tran.dt = number_or_throw(tokens[1], line_no);
+        tran.t_stop = number_or_throw(tokens[2], line_no);
+        if (!(tran.t_stop > 0.0) || !(tran.dt > 0.0) || tran.dt >= tran.t_stop)
+          throw ParseError(line_no, ".tran needs 0 < tstep < tstop");
+        out.tran = tran;
+        continue;
+      }
+      throw ParseError(line_no, "unknown directive '" + tokens[0] + "'");
+    }
+
+    const char kind = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(tokens[0][0])));
+    const bool looks_like_element =
+        kind == 'r' || kind == 'c' || kind == 'l' || kind == 'v' || kind == 'i' ||
+        kind == 'b' || kind == 'k';
+    if (first_content_line && !looks_like_element) {
+      out.title = raw;
+      first_content_line = false;
+      continue;
+    }
+    first_content_line = false;
+    if (!looks_like_element)
+      throw ParseError(line_no, "unknown element '" + tokens[0] + "'");
+    if (tokens.size() < 3)
+      throw ParseError(line_no, "element '" + tokens[0] + "' needs two nodes");
+
+    const std::string& name = tokens[0];
+    const std::string& n1 = tokens[1];
+    const std::string& n2 = tokens[2];
+
+    switch (kind) {
+      case 'r': {
+        if (tokens.size() != 4) throw ParseError(line_no, "R needs exactly one value");
+        out.circuit.add_resistor(n1, n2, number_or_throw(tokens[3], line_no), name);
+        break;
+      }
+      case 'c': {
+        if (tokens.size() < 4) throw ParseError(line_no, "C needs a value");
+        const double ic = keyword_value(tokens, 4, "ic", line_no).value_or(0.0);
+        out.circuit.add_capacitor(n1, n2, number_or_throw(tokens[3], line_no), ic, name);
+        break;
+      }
+      case 'l': {
+        if (tokens.size() < 4) throw ParseError(line_no, "L needs a value");
+        const double ic = keyword_value(tokens, 4, "ic", line_no).value_or(0.0);
+        out.circuit.add_inductor(n1, n2, number_or_throw(tokens[3], line_no), ic, name);
+        break;
+      }
+      case 'v': {
+        out.circuit.add_voltage_source(n1, n2, parse_source(tokens, 3, line_no), name);
+        break;
+      }
+      case 'i': {
+        out.circuit.add_current_source(n1, n2, parse_source(tokens, 3, line_no), name);
+        break;
+      }
+      case 'k': {
+        // Kname Lxxx Lyyy k — n1/n2 here are the inductor element names.
+        if (tokens.size() != 4) throw ParseError(line_no, "K needs L1 L2 k");
+        try {
+          out.circuit.add_mutual(n1, n2, number_or_throw(tokens[3], line_no), name);
+        } catch (const std::invalid_argument& e) {
+          throw ParseError(line_no, e.what());
+        }
+        break;
+      }
+      case 'b': {
+        const auto rout = keyword_value(tokens, 3, "rout", line_no);
+        const auto cin = keyword_value(tokens, 3, "cin", line_no);
+        if (!rout || !cin)
+          throw ParseError(line_no, "buffer needs ROUT= and CIN=");
+        const double vdd = keyword_value(tokens, 3, "vdd", line_no).value_or(1.0);
+        const double th = keyword_value(tokens, 3, "th", line_no).value_or(0.5);
+        out.circuit.add_buffer(n1, n2, *rout, *cin, vdd, th, name);
+        break;
+      }
+      default:
+        throw ParseError(line_no, "unhandled element kind");
+    }
+  }
+
+  if (out.circuit.node_count() == 0)
+    throw ParseError(line_no, "netlist contains no elements");
+  return out;
+}
+
+}  // namespace rlcsim::sim

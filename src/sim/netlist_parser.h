@@ -1,0 +1,51 @@
+// SPICE-like netlist parsing.
+//
+// Supported subset (one element per line, '*' comments, case-insensitive
+// element letters, SPICE scale suffixes f/p/n/u/m/k/meg/g/t):
+//
+//   Rname n1 n2 value
+//   Cname n1 n2 value [IC=v0]
+//   Lname n1 n2 value [IC=i0]
+//   Vname n+ n- DC value
+//   Vname n+ n- STEP(v0 v1 tdelay [trise])
+//   Vname n+ n- PULSE(v0 v1 td tr tf pw [period])
+//   Vname n+ n- PWL(t1 v1 t2 v2 ...)
+//   Iname n+ n- <same source forms>
+//   Bname nin nout ROUT=r CIN=c [VDD=v] [TH=fraction]   (behavioral repeater)
+//   Kname Lxxx Lyyy k                                    (mutual coupling)
+//   .tran tstep tstop
+//   .end                                                 (optional)
+//
+// Errors are reported as ParseError with the 1-based line number and the
+// offending text.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "sim/circuit.h"
+#include "sim/transient.h"
+
+namespace rlcsim::sim {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("netlist line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+struct ParsedNetlist {
+  Circuit circuit;
+  std::optional<TransientOptions> tran;  // from a .tran card, if present
+  std::string title;                     // first line if it is not an element
+};
+
+ParsedNetlist parse_netlist(const std::string& text);
+
+}  // namespace rlcsim::sim

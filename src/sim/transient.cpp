@@ -1,0 +1,194 @@
+#include "sim/transient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "numeric/matrix.h"
+
+namespace rlcsim::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Source discontinuity times within [0, t_stop].
+void collect_source_breakpoints(const SourceSpec& spec, double t_stop,
+                                std::set<double>& out) {
+  if (const auto* step = std::get_if<StepSpec>(&spec)) {
+    if (step->delay <= t_stop) out.insert(step->delay);
+    if (step->rise > 0.0 && step->delay + step->rise <= t_stop)
+      out.insert(step->delay + step->rise);
+    return;
+  }
+  if (const auto* pwl = std::get_if<PwlSpec>(&spec)) {
+    for (const auto& [t, _] : pwl->points)
+      if (t >= 0.0 && t <= t_stop) out.insert(t);
+    return;
+  }
+  if (const auto* pulse = std::get_if<PulseSpec>(&spec)) {
+    const bool repeats = pulse->period > 0.0;
+    for (int cycle = 0; cycle < 100000; ++cycle) {
+      const double base = pulse->delay + (repeats ? cycle * pulse->period : 0.0);
+      if (base > t_stop) break;
+      const double edges[4] = {base, base + pulse->rise, base + pulse->rise + pulse->width,
+                               base + pulse->rise + pulse->width + pulse->fall};
+      for (double e : edges)
+        if (e <= t_stop) out.insert(e);
+      if (!repeats) break;
+    }
+  }
+}
+
+double node_voltage_of(const std::vector<double>& v, NodeId n) {
+  return n == kGround ? 0.0 : v[static_cast<std::size_t>(n)];
+}
+
+}  // namespace
+
+std::vector<double> dc_operating_point(const Circuit& circuit, double gmin) {
+  const MnaAssembler assembler(circuit);
+  TransientState empty;
+  empty.buffer_fire_time.assign(circuit.buffers().size(), kInf);
+  const numeric::RealLu lu(assembler.dc_matrix(gmin));
+  return lu.solve(assembler.dc_rhs(0.0, empty));
+}
+
+TransientResult run_transient(const Circuit& circuit, const TransientOptions& options) {
+  if (!(options.t_stop > 0.0))
+    throw std::invalid_argument("run_transient: t_stop must be > 0");
+  const double dt_nominal =
+      options.dt > 0.0 ? options.dt : options.t_stop / 4000.0;
+  if (dt_nominal >= options.t_stop)
+    throw std::invalid_argument("run_transient: dt must be < t_stop");
+
+  const MnaAssembler assembler(circuit);
+
+  // --- initial state from the DC operating point --------------------------
+  TransientState state;
+  {
+    TransientState empty;
+    empty.buffer_fire_time.assign(circuit.buffers().size(), kInf);
+    const numeric::RealLu dc_lu(assembler.dc_matrix(options.dc_gmin));
+    state = assembler.initial_state(dc_lu.solve(assembler.dc_rhs(0.0, empty)));
+  }
+
+  // --- breakpoints ---------------------------------------------------------
+  std::set<double> breakpoints;
+  breakpoints.insert(0.0);
+  breakpoints.insert(options.t_stop);
+  for (const auto& v : circuit.voltage_sources())
+    collect_source_breakpoints(v.spec, options.t_stop, breakpoints);
+  for (const auto& i : circuit.current_sources())
+    collect_source_breakpoints(i.spec, options.t_stop, breakpoints);
+
+  // --- LU cache keyed by (dt, integrator) ----------------------------------
+  std::map<std::pair<double, int>, numeric::RealLu> lu_cache;
+  std::size_t factorizations = 0;
+  const auto factorized = [&](double dt, Integrator method) -> const numeric::RealLu& {
+    const auto key = std::make_pair(dt, static_cast<int>(method));
+    auto it = lu_cache.find(key);
+    if (it == lu_cache.end()) {
+      it = lu_cache.emplace(key, numeric::RealLu(assembler.transient_matrix(dt, method)))
+               .first;
+      ++factorizations;
+    }
+    return it->second;
+  };
+
+  // --- recording -----------------------------------------------------------
+  std::vector<double> times;
+  std::map<std::string, std::vector<double>> node_values;
+  const std::size_t n_nodes = circuit.node_count();
+  std::vector<std::vector<double>*> columns(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    columns[i] = &node_values[circuit.node_name(static_cast<NodeId>(i))];
+  const auto record = [&](const TransientState& s) {
+    times.push_back(s.time);
+    for (std::size_t i = 0; i < n_nodes; ++i) columns[i]->push_back(s.node_voltage[i]);
+  };
+  record(state);
+
+  // --- main loop -----------------------------------------------------------
+  const double min_dt = dt_nominal * options.min_dt_fraction;
+  int be_steps_left = options.be_steps_after_breakpoint;
+  std::size_t steps = 0;
+  const auto& buffers = circuit.buffers();
+
+  while (state.time < options.t_stop - 0.5 * min_dt) {
+    // Distance to the next breakpoint bounds the step.
+    const auto next_bp = breakpoints.upper_bound(state.time + 0.5 * min_dt);
+    const double bp_time = (next_bp != breakpoints.end()) ? *next_bp : options.t_stop;
+    double dt = std::min(dt_nominal, bp_time - state.time);
+    dt = std::min(dt, options.t_stop - state.time);
+    if (dt <= 0.0) break;
+
+    const Integrator method =
+        (be_steps_left > 0) ? Integrator::kBackwardEuler : options.integrator;
+
+    std::vector<double> solution =
+        factorized(dt, method).solve(assembler.transient_rhs(dt, method, state));
+
+    // Buffer event detection: did any unfired buffer's input cross its
+    // threshold during this step?
+    double earliest_event = kInf;
+    int event_buffer = -1;
+    for (std::size_t k = 0; k < buffers.size(); ++k) {
+      if (state.buffer_fire_time[k] != kInf) continue;
+      const auto& b = buffers[k];
+      const double level = b.threshold * b.vdd;
+      const double v_old = node_voltage_of(state.node_voltage, b.input);
+      const double v_new = node_voltage_of(solution, b.input);
+      if (v_old < level && v_new >= level) {
+        const double frac = (level - v_old) / (v_new - v_old);
+        const double tc = state.time + frac * dt;
+        if (tc < earliest_event) {
+          earliest_event = tc;
+          event_buffer = static_cast<int>(k);
+        }
+      }
+    }
+
+    if (event_buffer >= 0 && earliest_event > state.time + min_dt &&
+        earliest_event < state.time + dt * (1.0 - 1e-9)) {
+      // Reject; re-take the step so it ends exactly at the crossing.
+      const double dt_event = earliest_event - state.time;
+      solution = factorized(dt_event, method)
+                     .solve(assembler.transient_rhs(dt_event, method, state));
+      assembler.advance_state(solution, dt_event, method, state);
+      state.buffer_fire_time[static_cast<std::size_t>(event_buffer)] = state.time;
+      breakpoints.insert(state.time);
+      be_steps_left = options.be_steps_after_breakpoint;
+      record(state);
+      ++steps;
+      continue;
+    }
+
+    const bool lands_on_breakpoint =
+        std::fabs((state.time + dt) - bp_time) <= 0.5 * min_dt;
+    assembler.advance_state(solution, dt, method, state);
+    if (event_buffer >= 0) {
+      // Crossing at (or numerically at) the step end: fire there.
+      state.buffer_fire_time[static_cast<std::size_t>(event_buffer)] = state.time;
+      breakpoints.insert(state.time);
+      be_steps_left = options.be_steps_after_breakpoint;
+    } else if (lands_on_breakpoint) {
+      be_steps_left = options.be_steps_after_breakpoint;
+    } else if (be_steps_left > 0) {
+      --be_steps_left;
+    }
+    record(state);
+    ++steps;
+  }
+
+  TransientResult result;
+  result.waveforms = WaveformSet(std::move(times), std::move(node_values));
+  result.buffer_fire_times = state.buffer_fire_time;
+  result.steps_taken = steps;
+  result.lu_factorizations = factorizations;
+  return result;
+}
+
+}  // namespace rlcsim::sim

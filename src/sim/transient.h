@@ -1,0 +1,48 @@
+// Transient analysis engine.
+//
+// Fixed-step implicit integration (trapezoidal by default) with SPICE-style
+// breakpoint handling: the step grid always lands exactly on source
+// discontinuities and buffer switching instants, and the first step(s) after
+// each discontinuity use backward Euler to damp the trapezoidal rule's
+// spurious oscillation on jumps.
+//
+// Buffer events are located by step rejection: when a buffer's input crosses
+// its threshold inside a step, the step is re-taken so it ends exactly at the
+// (interpolated) crossing time, the buffer is marked fired there, and
+// integration restarts from that breakpoint.
+#pragma once
+
+#include <vector>
+
+#include "sim/circuit.h"
+#include "sim/mna.h"
+#include "sim/waveform.h"
+
+namespace rlcsim::sim {
+
+struct TransientOptions {
+  double t_stop = 0.0;      // required, > 0
+  double dt = 0.0;          // 0 -> t_stop / 4000
+  Integrator integrator = Integrator::kTrapezoidal;
+  int be_steps_after_breakpoint = 2;  // BE steps before switching back to trap
+  double dc_gmin = 1e-12;
+  // Guard: reject pathological event cascades (step shrinking forever).
+  double min_dt_fraction = 1e-9;  // min event step as a fraction of dt
+};
+
+struct TransientResult {
+  WaveformSet waveforms;
+  std::vector<double> buffer_fire_times;  // +inf where a buffer never fired
+  std::size_t steps_taken = 0;
+  std::size_t lu_factorizations = 0;
+};
+
+// Runs a transient analysis. Throws std::invalid_argument for bad options
+// and std::runtime_error if the MNA matrix is singular.
+TransientResult run_transient(const Circuit& circuit, const TransientOptions& options);
+
+// DC operating point: node voltages (and branch currents) with capacitors
+// open and inductors shorted, sources evaluated at t = 0.
+std::vector<double> dc_operating_point(const Circuit& circuit, double gmin = 1e-12);
+
+}  // namespace rlcsim::sim

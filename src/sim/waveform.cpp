@@ -1,0 +1,102 @@
+#include "sim/waveform.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "numeric/interpolate.h"
+
+namespace rlcsim::sim {
+
+Trace::Trace(std::vector<double> time, std::vector<double> value)
+    : time_(std::move(time)), value_(std::move(value)) {
+  if (time_.size() != value_.size())
+    throw std::invalid_argument("Trace: time/value size mismatch");
+  if (time_.size() < 2) throw std::invalid_argument("Trace: need >= 2 samples");
+}
+
+double Trace::at(double t) const { return numeric::interp_linear(time_, value_, t); }
+
+std::optional<double> Trace::crossing(double level, double t_from, int direction) const {
+  return numeric::find_crossing(time_, value_, level, t_from, direction);
+}
+
+double Trace::max_value() const { return *std::max_element(value_.begin(), value_.end()); }
+
+double Trace::min_value() const { return *std::min_element(value_.begin(), value_.end()); }
+
+double Trace::final_value() const { return value_.back(); }
+
+double Trace::delay(double final_reference, double fraction) const {
+  const auto t = crossing(fraction * final_reference, time_.front(), +1);
+  if (!t)
+    throw std::runtime_error("Trace::delay: waveform never crosses the threshold");
+  return *t;
+}
+
+double Trace::overshoot(double final_reference) const {
+  if (final_reference == 0.0)
+    throw std::invalid_argument("Trace::overshoot: final_reference must be nonzero");
+  return std::max(0.0, max_value() / final_reference - 1.0);
+}
+
+double Trace::rise_time(double final_reference) const {
+  const auto t10 = crossing(0.1 * final_reference, time_.front(), +1);
+  const auto t90 = crossing(0.9 * final_reference, time_.front(), +1);
+  if (!t10 || !t90) return 0.0;
+  return *t90 - *t10;
+}
+
+WaveformSet::WaveformSet(std::vector<double> time,
+                         std::map<std::string, std::vector<double>> node_values)
+    : time_(std::move(time)), values_(std::move(node_values)) {}
+
+Trace WaveformSet::trace(const std::string& node) const {
+  const auto it = values_.find(node);
+  if (it == values_.end())
+    throw std::out_of_range("WaveformSet: no trace recorded for node '" + node + "'");
+  return Trace(time_, it->second);
+}
+
+std::vector<std::string> WaveformSet::node_names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, _] : values_) names.push_back(name);
+  return names;
+}
+
+void write_csv(const WaveformSet& waveforms, std::ostream& out,
+               const std::vector<std::string>& nodes) {
+  const std::vector<std::string> columns =
+      nodes.empty() ? waveforms.node_names() : nodes;
+  // Resolve all traces up front so unknown names fail before any output.
+  std::vector<Trace> traces;
+  traces.reserve(columns.size());
+  for (const auto& name : columns) traces.push_back(waveforms.trace(name));
+
+  out << "time";
+  for (const auto& name : columns) out << ',' << name;
+  out << '\n';
+  const auto& time = waveforms.time();
+  char buf[32];
+  for (std::size_t i = 0; i < time.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.9e", time[i]);
+    out << buf;
+    for (const auto& trace : traces) {
+      std::snprintf(buf, sizeof(buf), "%.9e", trace.value()[i]);
+      out << ',' << buf;
+    }
+    out << '\n';
+  }
+}
+
+void write_csv_file(const WaveformSet& waveforms, const std::string& path,
+                    const std::vector<std::string>& nodes) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("write_csv_file: cannot open '" + path + "'");
+  write_csv(waveforms, file, nodes);
+}
+
+}  // namespace rlcsim::sim

@@ -1,0 +1,78 @@
+// Recorded transient waveforms, measurements on them, and CSV export.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rlcsim::sim {
+
+// One scalar trace sampled on a (shared) time grid.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::vector<double> time, std::vector<double> value);
+
+  const std::vector<double>& time() const { return time_; }
+  const std::vector<double>& value() const { return value_; }
+  std::size_t size() const { return time_.size(); }
+
+  // Linear interpolation at time t (clamped to the record).
+  double at(double t) const;
+
+  // First crossing of `level` at/after t_from in the given direction
+  // (+1 rising, -1 falling, 0 either). Sub-sample accurate (linear).
+  std::optional<double> crossing(double level, double t_from = 0.0,
+                                 int direction = 0) const;
+
+  double max_value() const;
+  double min_value() const;
+  double final_value() const;
+
+  // 50% propagation delay relative to an ideal step at t = 0: the first
+  // rising crossing of `fraction * final_reference`. Throws
+  // std::runtime_error if the trace never crosses.
+  double delay(double final_reference, double fraction = 0.5) const;
+
+  // Overshoot above `final_reference`, as a fraction (0.15 == 15%).
+  double overshoot(double final_reference) const;
+
+  // 10%-90% rise time relative to final_reference; 0 when not measurable.
+  double rise_time(double final_reference) const;
+
+ private:
+  std::vector<double> time_;
+  std::vector<double> value_;
+};
+
+// All recorded node traces of one transient run.
+class WaveformSet {
+ public:
+  WaveformSet() = default;
+  WaveformSet(std::vector<double> time,
+              std::map<std::string, std::vector<double>> node_values);
+
+  const std::vector<double>& time() const { return time_; }
+  bool has(const std::string& node) const { return values_.count(node) != 0; }
+  // Throws std::out_of_range with the node name if absent.
+  Trace trace(const std::string& node) const;
+  std::vector<std::string> node_names() const;
+
+ private:
+  std::vector<double> time_;
+  std::map<std::string, std::vector<double>> values_;
+};
+
+// Writes "time,node1,node2,..." CSV (scientific notation, plot-ready).
+// `nodes` empty means all recorded nodes, in name order. Throws
+// std::out_of_range for unknown node names.
+void write_csv(const WaveformSet& waveforms, std::ostream& out,
+               const std::vector<std::string>& nodes = {});
+// Convenience file variant; throws std::runtime_error if the file cannot be
+// opened.
+void write_csv_file(const WaveformSet& waveforms, const std::string& path,
+                    const std::vector<std::string>& nodes = {});
+
+}  // namespace rlcsim::sim

@@ -1,0 +1,35 @@
+#include "tech/device.h"
+
+#include <stdexcept>
+
+namespace rlcsim::tech {
+
+double intrinsic_delay(const DeviceParams& device) {
+  if (!(device.r0 > 0.0 && device.c0 > 0.0))
+    throw std::invalid_argument("DeviceParams: r0 and c0 must be > 0");
+  return device.r0 * device.c0;
+}
+
+ScaledBuffer scale_buffer(const DeviceParams& device, double h) {
+  if (!(h > 0.0)) throw std::invalid_argument("scale_buffer: h must be > 0");
+  if (!(device.r0 > 0.0 && device.c0 > 0.0))
+    throw std::invalid_argument("DeviceParams: r0 and c0 must be > 0");
+  return {device.r0 / h, device.c0 * h, device.c_out0 * h, device.area_min * h};
+}
+
+core::MinBuffer as_min_buffer(const DeviceParams& device) {
+  // Validate here rather than via core::validate — tech sits below core in
+  // the link order and only shares core's headers.
+  if (!(device.r0 > 0.0 && device.c0 > 0.0))
+    throw std::invalid_argument("as_min_buffer: r0 and c0 must be > 0");
+  if (device.c_out0 < 0.0)
+    throw std::invalid_argument("as_min_buffer: c_out0 must be >= 0");
+  core::MinBuffer buffer;
+  buffer.r0 = device.r0;
+  buffer.c0 = device.c0;
+  buffer.area = device.area_min;
+  buffer.output_capacitance = device.c_out0;
+  return buffer;
+}
+
+}  // namespace rlcsim::tech

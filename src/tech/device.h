@@ -1,0 +1,40 @@
+// Linearized driver/repeater device models.
+//
+// A minimum-size buffer is characterized by its output resistance R0, input
+// capacitance C0, output (diffusion) capacitance, and layout area. A buffer
+// h times larger has R0/h, h C0 — the scaling the paper (and all repeater
+// theory since Bakoglu) assumes.
+#pragma once
+
+#include <string>
+
+#include "core/repeater.h"
+
+namespace rlcsim::tech {
+
+// Device parameters of one technology's minimum inverter.
+struct DeviceParams {
+  std::string node_name;
+  double r0 = 0.0;       // ohm
+  double c0 = 0.0;       // F (gate/input capacitance)
+  double c_out0 = 0.0;   // F (drain/output capacitance)
+  double area_min = 0.0; // m^2
+  double vdd = 0.0;      // V
+};
+
+// The intrinsic gate delay scale R0 C0 — the denominator of T_{L/R}.
+double intrinsic_delay(const DeviceParams& device);
+
+// Scaled buffer (h x minimum): output resistance and input capacitance.
+struct ScaledBuffer {
+  double output_resistance = 0.0;
+  double input_capacitance = 0.0;
+  double output_capacitance = 0.0;
+  double area = 0.0;
+};
+ScaledBuffer scale_buffer(const DeviceParams& device, double h);
+
+// Adapter to the core repeater layer's MinBuffer.
+core::MinBuffer as_min_buffer(const DeviceParams& device);
+
+}  // namespace rlcsim::tech

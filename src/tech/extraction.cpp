@@ -1,0 +1,85 @@
+#include "tech/extraction.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rlcsim::tech {
+namespace {
+
+constexpr double kEps0 = 8.8541878128e-12;  // F/m
+constexpr double kMu0 = 1.25663706212e-6;   // H/m
+
+void check_wire(const WireGeometry& wire) {
+  if (!(wire.width > 0.0)) throw std::invalid_argument("WireGeometry: width must be > 0");
+  if (!(wire.thickness > 0.0))
+    throw std::invalid_argument("WireGeometry: thickness must be > 0");
+  if (!(wire.height > 0.0)) throw std::invalid_argument("WireGeometry: height must be > 0");
+  if (wire.spacing < 0.0) throw std::invalid_argument("WireGeometry: spacing must be >= 0");
+}
+
+}  // namespace
+
+double extract_resistance(const WireGeometry& wire, const Materials& materials) {
+  check_wire(wire);
+  if (!(materials.resistivity > 0.0))
+    throw std::invalid_argument("Materials: resistivity must be > 0");
+  return materials.resistivity / (wire.width * wire.thickness);
+}
+
+double extract_capacitance(const WireGeometry& wire, const Materials& materials) {
+  check_wire(wire);
+  const double eps = kEps0 * materials.relative_permittivity;
+  const double w_h = wire.width / wire.height;
+  const double t_h = wire.thickness / wire.height;
+  // Sakurai–Tamaru single-line fit: plate + fringe.
+  double c = eps * (1.15 * w_h + 2.80 * std::pow(t_h, 0.222));
+  if (wire.spacing > 0.0) {
+    // Coupling to two same-layer neighbors (Sakurai–Tamaru extension):
+    // each sidewall adds eps [0.03 w/h + 0.83 t/h - 0.07 (t/h)^0.222] (h/s)^1.34.
+    const double s_h = wire.spacing / wire.height;
+    const double side = 0.03 * w_h + 0.83 * t_h - 0.07 * std::pow(t_h, 0.222);
+    c += 2.0 * eps * side * std::pow(s_h, -1.34);
+  }
+  return c;
+}
+
+double extract_loop_inductance(const WireGeometry& wire, const Materials& materials) {
+  check_wire(wire);
+  const double mu = kMu0 * materials.relative_permeability;
+  // Wide-trace / narrow-trace blend of the standard microstrip inductance:
+  // for w >> h the parallel-plate form mu h / w dominates; for w << h the
+  // logarithmic form. Use the reciprocal-blend that interpolates both limits.
+  const double w_eff = wire.width + 0.398 * wire.thickness;  // thickness correction
+  const double narrow = mu / (2.0 * std::numbers::pi) *
+                        std::log(8.0 * wire.height / w_eff + w_eff / (4.0 * wire.height));
+  const double wide = mu * wire.height / w_eff;
+  return (wire.width > 2.0 * wire.height) ? wide : narrow;
+}
+
+double partial_self_inductance_per_length(const WireGeometry& wire, double length) {
+  check_wire(wire);
+  if (!(length > 0.0))
+    throw std::invalid_argument("partial_self_inductance_per_length: length must be > 0");
+  const double perimeter_scale = wire.width + wire.thickness;
+  if (length <= perimeter_scale)
+    throw std::invalid_argument(
+        "partial_self_inductance_per_length: length must exceed the cross-section size");
+  // Rosa/Grover rectangular-bar formula (total), divided by length.
+  const double total =
+      kMu0 / (2.0 * std::numbers::pi) * length *
+      (std::log(2.0 * length / perimeter_scale) + 0.5 +
+       0.2235 * perimeter_scale / length);
+  return total / length;
+}
+
+tline::PerUnitLength extract(const WireGeometry& wire, const Materials& materials) {
+  tline::PerUnitLength pul;
+  pul.resistance = extract_resistance(wire, materials);
+  pul.capacitance = extract_capacitance(wire, materials);
+  pul.inductance = extract_loop_inductance(wire, materials);
+  pul.conductance = 0.0;
+  return pul;
+}
+
+}  // namespace rlcsim::tech

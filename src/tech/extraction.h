@@ -1,0 +1,42 @@
+// Per-unit-length R, L, C extraction from wire geometry.
+//
+// Closed-form engineering models, adequate for the regime studies this
+// library performs (they are the same class of formulas the paper's
+// reference [7] uses to decide when inductance matters):
+//
+//  * Resistance: bulk resistivity over the cross-section, rho / (w t).
+//  * Capacitance: parallel-plate term plus fringe, using the Sakurai–Tamaru
+//    empirical fit for a single line over a plane (IEEE T-ED 1983):
+//      C/eps = 1.15 (w/h) + 2.80 (t/h)^0.222
+//    With neighbors at spacing s, a coupling term is added (same fit's
+//    extension) — see extract_capacitance for the exact form.
+//  * Inductance: loop inductance of a microstrip-like wire over its return
+//    plane, mu0/(2 pi) ln(8 h / w + w / (4 h)) per the standard microstrip
+//    approximation, floored by the partial self-inductance of the isolated
+//    rectangular conductor (Grover/Rosa):
+//      L = mu0/(2 pi) l [ ln(2 l / (w + t)) + 0.5 + 0.2235 (w + t)/l ] / l.
+#pragma once
+
+#include "tech/geometry.h"
+#include "tline/rlc.h"
+
+namespace rlcsim::tech {
+
+// ohm / m. Throws std::invalid_argument on nonpositive cross-section.
+double extract_resistance(const WireGeometry& wire, const Materials& materials);
+
+// F / m, Sakurai–Tamaru (plus coupling when spacing > 0).
+double extract_capacitance(const WireGeometry& wire, const Materials& materials);
+
+// H / m for a wire with its current return in the plane `height` below.
+double extract_loop_inductance(const WireGeometry& wire, const Materials& materials);
+
+// H / m: partial self-inductance of an isolated rectangular conductor of
+// length `length` (result is the per-length average, which depends weakly —
+// logarithmically — on length; pass the actual routed length).
+double partial_self_inductance_per_length(const WireGeometry& wire, double length);
+
+// Full extraction for a wire with return plane.
+tline::PerUnitLength extract(const WireGeometry& wire, const Materials& materials);
+
+}  // namespace rlcsim::tech

@@ -1,0 +1,33 @@
+#include "tech/fom.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlcsim::tech {
+
+InductanceWindow inductance_window(const tline::PerUnitLength& pul, double rise_time) {
+  if (!(rise_time > 0.0))
+    throw std::invalid_argument("inductance_window: rise_time must be > 0");
+  if (!(pul.inductance > 0.0 && pul.capacitance > 0.0 && pul.resistance > 0.0))
+    throw std::invalid_argument("inductance_window: needs R, L, C all > 0");
+
+  InductanceWindow w;
+  w.min_length = rise_time / (2.0 * std::sqrt(pul.inductance * pul.capacitance));
+  w.max_length = (2.0 / pul.resistance) * std::sqrt(pul.inductance / pul.capacitance);
+  return w;
+}
+
+bool inductance_matters(const tline::PerUnitLength& pul, double length,
+                        double rise_time) {
+  if (!(length > 0.0))
+    throw std::invalid_argument("inductance_matters: length must be > 0");
+  const InductanceWindow w = inductance_window(pul, rise_time);
+  return w.exists() && length > w.min_length && length < w.max_length;
+}
+
+double line_damping(const tline::PerUnitLength& pul, double length) {
+  const tline::LineParams line = tline::make_line(pul, length);
+  return line.intrinsic_damping();
+}
+
+}  // namespace rlcsim::tech

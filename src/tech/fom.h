@@ -1,0 +1,41 @@
+// Figures of merit: when does on-chip inductance matter?
+//
+// Implements the length-window criterion of the paper's reference [8]
+// (Ismail, Friedman, Neves, DAC 1998): transmission-line behaviour is
+// significant for wire lengths l with
+//
+//     tr / (2 sqrt(L C))  <  l  <  (2 / R) sqrt(L / C)
+//
+// where R, L, C are per-unit-length and tr is the driving signal's rise
+// time. Below the lower bound the wire is too short for flight-time effects
+// to be visible within the edge; above the upper bound attenuation
+// (resistance) swamps the inductive behaviour.
+#pragma once
+
+#include <optional>
+
+#include "tline/rlc.h"
+
+namespace rlcsim::tech {
+
+struct InductanceWindow {
+  double min_length = 0.0;  // m
+  double max_length = 0.0;  // m
+  bool exists() const { return max_length > min_length; }
+};
+
+// Computes the window for a wire and rise time. Throws std::invalid_argument
+// for nonpositive rise time or non-RLC parasitics.
+InductanceWindow inductance_window(const tline::PerUnitLength& pul, double rise_time);
+
+// True when a specific (wire, length, rise time) combination should be
+// modeled as RLC rather than RC.
+bool inductance_matters(const tline::PerUnitLength& pul, double length,
+                        double rise_time);
+
+// The attenuation-based figure of merit for a specific length: the line's
+// damping factor zeta_line = (R l / 2) sqrt(C/L) / 2 (equals
+// LineParams::intrinsic_damping). Values well above 1 mean RC-like.
+double line_damping(const tline::PerUnitLength& pul, double length);
+
+}  // namespace rlcsim::tech

@@ -1,0 +1,22 @@
+// Wire and stack geometry types for parasitic extraction.
+#pragma once
+
+namespace rlcsim::tech {
+
+// A single rectangular wire over a ground/return plane. All dimensions in
+// meters.
+struct WireGeometry {
+  double width = 0.0;      // w
+  double thickness = 0.0;  // t (metal height)
+  double height = 0.0;     // h: dielectric height above the return plane
+  double spacing = 0.0;    // s: edge-to-edge distance to neighbors (0 = isolated)
+};
+
+// Conductor and dielectric material properties.
+struct Materials {
+  double resistivity = 1.7e-8;        // ohm*m (copper default; Al ~ 2.7e-8)
+  double relative_permittivity = 3.9; // SiO2 default
+  double relative_permeability = 1.0;
+};
+
+}  // namespace rlcsim::tech

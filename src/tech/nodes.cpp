@@ -1,0 +1,98 @@
+#include "tech/nodes.h"
+
+namespace rlcsim::tech {
+
+DeviceParams node_250nm() {
+  DeviceParams d;
+  d.node_name = "250nm";
+  d.r0 = 6.0e3;        // ohm
+  d.c0 = 3.0e-15;      // F      -> R0 C0 = 18 ps
+  d.c_out0 = 3.0e-15;  // F
+  d.area_min = 4.0e-12;  // m^2 (~2 um x 2 um)
+  d.vdd = 2.5;
+  return d;
+}
+
+DeviceParams node_180nm() {
+  DeviceParams d;
+  d.node_name = "180nm";
+  d.r0 = 5.5e3;
+  d.c0 = 2.0e-15;  // -> 11 ps
+  d.c_out0 = 2.0e-15;
+  d.area_min = 2.1e-12;
+  d.vdd = 1.8;
+  return d;
+}
+
+DeviceParams node_130nm() {
+  DeviceParams d;
+  d.node_name = "130nm";
+  d.r0 = 5.0e3;
+  d.c0 = 1.2e-15;  // -> 6 ps
+  d.c_out0 = 1.2e-15;
+  d.area_min = 1.1e-12;
+  d.vdd = 1.2;
+  return d;
+}
+
+std::vector<DeviceParams> all_nodes() {
+  return {node_250nm(), node_180nm(), node_130nm()};
+}
+
+namespace {
+
+// Scale helper: feature size in meters from the node name convention used
+// here (all presets are explicit, so this is only a comment aid).
+Materials aluminum_sio2() {
+  Materials m;
+  m.resistivity = 2.7e-8;  // aluminum era (0.25 um)
+  m.relative_permittivity = 3.9;
+  return m;
+}
+
+Materials copper_lowk() {
+  Materials m;
+  m.resistivity = 1.9e-8;  // damascene copper with barriers
+  m.relative_permittivity = 3.2;
+  return m;
+}
+
+}  // namespace
+
+WirePreset wide_clock_wire(const DeviceParams& node) {
+  WirePreset p;
+  // Thick, wide top-metal wire far above its return plane: low R, high L.
+  if (node.node_name == "250nm") {
+    p.geometry = {4.0e-6, 1.0e-6, 3.0e-6, 2.0e-6};
+    p.materials = aluminum_sio2();
+  } else if (node.node_name == "180nm") {
+    p.geometry = {3.0e-6, 0.9e-6, 2.5e-6, 1.5e-6};
+    p.materials = copper_lowk();
+  } else {
+    p.geometry = {2.5e-6, 0.8e-6, 2.2e-6, 1.2e-6};
+    p.materials = copper_lowk();
+  }
+  return p;
+}
+
+WirePreset signal_wire(const DeviceParams& node) {
+  WirePreset p;
+  // Minimum-pitch intermediate metal: resistive, capacitively coupled.
+  if (node.node_name == "250nm") {
+    p.geometry = {0.4e-6, 0.5e-6, 0.8e-6, 0.4e-6};
+    p.materials = aluminum_sio2();
+  } else if (node.node_name == "180nm") {
+    p.geometry = {0.28e-6, 0.45e-6, 0.65e-6, 0.28e-6};
+    p.materials = copper_lowk();
+  } else {
+    p.geometry = {0.2e-6, 0.35e-6, 0.5e-6, 0.2e-6};
+    p.materials = copper_lowk();
+  }
+  return p;
+}
+
+tline::PerUnitLength extract(const WirePreset& preset) {
+  return tech::extract(preset.geometry, preset.materials);
+}
+
+}  // namespace rlcsim::tech

@@ -1,0 +1,38 @@
+// Technology presets.
+//
+// The paper's quantitative claims were made against a 0.25 um process (its
+// reference [7]); the presets here are engineering-representative values for
+// that era plus two scaled generations, chosen so that (a) the minimum
+// buffer's intrinsic delay R0 C0 shrinks generation over generation and
+// (b) wide upper-metal wires reach T_{L/R} ~ 5 at 0.25 um, matching the
+// regime the paper calls common. DESIGN.md records this substitution for the
+// proprietary process data.
+#pragma once
+
+#include <vector>
+
+#include "tech/device.h"
+#include "tech/extraction.h"
+
+namespace rlcsim::tech {
+
+// Minimum-size buffer device models.
+DeviceParams node_250nm();
+DeviceParams node_180nm();
+DeviceParams node_130nm();
+std::vector<DeviceParams> all_nodes();
+
+// Representative wire stacks (geometry + materials) for a node.
+//  * wide_clock_wire: thick top-metal, low resistance — the inductive case.
+//  * signal_wire: intermediate-layer minimum-pitch signal wire — RC-like.
+struct WirePreset {
+  WireGeometry geometry;
+  Materials materials;
+};
+WirePreset wide_clock_wire(const DeviceParams& node);
+WirePreset signal_wire(const DeviceParams& node);
+
+// Extracted per-unit-length parasitics of a preset.
+tline::PerUnitLength extract(const WirePreset& preset);
+
+}  // namespace rlcsim::tech

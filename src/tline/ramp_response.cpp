@@ -1,0 +1,74 @@
+#include "tline/ramp_response.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/roots.h"
+#include "tline/step_response.h"
+
+namespace rlcsim::tline {
+
+double ramp_response_at(const GateLineLoad& system, double rise_time, double t,
+                        const numeric::EulerOptions& opt) {
+  validate(system);
+  if (!(rise_time > 0.0))
+    throw std::invalid_argument("ramp_response_at: rise_time must be > 0");
+  if (!(t > 0.0)) return 0.0;
+  const auto f = [&](Complex s) {
+    // (1 - e^{-s tr}) / (s^2 tr) * H(s); the numerator is evaluated via
+    // expm1-style care for small |s tr| to avoid cancellation.
+    const Complex str = s * rise_time;
+    Complex ramp_factor;
+    if (std::abs(str) < 1e-6) {
+      ramp_factor = (1.0 - str / 2.0 + str * str / 6.0) / s;  // series of (1-e^-x)/x / s
+    } else {
+      ramp_factor = (1.0 - std::exp(-str)) / (s * str);
+    }
+    return transfer_exact(system, s) * ramp_factor;
+  };
+  return numeric::invert_euler(f, t, opt);
+}
+
+double ramp_threshold_delay(const GateLineLoad& system, double rise_time,
+                            double threshold, const numeric::EulerOptions& opt) {
+  validate(system);
+  if (!(rise_time > 0.0))
+    throw std::invalid_argument("ramp_threshold_delay: rise_time must be > 0");
+  if (!(threshold > 0.0 && threshold < 1.0))
+    throw std::invalid_argument("ramp_threshold_delay: threshold in (0,1)");
+
+  const DenominatorMoments m = moments(system);
+  const double tof = std::sqrt(system.line.total_inductance *
+                               (system.line.total_capacitance + system.load_capacitance));
+  double horizon = 6.0 * std::max({m.b1, tof, rise_time});
+
+  const auto v = [&](double t) { return ramp_response_at(system, rise_time, t, opt); };
+
+  constexpr int kScan = 200;
+  for (int expansion = 0; expansion < 8; ++expansion) {
+    double prev_t = horizon * 1e-6;
+    double prev_v = v(prev_t);
+    for (int i = 1; i <= kScan; ++i) {
+      const double t = horizon * static_cast<double>(i) / kScan;
+      const double vi = v(t);
+      if (prev_v < threshold && vi >= threshold) {
+        const double crossing =
+            numeric::brent([&](double tt) { return v(tt) - threshold; }, prev_t, t,
+                           {.x_tolerance = horizon * 1e-12});
+        return crossing - 0.5 * rise_time;  // measured from the input's 50%
+      }
+      prev_t = t;
+      prev_v = vi;
+    }
+    horizon *= 4.0;
+  }
+  throw std::runtime_error("ramp_threshold_delay: output never crossed");
+}
+
+double step_approximation_error(const GateLineLoad& system, double rise_time) {
+  const double step = threshold_delay(system);
+  const double ramp = ramp_threshold_delay(system, rise_time);
+  return (ramp - step) / step;
+}
+
+}  // namespace rlcsim::tline

@@ -1,0 +1,35 @@
+// Finite-rise-time (saturated-ramp) inputs.
+//
+// The paper assumes "a fast rising signal that can be approximated by a step"
+// — this module quantifies when that holds. For an input ramping linearly
+// from 0 to 1 over tr, the exact output is
+//
+//   Vout(s) = H(s) (1 - e^{-s tr}) / (s^2 tr)
+//
+// and the propagation delay is conventionally measured from the INPUT's 50%
+// point (t = tr/2) to the output's first 50% crossing. As tr -> 0 this
+// reduces to the step delay; the tests verify that limit and the monotone
+// growth with tr.
+#pragma once
+
+#include "numeric/laplace.h"
+#include "tline/transfer.h"
+
+namespace rlcsim::tline {
+
+// Far-end voltage at time t for the saturated-ramp input (rise time tr > 0).
+double ramp_response_at(const GateLineLoad& system, double rise_time, double t,
+                        const numeric::EulerOptions& opt = {});
+
+// 50%-input to 50%-output propagation delay under a ramp input. Throws
+// std::invalid_argument for rise_time <= 0 (use threshold_delay for steps).
+double ramp_threshold_delay(const GateLineLoad& system, double rise_time,
+                            double threshold = 0.5,
+                            const numeric::EulerOptions& opt = {});
+
+// The step-approximation error the paper's assumption incurs:
+// (ramp delay - step delay) / step delay, as a fraction. Small (< ~5%) while
+// tr stays below roughly the system time constant; grows after.
+double step_approximation_error(const GateLineLoad& system, double rise_time);
+
+}  // namespace rlcsim::tline

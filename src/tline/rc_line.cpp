@@ -1,0 +1,79 @@
+#include "tline/rc_line.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/laplace.h"
+#include "numeric/roots.h"
+
+namespace rlcsim::tline {
+
+double elmore_delay(double rtr, double rt, double ct, double cl) {
+  return rtr * (ct + cl) + rt * (ct / 2.0 + cl);
+}
+
+double sakurai_delay(double rtr, double rt, double ct, double cl) {
+  return 0.377 * rt * ct + 0.693 * (rtr * ct + rtr * cl + rt * cl);
+}
+
+double paper_rc_limit(double rt, double ct) { return 0.37 * rt * ct; }
+
+double rc_modal_step(double rt, double ct, double t, int terms) {
+  if (!(rt > 0.0 && ct > 0.0))
+    throw std::invalid_argument("rc_modal_step: rt and ct must be > 0");
+  if (t <= 0.0) return 0.0;
+  const double tau = rt * ct;
+  double v = 1.0;
+  for (int n = 0; n < terms; ++n) {
+    const double mu = (n + 0.5) * std::numbers::pi;
+    const double term = 2.0 / mu * std::exp(-mu * mu * t / tau);
+    v -= (n % 2 == 0) ? term : -term;
+    if (term < 1e-16) break;
+  }
+  return v;
+}
+
+double rc_modal_delay(double rt, double ct, double threshold) {
+  if (!(threshold > 0.0 && threshold < 1.0))
+    throw std::invalid_argument("rc_modal_delay: threshold must be in (0,1)");
+  const double tau = rt * ct;
+  // The response is monotone; bracket between 1e-4 and 5 time constants.
+  return numeric::brent(
+      [&](double t) { return rc_modal_step(rt, ct, t) - threshold; }, 1e-4 * tau,
+      5.0 * tau, {.x_tolerance = tau * 1e-14});
+}
+
+double rc_exact_delay(double rtr, double rt, double ct, double cl, double threshold) {
+  if (!(rt > 0.0 && ct > 0.0))
+    throw std::invalid_argument("rc_exact_delay: rt and ct must be > 0");
+  if (!(threshold > 0.0 && threshold < 1.0))
+    throw std::invalid_argument("rc_exact_delay: threshold must be in (0,1)");
+
+  // RC responses are real-axis smooth: use the distributed-line ABCD with
+  // Lt = 0 under Gaver–Stehfest.
+  const GateLineLoad sys{rtr, LineParams{rt, 0.0, ct}, cl};
+  const auto v = [&](double t) {
+    return numeric::invert_stehfest(
+        [&](double s_real) {
+          const Complex s(s_real, 0.0);
+          const Abcd line = distributed_line(sys.line, s);
+          const Complex h = terminated_transfer(
+              line, Complex(sys.driver_resistance, 0.0), s * sys.load_capacitance);
+          return std::real(h) / s_real;
+        },
+        t);
+  };
+
+  const double tau = elmore_delay(rtr, rt, ct, cl);
+  // Monotone rise: expand until bracketed, then Brent. The lower bound stays
+  // clear of the deep-attenuation region where the response underflows.
+  double hi = tau;
+  for (int i = 0; i < 60 && v(hi) < threshold; ++i) hi *= 1.6;
+  double lo = 1e-3 * tau;
+  while (v(lo) >= threshold && lo > 1e-12 * tau) lo *= 0.1;
+  return numeric::brent([&](double t) { return v(t) - threshold; }, lo, hi,
+                        {.x_tolerance = tau * 1e-12});
+}
+
+}  // namespace rlcsim::tline

@@ -1,0 +1,48 @@
+// RC-only interconnect models — the baselines the paper compares against.
+//
+//  * Elmore delay (first moment; [13] in the paper)
+//  * Sakurai's fitted 50% delay for distributed RC lines ([3])
+//  * the exact distributed-RC step response, two independent ways:
+//    a modal (eigenfunction) series for the driverless open-ended line, and
+//    Gaver–Stehfest inversion of the exact transfer function for the general
+//    driver + load case (RC responses are monotone, Stehfest's sweet spot).
+#pragma once
+
+#include <vector>
+
+#include "tline/transfer.h"
+
+namespace rlcsim::tline {
+
+// Elmore (first-moment) delay of driver + distributed RC line + load:
+//   TD = Rtr (Ct + CL) + Rt (Ct/2 + CL).
+double elmore_delay(double rtr, double rt, double ct, double cl);
+
+// Sakurai's fitted 50% delay for the same structure:
+//   t50 ≈ 0.377 Rt Ct + 0.693 (Rtr Ct + Rtr CL + Rt CL).
+// For Rtr = CL = 0 this is the paper's quoted 0.37 R C l^2 limit (we keep
+// Sakurai's 0.377 and expose the paper's rounded coefficient separately).
+double sakurai_delay(double rtr, double rt, double ct, double cl);
+
+// The paper's RC limiting form of eq. (9): 0.37 Rt Ct (bare line).
+double paper_rc_limit(double rt, double ct);
+
+// Exact far-end step response of a bare distributed RC line (no driver
+// resistance, open far end) from the eigenfunction series
+//   v(t) = 1 - sum_n 2 (-1)^n / mu_n * exp(-mu_n^2 t / (Rt Ct)),
+//   mu_n = (n + 1/2) pi.
+// `terms` controls truncation; the series alternates and converges fast for
+// t / RtCt > ~0.02.
+double rc_modal_step(double rt, double ct, double t, int terms = 64);
+
+// First time rc_modal_step reaches `threshold` (fraction of the final unit
+// value). The exact coefficient of Rt Ct for threshold = 0.5 is ~0.3786.
+double rc_modal_delay(double rt, double ct, double threshold = 0.5);
+
+// Exact 50% (or other threshold) delay of driver + distributed RC + load via
+// Stehfest inversion of the exact transfer function. The reference the RC
+// formulas are tested against.
+double rc_exact_delay(double rtr, double rt, double ct, double cl,
+                      double threshold = 0.5);
+
+}  // namespace rlcsim::tline

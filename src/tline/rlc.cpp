@@ -1,0 +1,84 @@
+#include "tline/rlc.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/units.h"
+
+namespace rlcsim::tline {
+
+double PerUnitLength::lossless_z0() const {
+  if (capacitance <= 0.0)
+    throw std::invalid_argument("PerUnitLength::lossless_z0: capacitance <= 0");
+  return std::sqrt(inductance / capacitance);
+}
+
+double PerUnitLength::velocity() const {
+  if (inductance <= 0.0 || capacitance <= 0.0)
+    throw std::invalid_argument("PerUnitLength::velocity: needs L > 0 and C > 0");
+  return 1.0 / std::sqrt(inductance * capacitance);
+}
+
+LineParams LineParams::section(int sections) const {
+  if (sections < 1)
+    throw std::invalid_argument("LineParams::section: sections must be >= 1");
+  const double k = static_cast<double>(sections);
+  return {total_resistance / k, total_inductance / k, total_capacitance / k};
+}
+
+double LineParams::time_of_flight() const {
+  return std::sqrt(total_inductance * total_capacitance);
+}
+
+double LineParams::rc_time() const { return total_resistance * total_capacitance; }
+
+double LineParams::intrinsic_damping() const {
+  if (total_inductance <= 0.0)
+    throw std::invalid_argument("intrinsic_damping: Lt must be > 0 (RC line is the limit zeta -> inf)");
+  return 0.25 * total_resistance * std::sqrt(total_capacitance / total_inductance);
+}
+
+LineParams make_line(const PerUnitLength& pul, double length_m) {
+  if (!(length_m > 0.0)) throw std::invalid_argument("make_line: length must be > 0");
+  return {pul.resistance * length_m, pul.inductance * length_m,
+          pul.capacitance * length_m};
+}
+
+namespace {
+
+void check_common(const LineParams& line) {
+  if (!std::isfinite(line.total_resistance) || line.total_resistance < 0.0)
+    throw std::invalid_argument("LineParams: total_resistance must be finite and >= 0");
+  if (!std::isfinite(line.total_capacitance) || line.total_capacitance <= 0.0)
+    throw std::invalid_argument("LineParams: total_capacitance must be finite and > 0");
+  if (!std::isfinite(line.total_inductance))
+    throw std::invalid_argument("LineParams: total_inductance must be finite");
+}
+
+}  // namespace
+
+void validate(const LineParams& line) {
+  check_common(line);
+  if (line.total_inductance <= 0.0)
+    throw std::invalid_argument("LineParams: total_inductance must be > 0 (use validate_rc for RC lines)");
+}
+
+void validate_rc(const LineParams& line) {
+  check_common(line);
+  if (line.total_inductance < 0.0)
+    throw std::invalid_argument("LineParams: total_inductance must be >= 0");
+}
+
+std::string describe(const LineParams& line) {
+  using rlcsim::units::eng;
+  std::string out = "Rt=" + eng(line.total_resistance, "ohm") +
+                    ", Lt=" + eng(line.total_inductance, "H") +
+                    ", Ct=" + eng(line.total_capacitance, "F");
+  if (line.total_inductance > 0.0) {
+    out += ", tof=" + eng(line.time_of_flight(), "s") +
+           ", zeta0=" + eng(line.intrinsic_damping(), "");
+  }
+  return out;
+}
+
+}  // namespace rlcsim::tline

@@ -1,0 +1,60 @@
+// Interconnect parasitic parameter types.
+//
+// Two views of the same wire:
+//  * `PerUnitLength` — R, L, C (and optionally G) per meter, as produced by
+//    extraction (tech layer) or quoted in papers;
+//  * `LineParams` — the totals Rt = R*l, Lt = L*l, Ct = C*l used by the
+//    delay model and the repeater formulas (the paper works in totals).
+#pragma once
+
+#include <string>
+
+namespace rlcsim::tline {
+
+// Parasitics per meter of wire. Shunt conductance G is carried for
+// completeness (lossy dielectrics) but the DAC-99 model assumes G = 0.
+struct PerUnitLength {
+  double resistance = 0.0;   // ohm / m
+  double inductance = 0.0;   // H / m
+  double capacitance = 0.0;  // F / m
+  double conductance = 0.0;  // S / m
+
+  // Characteristic impedance sqrt(L/C) of the lossless limit, ohms.
+  double lossless_z0() const;
+  // Propagation velocity 1/sqrt(LC) of the lossless limit, m/s.
+  double velocity() const;
+};
+
+// Total parasitics of one line (or one repeater section).
+struct LineParams {
+  double total_resistance = 0.0;   // Rt, ohm
+  double total_inductance = 0.0;   // Lt, H
+  double total_capacitance = 0.0;  // Ct, F
+
+  // Scales totals for a line cut into `sections` equal pieces: each piece has
+  // Rt/k, Lt/k, Ct/k (paper, Fig. 3).
+  LineParams section(int sections) const;
+
+  // Time of flight sqrt(Lt Ct) — the R->0 delay limit.
+  double time_of_flight() const;
+  // Intrinsic RC time constant Rt Ct — sets the R-dominated scale.
+  double rc_time() const;
+  // Damping factor of the bare line (no driver, no load): zeta with
+  // RT = CT = 0, i.e. (Rt/4) sqrt(Ct/Lt). > 1 means overdamped.
+  double intrinsic_damping() const;
+};
+
+// Builds totals from per-unit-length values and a length in meters.
+LineParams make_line(const PerUnitLength& pul, double length_m);
+
+// Throws std::invalid_argument (with the offending field named) unless all
+// parameters are finite, C > 0, L > 0 (use validate_rc for L == 0 lines) and
+// R >= 0.
+void validate(const LineParams& line);
+// Same but permits Lt == 0 (pure RC line).
+void validate_rc(const LineParams& line);
+
+// Human-readable one-line summary, e.g. for example programs.
+std::string describe(const LineParams& line);
+
+}  // namespace rlcsim::tline

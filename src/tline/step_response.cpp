@@ -1,0 +1,111 @@
+#include "tline/step_response.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/interpolate.h"
+#include "numeric/roots.h"
+
+namespace rlcsim::tline {
+
+double step_response_at(const GateLineLoad& system, double t,
+                        const numeric::EulerOptions& opt) {
+  validate(system);
+  if (!(t > 0.0)) return 0.0;
+  const auto f = [&](Complex s) { return transfer_exact(system, s) / s; };
+  return numeric::invert_euler(f, t, opt);
+}
+
+SampledResponse step_response(const GateLineLoad& system, double t_end, int samples,
+                              const numeric::EulerOptions& opt) {
+  validate(system);
+  if (!(t_end > 0.0)) throw std::invalid_argument("step_response: t_end must be > 0");
+  if (samples < 2) throw std::invalid_argument("step_response: need >= 2 samples");
+  const auto f = [&](Complex s) { return transfer_exact(system, s) / s; };
+
+  SampledResponse out;
+  out.time.reserve(samples);
+  out.value.reserve(samples);
+  for (int i = 1; i <= samples; ++i) {
+    const double t = t_end * static_cast<double>(i) / samples;
+    out.time.push_back(t);
+    out.value.push_back(numeric::invert_euler(f, t, opt));
+  }
+  return out;
+}
+
+double threshold_delay(const GateLineLoad& system, double threshold,
+                       const numeric::EulerOptions& opt) {
+  validate(system);
+  if (!(threshold > 0.0 && threshold < 1.0))
+    throw std::invalid_argument("threshold_delay: threshold must be in (0,1)");
+
+  // Time-scale estimate: the response must cross by a few Elmore delays or a
+  // few flight times, whichever dominates.
+  const DenominatorMoments m = moments(system);
+  const double tof = std::sqrt(system.line.total_inductance *
+                               (system.line.total_capacitance + system.load_capacitance));
+  double horizon = 6.0 * std::max(m.b1, tof);
+
+  const auto v = [&](double t) { return step_response_at(system, t, opt); };
+
+  // Coarse forward scan to find the FIRST sub-interval containing a rising
+  // crossing; expand the horizon if the response is slower than estimated.
+  constexpr int kScan = 200;
+  for (int expansion = 0; expansion < 8; ++expansion) {
+    double prev_t = horizon * 1e-6;  // avoid t = 0 (inversion requires t > 0)
+    double prev_v = v(prev_t);
+    for (int i = 1; i <= kScan; ++i) {
+      const double t = horizon * static_cast<double>(i) / kScan;
+      const double vi = v(t);
+      if (prev_v < threshold && vi >= threshold) {
+        return numeric::brent([&](double tt) { return v(tt) - threshold; }, prev_t, t,
+                              {.x_tolerance = horizon * 1e-12});
+      }
+      prev_t = t;
+      prev_v = vi;
+    }
+    horizon *= 4.0;
+  }
+  throw std::runtime_error("threshold_delay: response never crossed the threshold");
+}
+
+StepMetrics measure_step(const std::vector<double>& time,
+                         const std::vector<double>& value, double final_value) {
+  if (time.size() != value.size() || time.size() < 2)
+    throw std::invalid_argument("measure_step: bad sample arrays");
+  if (final_value == 0.0)
+    throw std::invalid_argument("measure_step: final_value must be nonzero");
+
+  StepMetrics metrics;
+  const auto cross = [&](double frac) {
+    return numeric::find_crossing(time, value, frac * final_value, time.front(), +1);
+  };
+  const auto t50 = cross(0.5);
+  if (!t50)
+    throw std::runtime_error("measure_step: waveform never reaches 50% of final value");
+  metrics.delay_50 = *t50;
+
+  const auto t10 = cross(0.1);
+  const auto t90 = cross(0.9);
+  metrics.rise_10_90 = (t10 && t90) ? (*t90 - *t10) : 0.0;
+
+  double peak = value.front();
+  for (double x : value) peak = std::max(peak, x);
+  metrics.overshoot = std::max(0.0, peak / final_value - 1.0);
+
+  // Settling: last sample where |v - final| exceeds 2%.
+  const double band = 0.02 * std::fabs(final_value);
+  std::optional<double> last_violation;
+  for (std::size_t i = 0; i < time.size(); ++i)
+    if (std::fabs(value[i] - final_value) > band) last_violation = time[i];
+  if (!last_violation)
+    metrics.settle_2pct = time.front();
+  else if (*last_violation < time.back())
+    metrics.settle_2pct = *last_violation;
+  // else: still outside the band at the end of the record -> unsettled (nullopt).
+  return metrics;
+}
+
+}  // namespace rlcsim::tline

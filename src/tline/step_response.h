@@ -1,0 +1,52 @@
+// Time-domain step response of the exact distributed system via numerical
+// Laplace inversion, plus waveform measurements on analytic responses.
+//
+// This module is one of the two independent reference implementations the
+// closed-form model is judged against (the other is the MNA transient
+// simulator in sim/). For a unit step input, the far-end voltage is
+//   vout(t) = L^-1 { H(s) / s } (t).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "numeric/laplace.h"
+#include "tline/transfer.h"
+
+namespace rlcsim::tline {
+
+// Far-end voltage at time t for a unit step applied at t = 0.
+double step_response_at(const GateLineLoad& system, double t,
+                        const numeric::EulerOptions& opt = {});
+
+// Sampled response on a uniform grid of `samples` points over (0, t_end].
+struct SampledResponse {
+  std::vector<double> time;
+  std::vector<double> value;
+};
+SampledResponse step_response(const GateLineLoad& system, double t_end, int samples,
+                              const numeric::EulerOptions& opt = {});
+
+// 50% (or arbitrary-threshold) delay of the exact system, found by root
+// search on the inverted response. `threshold` is a fraction of the final
+// value (which is 1 for a unit step into a capacitive load).
+//
+// Underdamped responses cross the threshold multiple times; the *first*
+// crossing is the propagation delay, and the root search is seeded by a
+// coarse forward scan to guarantee it brackets the first crossing.
+double threshold_delay(const GateLineLoad& system, double threshold = 0.5,
+                       const numeric::EulerOptions& opt = {});
+
+// Measurements on an arbitrary sampled waveform (shared with the simulator's
+// waveforms through sim/waveform.h, which re-exports richer variants).
+struct StepMetrics {
+  double delay_50 = 0.0;               // first 50% crossing, s
+  double rise_10_90 = 0.0;             // 10% -> 90% rise time, s
+  double overshoot = 0.0;              // max(v) - 1, clamped at 0
+  std::optional<double> settle_2pct;   // last time |v-1| > 2%, if settled
+};
+StepMetrics measure_step(const std::vector<double>& time,
+                         const std::vector<double>& value, double final_value = 1.0);
+
+}  // namespace rlcsim::tline

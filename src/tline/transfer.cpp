@@ -1,0 +1,55 @@
+#include "tline/transfer.h"
+
+#include <stdexcept>
+
+namespace rlcsim::tline {
+
+double GateLineLoad::rt_ratio() const {
+  if (line.total_resistance <= 0.0)
+    throw std::invalid_argument("rt_ratio: line resistance must be > 0");
+  return driver_resistance / line.total_resistance;
+}
+
+double GateLineLoad::ct_ratio() const {
+  if (line.total_capacitance <= 0.0)
+    throw std::invalid_argument("ct_ratio: line capacitance must be > 0");
+  return load_capacitance / line.total_capacitance;
+}
+
+void validate(const GateLineLoad& system) {
+  if (!(system.driver_resistance >= 0.0))
+    throw std::invalid_argument("GateLineLoad: driver_resistance must be >= 0");
+  if (!(system.load_capacitance >= 0.0))
+    throw std::invalid_argument("GateLineLoad: load_capacitance must be >= 0");
+  tline::validate(system.line);
+}
+
+Complex transfer_exact(const GateLineLoad& system, Complex s) {
+  const Abcd line = distributed_line(system.line, s);
+  return terminated_transfer(line, Complex(system.driver_resistance, 0.0),
+                             s * system.load_capacitance);
+}
+
+Complex transfer_lumped(const GateLineLoad& system, int segments, Complex s) {
+  if (segments < 1)
+    throw std::invalid_argument("transfer_lumped: segments must be >= 1");
+  const Abcd ladder = lumped_ladder(system.line, segments, s);
+  return terminated_transfer(ladder, Complex(system.driver_resistance, 0.0),
+                             s * system.load_capacitance);
+}
+
+DenominatorMoments moments(const GateLineLoad& system) {
+  const double rtr = system.driver_resistance;
+  const double cl = system.load_capacitance;
+  const double rt = system.line.total_resistance;
+  const double lt = system.line.total_inductance;
+  const double ct = system.line.total_capacitance;
+
+  DenominatorMoments m;
+  m.b1 = rtr * (ct + cl) + rt * (ct / 2.0 + cl);
+  m.b2 = lt * (ct / 2.0 + cl) + rt * rt * ct * (ct / 24.0 + cl / 6.0) +
+         rtr * rt * ct * (ct / 6.0 + cl / 2.0);
+  return m;
+}
+
+}  // namespace rlcsim::tline

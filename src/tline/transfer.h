@@ -1,0 +1,54 @@
+// Exact transfer function of the paper's canonical system:
+//
+//   step source -- Rtr -- [ distributed RLC line: Rt, Lt, Ct ] -- CL -- gnd
+//
+// This is eq. (1) of the paper rearranged into the ABCD form
+//   H(s) = 1 / [ cosh θ + (z0 s CL + Rtr/z0) sinh θ + Rtr s CL cosh θ ].
+//
+// Also provides the exact low-order Taylor (moment) coefficients of 1/H —
+// the denominator expansion D(s) = 1 + b1 s + b2 s² + O(s³) — which anchor
+// the two-pole model and appear (scaled) as the paper's eq. (7).
+#pragma once
+
+#include <complex>
+
+#include "tline/rlc.h"
+#include "tline/two_port.h"
+
+namespace rlcsim::tline {
+
+// A gate (linearized to its output resistance) driving a line into the next
+// gate's input capacitance. The unit under study everywhere in this library.
+struct GateLineLoad {
+  double driver_resistance = 0.0;  // Rtr, ohm
+  LineParams line;
+  double load_capacitance = 0.0;  // CL, F
+
+  // The paper's normalized ratios, eq. (5).
+  double rt_ratio() const;  // RT = Rtr / Rt
+  double ct_ratio() const;  // CT = CL / Ct
+};
+
+// Throws std::invalid_argument unless Rtr >= 0, CL >= 0 and the line is a
+// valid RLC line (Lt > 0).
+void validate(const GateLineLoad& system);
+
+// Exact H(s) with the distributed line.
+Complex transfer_exact(const GateLineLoad& system, Complex s);
+
+// H(s) with the line replaced by an N-segment lumped pi ladder (what the MNA
+// simulator integrates); converges to transfer_exact as segments grow.
+Complex transfer_lumped(const GateLineLoad& system, int segments, Complex s);
+
+// Denominator moments of the exact transfer function:
+//   D(s) = 1/H(s) = 1 + b1 s + b2 s^2 + ...
+// derived in closed form from the cosh/sinh series (no numerics):
+//   b1 = Rtr (Ct + CL) + Rt (Ct/2 + CL)
+//   b2 = Lt (Ct/2 + CL) + Rt^2 Ct (Ct/24 + CL/6) + Rtr Rt Ct (Ct/6 + CL/2)
+struct DenominatorMoments {
+  double b1 = 0.0;  // seconds — equals the Elmore delay of the system
+  double b2 = 0.0;  // seconds^2
+};
+DenominatorMoments moments(const GateLineLoad& system);
+
+}  // namespace rlcsim::tline

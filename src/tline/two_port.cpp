@@ -1,0 +1,90 @@
+#include "tline/two_port.h"
+
+#include <cmath>
+
+namespace rlcsim::tline {
+
+Abcd Abcd::cascade(const Abcd& rhs) const {
+  return {a * rhs.a + b * rhs.c, a * rhs.b + b * rhs.d, c * rhs.a + d * rhs.c,
+          c * rhs.b + d * rhs.d};
+}
+
+Abcd series_impedance(Complex z) { return {1.0, z, 0.0, 1.0}; }
+
+Abcd shunt_admittance(Complex y) { return {1.0, 0.0, y, 1.0}; }
+
+Abcd series_resistor(double r) { return series_impedance(Complex(r, 0.0)); }
+
+Abcd series_inductor(double l, Complex s) { return series_impedance(s * l); }
+
+Abcd shunt_capacitor(double c, Complex s) { return shunt_admittance(s * c); }
+
+namespace {
+
+// sinh(theta)/theta with a series fallback for tiny |theta| where the direct
+// quotient loses precision.
+Complex sinhc(Complex theta) {
+  if (std::abs(theta) < 1e-6) {
+    const Complex t2 = theta * theta;
+    return 1.0 + t2 / 6.0 + t2 * t2 / 120.0;
+  }
+  return std::sinh(theta) / theta;
+}
+
+}  // namespace
+
+Abcd distributed_line(const LineParams& line, Complex s, double total_conductance) {
+  // Series impedance and shunt admittance of the whole line.
+  const Complex z = Complex(line.total_resistance, 0.0) + s * line.total_inductance;
+  const Complex y = Complex(total_conductance, 0.0) + s * line.total_capacitance;
+  const Complex theta = std::sqrt(z * y);
+
+  const Complex cosh_theta = std::cosh(theta);
+  const Complex shc = sinhc(theta);
+  // B = z0 sinh(theta) = z * sinh(theta)/theta, C = y * sinh(theta)/theta —
+  // these forms stay finite as y -> 0 or z -> 0 (no explicit z0).
+  return {cosh_theta, z * shc, y * shc, cosh_theta};
+}
+
+Abcd lumped_pi_segment(const LineParams& segment, Complex s) {
+  const Complex half_shunt = s * (segment.total_capacitance / 2.0);
+  const Complex series =
+      Complex(segment.total_resistance, 0.0) + s * segment.total_inductance;
+  return shunt_admittance(half_shunt)
+      .cascade(series_impedance(series))
+      .cascade(shunt_admittance(half_shunt));
+}
+
+Abcd lumped_ladder(const LineParams& line, int segments, Complex s) {
+  const LineParams seg = line.section(segments);
+  const Abcd one = lumped_pi_segment(seg, s);
+  // Repeated squaring over the segment count.
+  Abcd acc;  // identity
+  Abcd base = one;
+  int n = segments;
+  while (n > 0) {
+    if (n & 1) acc = acc.cascade(base);
+    base = base.cascade(base);
+    n >>= 1;
+  }
+  return acc;
+}
+
+Complex terminated_transfer(const Abcd& network, Complex source_impedance,
+                            Complex load_admittance) {
+  // Guard against overflow in cosh/sinh at huge |theta| (deep-attenuation
+  // limit): inf * 0 products would otherwise poison the sum with NaN. The
+  // physical transfer in that limit is 0.
+  auto safe_product = [](Complex a, Complex b) -> Complex {
+    if (b == Complex(0.0, 0.0) || a == Complex(0.0, 0.0)) return {0.0, 0.0};
+    return a * b;
+  };
+  const Complex denom = network.a + safe_product(network.b, load_admittance) +
+                        safe_product(source_impedance, network.c) +
+                        safe_product(safe_product(source_impedance, network.d),
+                                     load_admittance);
+  if (!std::isfinite(denom.real()) || !std::isfinite(denom.imag())) return {0.0, 0.0};
+  return 1.0 / denom;
+}
+
+}  // namespace rlcsim::tline

@@ -1,0 +1,56 @@
+// Complex-frequency two-port (ABCD / chain) analysis.
+//
+// Everything the paper's eq. (1) expresses — a lossy line between a source
+// impedance and a load impedance — is the terminated transfer function of a
+// chain matrix. We build transfer functions by cascading ABCD blocks so the
+// exact distributed line and its lumped ladder approximations share one code
+// path and can be compared at any complex frequency s.
+#pragma once
+
+#include <complex>
+
+#include "tline/rlc.h"
+
+namespace rlcsim::tline {
+
+using Complex = std::complex<double>;
+
+// Chain parameters: [V1; I1] = [A B; C D] [V2; I2], port 2 currents flowing
+// out of the network.
+struct Abcd {
+  Complex a{1.0, 0.0};
+  Complex b{0.0, 0.0};
+  Complex c{0.0, 0.0};
+  Complex d{1.0, 0.0};
+
+  // this ∘ rhs: `this` is closer to the source, `rhs` closer to the load.
+  Abcd cascade(const Abcd& rhs) const;
+};
+
+// Elementary blocks.
+Abcd series_impedance(Complex z);
+Abcd shunt_admittance(Complex y);
+Abcd series_resistor(double r);
+Abcd series_inductor(double l, Complex s);
+Abcd shunt_capacitor(double c, Complex s);
+
+// Distributed lossy RLC(G) line of the given totals at complex frequency s:
+//   A = D = cosh(theta),  B = z0 sinh(theta),  C = sinh(theta) / z0,
+//   theta = sqrt((Rt + s Lt)(Gt + s Ct)),  z0 = sqrt((Rt + s Lt)/(Gt + s Ct)).
+// Handles the s -> 0 and lossless limits smoothly through the series
+// expansion of sinh/cosh when |theta| is tiny.
+Abcd distributed_line(const LineParams& line, Complex s, double total_conductance = 0.0);
+
+// One lumped pi segment (series R+sL, split shunt capacitance) and an
+// N-segment ladder of them — the discretization the MNA simulator uses, here
+// in the frequency domain so discretization error can be measured exactly.
+Abcd lumped_pi_segment(const LineParams& segment, Complex s);
+Abcd lumped_ladder(const LineParams& line, int segments, Complex s);
+
+// Voltage transfer Vout/Vin of `network` driven through source impedance zs
+// into load impedance zl (zl == infinity is expressed by load_admittance = 0):
+//   H = 1 / (A + B yl + zs C + zs D yl).
+Complex terminated_transfer(const Abcd& network, Complex source_impedance,
+                            Complex load_admittance);
+
+}  // namespace rlcsim::tline

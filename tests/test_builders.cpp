@@ -1,0 +1,128 @@
+#include "sim/builders.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tline/rc_line.h"
+#include "tline/step_response.h"
+
+namespace {
+
+using namespace rlcsim;
+using namespace rlcsim::sim;
+
+TEST(Ladder, ElementCounts) {
+  Circuit c;
+  c.add_voltage_source("in", "0", StepSpec{});
+  add_rlc_ladder(c, "ln", "in", "out", {100.0, 1e-9, 1e-12}, 8);
+  EXPECT_EQ(c.resistors().size(), 8u);
+  EXPECT_EQ(c.inductors().size(), 8u);
+  EXPECT_EQ(c.capacitors().size(), 16u);  // two half-caps per segment
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Ladder, TotalsPreserved) {
+  Circuit c;
+  c.add_voltage_source("in", "0", StepSpec{});
+  add_rlc_ladder(c, "ln", "in", "out", {100.0, 4e-9, 2e-12}, 5);
+  double r = 0.0, l = 0.0, cap = 0.0;
+  for (const auto& e : c.resistors()) r += e.resistance;
+  for (const auto& e : c.inductors()) l += e.inductance;
+  for (const auto& e : c.capacitors()) cap += e.capacitance;
+  EXPECT_NEAR(r, 100.0, 1e-9);
+  EXPECT_NEAR(l, 4e-9, 1e-20);
+  EXPECT_NEAR(cap, 2e-12, 1e-24);
+}
+
+TEST(Ladder, RcOnlyOmitsInductors) {
+  Circuit c;
+  c.add_voltage_source("in", "0", StepSpec{});
+  add_rlc_ladder(c, "ln", "in", "out", {100.0, 0.0, 1e-12}, 4);
+  EXPECT_TRUE(c.inductors().empty());
+  EXPECT_EQ(c.resistors().size(), 4u);
+}
+
+TEST(Ladder, RejectsBadSegmentCount) {
+  Circuit c;
+  EXPECT_THROW(add_rlc_ladder(c, "x", "a", "b", {1.0, 1e-9, 1e-12}, 0),
+               std::invalid_argument);
+}
+
+TEST(GateLineLoad, SimulatedDelayMatchesLaplaceReference) {
+  const tline::GateLineLoad sys{500.0, {500.0, 1e-7, 1e-12}, 0.5e-12};
+  const double reference = tline::threshold_delay(sys);
+  const double simulated = simulate_gate_line_delay(sys, 120);
+  EXPECT_NEAR(simulated, reference, reference * 0.01);
+}
+
+TEST(GateLineLoad, SegmentConvergence) {
+  const tline::GateLineLoad sys{200.0, {400.0, 5e-8, 1e-12}, 0.3e-12};
+  const double reference = tline::threshold_delay(sys);
+  const double coarse = std::fabs(simulate_gate_line_delay(sys, 6) - reference);
+  const double fine = std::fabs(simulate_gate_line_delay(sys, 96) - reference);
+  EXPECT_LT(fine, coarse);
+  EXPECT_LT(fine, reference * 0.01);
+}
+
+TEST(GateLineLoad, ZeroDriverResistanceWorks) {
+  const tline::GateLineLoad sys{0.0, {100.0, 1e-8, 1e-12}, 0.0};
+  const double simulated = simulate_gate_line_delay(sys, 80);
+  const double reference = tline::threshold_delay(sys);
+  EXPECT_NEAR(simulated, reference, reference * 0.02);
+}
+
+TEST(RepeaterChain, StructureAndValidation) {
+  RepeaterChainSpec spec;
+  spec.line = {300.0, 3e-9, 3e-12};
+  spec.sections = 3;
+  spec.size = 10.0;
+  spec.r0 = 1000.0;
+  spec.c0 = 5e-15;
+  spec.segments_per_section = 10;
+  const Circuit c = build_repeater_chain(spec);
+  EXPECT_EQ(c.buffers().size(), 2u);  // stages 2..k
+  EXPECT_EQ(c.voltage_sources().size(), 1u);
+  EXPECT_EQ(c.inductors().size(), 30u);
+  EXPECT_NO_THROW(c.validate());
+
+  RepeaterChainSpec bad = spec;
+  bad.sections = 0;
+  EXPECT_THROW(build_repeater_chain(bad), std::invalid_argument);
+  bad = spec;
+  bad.r0 = 0.0;
+  EXPECT_THROW(build_repeater_chain(bad), std::invalid_argument);
+  bad = spec;
+  bad.size = 0.0;
+  EXPECT_THROW(build_repeater_chain(bad), std::invalid_argument);
+}
+
+TEST(RepeaterChain, SingleSectionEqualsGateLineLoad) {
+  // k = 1 chain is exactly the canonical gate + line + load system.
+  RepeaterChainSpec spec;
+  spec.line = {400.0, 4e-8, 2e-12};
+  spec.sections = 1;
+  spec.size = 8.0;
+  spec.r0 = 2000.0;
+  spec.c0 = 10e-15;
+  spec.segments_per_section = 80;
+  const double chain = simulate_repeater_chain_delay(spec);
+  const tline::GateLineLoad sys{spec.r0 / spec.size, spec.line, spec.c0 * spec.size};
+  const double reference = tline::threshold_delay(sys);
+  EXPECT_NEAR(chain, reference, reference * 0.02);
+}
+
+TEST(RepeaterChain, DelayGrowsWithUndersizedBuffers) {
+  RepeaterChainSpec good;
+  good.line = {400.0, 4e-9, 2e-12};
+  good.sections = 3;
+  good.size = 30.0;
+  good.r0 = 2000.0;
+  good.c0 = 10e-15;
+  good.segments_per_section = 20;
+  RepeaterChainSpec weak = good;
+  weak.size = 2.0;  // massively undersized drivers
+  EXPECT_GT(simulate_repeater_chain_delay(weak), simulate_repeater_chain_delay(good));
+}
+
+}  // namespace

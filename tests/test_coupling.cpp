@@ -1,0 +1,152 @@
+// Mutual inductance and coupled-line (crosstalk) tests.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/builders.h"
+#include "sim/netlist_parser.h"
+#include "sim/transient.h"
+
+namespace {
+
+using namespace rlcsim;
+using namespace rlcsim::sim;
+
+TEST(Mutual, Validation) {
+  Circuit c;
+  c.add_voltage_source("a", "0", DcSpec{0.0}, "v");
+  c.add_inductor("a", "0", 1e-9, 0.0, "L1");
+  c.add_inductor("b", "0", 1e-9, 0.0, "L2");
+  c.add_resistor("b", "0", 1.0);
+  EXPECT_THROW(c.add_mutual("L1", "Lx", 0.5), std::invalid_argument);
+  EXPECT_THROW(c.add_mutual("L1", "L1", 0.5), std::invalid_argument);
+  EXPECT_THROW(c.add_mutual("L1", "L2", 1.0), std::invalid_argument);
+  EXPECT_THROW(c.add_mutual("L1", "L2", -0.1), std::invalid_argument);
+  EXPECT_NO_THROW(c.add_mutual("L1", "L2", 0.5, "K1"));
+  EXPECT_DOUBLE_EQ(c.mutuals()[0].mutual, 0.5e-9);
+}
+
+TEST(Mutual, TransientTransformerInducesSecondaryKick) {
+  // Step into L1 (through R); the coupled L2 (loaded by R2) sees an induced
+  // voltage pulse proportional to k.
+  const auto peak_for = [](double k) {
+    Circuit c;
+    c.add_voltage_source("in", "0", StepSpec{0.0, 1.0, 0.0, 0.0}, "v");
+    c.add_resistor("in", "p", 50.0);
+    c.add_inductor("p", "0", 10e-9, 0.0, "L1");
+    c.add_inductor("s", "0", 10e-9, 0.0, "L2");
+    c.add_resistor("s", "0", 50.0, "r2");
+    if (k > 0.0) c.add_mutual("L1", "L2", k, "K");
+    TransientOptions opt;
+    opt.t_stop = 2e-9;
+    opt.dt = 0.5e-12;
+    const auto result = run_transient(c, opt);
+    const Trace s = result.waveforms.trace("s");
+    return std::max(std::fabs(s.max_value()), std::fabs(s.min_value()));
+  };
+  const double quiet = peak_for(0.0);
+  const double weak = peak_for(0.2);
+  const double strong = peak_for(0.6);
+  EXPECT_LT(quiet, 1e-9);
+  EXPECT_GT(weak, 0.01);
+  EXPECT_GT(strong, 2.0 * weak);
+}
+
+TEST(Mutual, EnergyConservedInLosslessCoupledPair) {
+  // With k < 1 the inductance matrix is positive definite; the response of
+  // a passive coupled pair must stay bounded (no numerical energy creation).
+  Circuit c;
+  c.add_voltage_source("in", "0", StepSpec{0.0, 1.0, 0.0, 0.0}, "v");
+  c.add_resistor("in", "p", 10.0);
+  c.add_inductor("p", "m", 5e-9, 0.0, "L1");
+  c.add_capacitor("m", "0", 1e-12);
+  c.add_inductor("q", "n", 5e-9, 0.0, "L2");
+  c.add_capacitor("n", "0", 1e-12);
+  c.add_resistor("q", "0", 10.0);
+  c.add_mutual("L1", "L2", 0.8, "K");
+  TransientOptions opt;
+  opt.t_stop = 20e-9;
+  opt.dt = 2e-12;
+  const auto result = run_transient(c, opt);
+  for (const auto& node : {"m", "n"}) {
+    const Trace t = result.waveforms.trace(node);
+    EXPECT_LT(t.max_value(), 2.5) << node;
+    EXPECT_GT(t.min_value(), -2.5) << node;
+  }
+}
+
+TEST(Coupling, ParserReadsKElement) {
+  const auto parsed = parse_netlist(R"(
+V1 in 0 STEP(0 1 0)
+R1 in a 50
+L1 a 0 1n
+L2 b 0 1n
+R2 b 0 50
+K1 L1 L2 0.3
+)");
+  ASSERT_EQ(parsed.circuit.mutuals().size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.circuit.mutuals()[0].coupling, 0.3);
+  EXPECT_THROW(parse_netlist("K1 L1 L2 0.5\n"), ParseError);  // unknown inductors
+}
+
+TEST(Crosstalk, CouplingMechanismsAndFarEndCancellation) {
+  CoupledLinesSpec spec;
+  spec.line = {100.0, 5e-9, 1e-12};
+  spec.segments = 20;
+
+  spec.coupling_capacitance = 0.0;
+  spec.inductive_k = 0.0;
+  const double none = simulate_crosstalk_peak(spec, 100.0, 50e-15);
+
+  spec.coupling_capacitance = 0.3e-12;
+  const double capacitive = simulate_crosstalk_peak(spec, 100.0, 50e-15);
+
+  spec.coupling_capacitance = 0.0;
+  spec.inductive_k = 0.4;
+  const double inductive = simulate_crosstalk_peak(spec, 100.0, 50e-15);
+
+  spec.coupling_capacitance = 0.3e-12;
+  const double both = simulate_crosstalk_peak(spec, 100.0, 50e-15);
+
+  EXPECT_LT(none, 1e-6);
+  EXPECT_GT(capacitive, 0.01);
+  EXPECT_GT(inductive, 0.01);
+  // The classic far-end-crosstalk fact: capacitive and inductive coupling
+  // inject opposite-polarity noise at the far end and partially cancel.
+  EXPECT_LT(both, capacitive + inductive);
+  EXPECT_LT(both, 1.0);  // bounded by the supply
+}
+
+TEST(Crosstalk, BuilderStructure) {
+  CoupledLinesSpec spec;
+  spec.line = {100.0, 5e-9, 1e-12};
+  spec.segments = 8;
+  spec.coupling_capacitance = 0.2e-12;
+  spec.inductive_k = 0.3;
+  const Circuit c = build_crosstalk_pair(spec, 100.0, 50e-15);
+  EXPECT_EQ(c.inductors().size(), 16u);
+  EXPECT_EQ(c.mutuals().size(), 8u);
+  EXPECT_NO_THROW(c.validate());
+  // Total coupling capacitance preserved.
+  double cc = 0.0;
+  for (const auto& cap : c.capacitors())
+    if (cap.name.rfind("xt.cc", 0) == 0) cc += cap.capacitance;
+  EXPECT_NEAR(cc, 0.2e-12, 1e-20);
+}
+
+TEST(Crosstalk, Validation) {
+  CoupledLinesSpec spec;
+  spec.line = {100.0, 5e-9, 1e-12};
+  spec.segments = 0;
+  Circuit c;
+  EXPECT_THROW(add_coupled_lines(c, "x", "a", "b", "c", "d", spec),
+               std::invalid_argument);
+  spec.segments = 4;
+  spec.coupling_capacitance = -1.0;
+  EXPECT_THROW(add_coupled_lines(c, "x", "a", "b", "c", "d", spec),
+               std::invalid_argument);
+  spec.coupling_capacitance = 0.0;
+  EXPECT_THROW(build_crosstalk_pair(spec, 0.0, 1e-15), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include "numeric/curve_fit.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::numeric;
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  std::vector<double> v(n);
+  for (int i = 0; i < n; ++i) v[i] = lo + (hi - lo) * i / (n - 1);
+  return v;
+}
+
+TEST(CurveFit, RecoversLinearModel) {
+  const FitModel model = [](double x, const std::vector<double>& p) {
+    return p[0] + p[1] * x;
+  };
+  const auto xs = linspace(0.0, 10.0, 25);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 - 0.5 * x);
+  const auto fit = fit_levenberg_marquardt(model, xs, ys, {0.0, 0.0});
+  EXPECT_NEAR(fit.params[0], 3.0, 1e-8);
+  EXPECT_NEAR(fit.params[1], -0.5, 1e-8);
+  EXPECT_LT(fit.rss, 1e-15);
+}
+
+TEST(CurveFit, RecoversExponentialDecay) {
+  const FitModel model = [](double x, const std::vector<double>& p) {
+    return p[0] * std::exp(-p[1] * x);
+  };
+  const auto xs = linspace(0.0, 5.0, 40);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * std::exp(-1.3 * x));
+  const auto fit = fit_levenberg_marquardt(model, xs, ys, {1.0, 0.5});
+  EXPECT_NEAR(fit.params[0], 2.5, 1e-6);
+  EXPECT_NEAR(fit.params[1], 1.3, 1e-6);
+}
+
+TEST(CurveFit, RecoversThreeParameterDelayForm) {
+  // The exact functional family of the paper's eq. (9).
+  const FitModel model = [](double z, const std::vector<double>& p) {
+    return std::exp(-p[0] * std::pow(z, p[1])) + p[2] * z;
+  };
+  const auto xs = linspace(0.05, 3.0, 60);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(std::exp(-2.9 * std::pow(x, 1.35)) + 1.48 * x);
+  const auto fit = fit_levenberg_marquardt(model, xs, ys, {2.0, 1.0, 1.0});
+  EXPECT_NEAR(fit.params[0], 2.9, 1e-4);
+  EXPECT_NEAR(fit.params[1], 1.35, 1e-4);
+  EXPECT_NEAR(fit.params[2], 1.48, 1e-5);
+}
+
+TEST(CurveFit, NoisyDataStillCloses) {
+  const FitModel model = [](double x, const std::vector<double>& p) {
+    return p[0] * x * x + p[1];
+  };
+  const auto xs = linspace(-2.0, 2.0, 50);
+  std::vector<double> ys;
+  int i = 0;
+  for (double x : xs)
+    ys.push_back(4.0 * x * x + 1.0 + 1e-3 * std::sin(37.0 * ++i));  // deterministic noise
+  const auto fit = fit_levenberg_marquardt(model, xs, ys, {1.0, 0.0});
+  EXPECT_NEAR(fit.params[0], 4.0, 1e-3);
+  EXPECT_NEAR(fit.params[1], 1.0, 1e-3);
+}
+
+TEST(CurveFit, WeightsEmphasizeRegion) {
+  // A line fit with one wild outlier: weight 0 removes its influence.
+  const FitModel model = [](double x, const std::vector<double>& p) {
+    return p[0] * x;
+  };
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 100.0};
+  std::vector<double> w{1.0, 1.0, 1.0, 0.0};
+  const auto fit = fit_levenberg_marquardt(model, xs, ys, {1.0}, {}, w);
+  EXPECT_NEAR(fit.params[0], 2.0, 1e-9);
+}
+
+TEST(CurveFit, RejectsBadInputs) {
+  const FitModel model = [](double x, const std::vector<double>& p) { return p[0] * x; };
+  EXPECT_THROW(fit_levenberg_marquardt(model, {}, {}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_levenberg_marquardt(model, {1.0}, {1.0, 2.0}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fit_levenberg_marquardt(model, {1.0}, {1.0}, {}), std::invalid_argument);
+  EXPECT_THROW(fit_levenberg_marquardt(model, {1.0, 2.0}, {1.0, 2.0}, {1.0}, {},
+                                       {1.0}),
+               std::invalid_argument);
+}
+
+// Power-law recovery across decades of exponent.
+class PowerLawFit : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawFit, RecoversExponent) {
+  const double exponent = GetParam();
+  const FitModel model = [](double x, const std::vector<double>& p) {
+    return p[0] * std::pow(x, p[1]);
+  };
+  const auto xs = linspace(0.5, 4.0, 30);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(1.7 * std::pow(x, exponent));
+  const auto fit = fit_levenberg_marquardt(model, xs, ys, {1.0, 1.0});
+  EXPECT_NEAR(fit.params[0], 1.7, 1e-5);
+  EXPECT_NEAR(fit.params[1], exponent, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, PowerLawFit,
+                         ::testing::Values(0.24, 0.5, 1.0, 1.35, 2.0, 3.0));
+
+}  // namespace

@@ -1,0 +1,141 @@
+#include "core/delay_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim;
+using namespace rlcsim::core;
+
+// Table-1 style system builder: Rtr = 500, Ct = 1 pF, Rt = Rtr / RT,
+// CL = CT * Ct.
+tline::GateLineLoad table1_system(double rt_ratio, double ct_ratio, double lt) {
+  const double rtr = 500.0, ct = 1e-12;
+  return {rtr, {rtr / rt_ratio, lt, ct}, ct_ratio * ct};
+}
+
+TEST(Zeta, HandComputedValue) {
+  // RT = CT = 1, Rt = 500, Ct = 1 pF, Lt = 1e-8 H:
+  // zeta = 250 * sqrt(1e-12/1e-8) * (1+1+1+0.5)/sqrt(2) = 2.5 * 3.5/1.41421.
+  const DelayModel m(table1_system(1.0, 1.0, 1e-8));
+  EXPECT_NEAR(m.zeta(), 2.5 * 3.5 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(m.omega_n(), 1.0 / std::sqrt(1e-8 * 2e-12), 1.0);
+  EXPECT_DOUBLE_EQ(m.rt(), 1.0);
+  EXPECT_DOUBLE_EQ(m.ct(), 1.0);
+}
+
+TEST(Eq9, ReproducesPaperTable1Cells) {
+  // Cells from Table 1 (RT = 0.5 and 1.0 groups) that pin down the zeta
+  // formula; values in ps as printed in the paper's "(9)" columns.
+  struct Cell {
+    double rt, ct, lt, tpd_ps;
+  };
+  const Cell cells[] = {
+      {1.0, 1.0, 1e-8, 1294.0},  // matches to ~0.1%
+      {0.5, 1.0, 1e-8, 1811.0},
+      {0.5, 0.5, 1e-7, 1297.0},
+      {1.0, 0.1, 1e-8, 630.0},
+      {0.5, 0.1, 1e-8, 841.0},
+  };
+  for (const auto& cell : cells) {
+    const DelayModel m(table1_system(cell.rt, cell.ct, cell.lt));
+    EXPECT_NEAR(m.delay() * 1e12, cell.tpd_ps, cell.tpd_ps * 0.035)
+        << "RT=" << cell.rt << " CT=" << cell.ct << " Lt=" << cell.lt;
+  }
+}
+
+TEST(Eq9, RcLimitIs037RtCt) {
+  // RT = CT = 0, L -> 0: tpd -> 0.37 Rt Ct exactly (the paper's analytic
+  // limit; 1.48/4 = 0.37).
+  const double rt = 1000.0, ct = 1e-12;
+  const tline::GateLineLoad sys{0.0, {rt, 1e-13, ct}, 0.0};
+  const DelayModel m(sys);
+  EXPECT_NEAR(m.delay(), 0.37 * rt * ct, 0.37 * rt * ct * 1e-3);
+  EXPECT_DOUBLE_EQ(m.rc_limit_delay(), 0.37 * rt * ct);
+}
+
+TEST(Eq9, LcLimitIsTimeOfFlight) {
+  // R -> 0: tpd -> sqrt(Lt Ct).
+  const double lt = 1e-8, ct = 1e-12;
+  const tline::GateLineLoad sys{0.0, {1e-4, lt, ct}, 0.0};
+  const DelayModel m(sys);
+  const double tof = std::sqrt(lt * ct);
+  EXPECT_NEAR(m.delay(), tof, tof * 1e-3);
+  EXPECT_DOUBLE_EQ(m.lc_limit_delay(), tof);
+}
+
+TEST(Eq9, ScaledDelayFunctionalForm) {
+  EXPECT_DOUBLE_EQ(scaled_delay_of(0.0), 1.0);  // e^0 + 0
+  const double z = 0.8;
+  EXPECT_DOUBLE_EQ(scaled_delay_of(z),
+                   std::exp(-2.9 * std::pow(z, 1.35)) + 1.48 * z);
+  EXPECT_THROW(scaled_delay_of(-0.1), std::invalid_argument);
+}
+
+TEST(Eq9, CustomFitConstants) {
+  const DelayFitConstants alt{2.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(scaled_delay_of(1.0, alt), std::exp(-2.0) + 1.0);
+}
+
+TEST(Regime, Classification) {
+  EXPECT_EQ(DelayModel(table1_system(0.1, 0.1, 1e-5)).regime(),
+            DampingRegime::kUnderdamped);
+  EXPECT_EQ(DelayModel(table1_system(1.0, 1.0, 1e-8)).regime(),
+            DampingRegime::kOverdamped);
+}
+
+TEST(FittedRange, Flagging) {
+  EXPECT_TRUE(DelayModel(table1_system(0.5, 0.5, 1e-8)).in_fitted_range());
+  EXPECT_FALSE(DelayModel(table1_system(5.0, 0.5, 1e-8)).in_fitted_range());
+  const std::string d = DelayModel(table1_system(5.0, 0.5, 1e-8)).describe();
+  EXPECT_NE(d.find("outside"), std::string::npos);
+}
+
+TEST(DelayModel, MonotoneInDrivingResistance) {
+  double prev = 0.0;
+  for (double rtr : {100.0, 200.0, 400.0, 800.0}) {
+    const tline::GateLineLoad sys{rtr, {500.0, 1e-8, 1e-12}, 0.5e-12};
+    const double d = rlc_delay(sys);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(DelayModel, MonotoneInLoadCapacitance) {
+  double prev = 0.0;
+  for (double cl : {0.1e-12, 0.3e-12, 0.6e-12, 1e-12}) {
+    const tline::GateLineLoad sys{500.0, {500.0, 1e-8, 1e-12}, cl};
+    const double d = rlc_delay(sys);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(DelayModel, Validation) {
+  EXPECT_THROW(DelayModel({500.0, {500.0, 0.0, 1e-12}, 0.0}), std::invalid_argument);
+  EXPECT_THROW(zeta_of(0.5, 0.5, 500.0, 0.0, 1e-12), std::invalid_argument);
+  EXPECT_THROW(zeta_of(0.5, 0.5, 500.0, 1e-9, 0.0), std::invalid_argument);
+}
+
+// Dimensional-consistency property: scaling R by a, L by a^2 leaves zeta
+// unchanged and scales the delay by a * ... — more precisely, the delay of
+// (a Rt, a^2 Lt, Ct, a Rtr, CL) is a times the original.
+class DelayScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(DelayScaling, ImpedanceScalingLaw) {
+  const double a = GetParam();
+  const tline::GateLineLoad base{300.0, {700.0, 2e-9, 1.5e-12}, 0.8e-12};
+  const tline::GateLineLoad scaled{300.0 * a,
+                                   {700.0 * a, 2e-9 * a * a, 1.5e-12},
+                                   0.8e-12};
+  const DelayModel mb(base), ms(scaled);
+  EXPECT_NEAR(ms.zeta(), mb.zeta(), mb.zeta() * 1e-12);
+  EXPECT_NEAR(ms.delay(), a * mb.delay(), a * mb.delay() * 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, DelayScaling, ::testing::Values(0.25, 0.5, 2.0, 8.0));
+
+}  // namespace

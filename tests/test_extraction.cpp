@@ -1,0 +1,102 @@
+#include "tech/extraction.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::tech;
+
+const Materials kCu{1.7e-8, 3.9, 1.0};
+
+TEST(Resistance, BulkFormula) {
+  const WireGeometry w{1e-6, 0.5e-6, 1e-6, 0.0};
+  EXPECT_DOUBLE_EQ(extract_resistance(w, kCu), 1.7e-8 / (1e-6 * 0.5e-6));
+  // 34 ohm/mm for this cross-section: the right order for global copper.
+  EXPECT_NEAR(extract_resistance(w, kCu) * 1e-3, 34.0, 1.0);
+}
+
+TEST(Resistance, Validation) {
+  EXPECT_THROW(extract_resistance({0.0, 1e-6, 1e-6, 0.0}, kCu), std::invalid_argument);
+  EXPECT_THROW(extract_resistance({1e-6, 1e-6, 1e-6, 0.0}, {0.0, 3.9, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Capacitance, ExceedsParallelPlate) {
+  // Fringe fields always add to the plate term.
+  const WireGeometry w{1e-6, 0.5e-6, 1e-6, 0.0};
+  const double plate = 8.854e-12 * 3.9 * w.width / w.height;
+  const double c = extract_capacitance(w, kCu);
+  EXPECT_GT(c, plate);
+  // Typical global wires: 100-300 pF/m.
+  EXPECT_GT(c, 50e-12);
+  EXPECT_LT(c, 500e-12);
+}
+
+TEST(Capacitance, CouplingIncreasesWithProximity) {
+  WireGeometry near{1e-6, 0.5e-6, 1e-6, 0.5e-6};
+  WireGeometry far = near;
+  far.spacing = 5e-6;
+  WireGeometry isolated = near;
+  isolated.spacing = 0.0;
+  EXPECT_GT(extract_capacitance(near, kCu), extract_capacitance(far, kCu));
+  EXPECT_GT(extract_capacitance(far, kCu), extract_capacitance(isolated, kCu));
+}
+
+TEST(Capacitance, ScalesWithPermittivity) {
+  const WireGeometry w{1e-6, 0.5e-6, 1e-6, 0.0};
+  Materials lowk = kCu;
+  lowk.relative_permittivity = 2.0;
+  EXPECT_NEAR(extract_capacitance(w, lowk) / extract_capacitance(w, kCu), 2.0 / 3.9,
+              1e-9);
+}
+
+TEST(LoopInductance, TypicalMagnitude) {
+  // On-chip wires over a return plane: ~0.2-1 nH/mm.
+  const WireGeometry w{2e-6, 1e-6, 3e-6, 0.0};
+  const double l = extract_loop_inductance(w, kCu);
+  EXPECT_GT(l * 1e-3, 0.1e-9);
+  EXPECT_LT(l * 1e-3, 2e-9);
+}
+
+TEST(LoopInductance, NarrowerWireHasMoreInductance) {
+  WireGeometry narrow{0.5e-6, 0.5e-6, 3e-6, 0.0};
+  WireGeometry wide{20e-6, 0.5e-6, 3e-6, 0.0};
+  EXPECT_GT(extract_loop_inductance(narrow, kCu), extract_loop_inductance(wide, kCu));
+}
+
+TEST(PartialSelfInductance, GrowsLogarithmicallyWithLength) {
+  const WireGeometry w{1e-6, 0.5e-6, 1e-6, 0.0};
+  const double per_mm_short = partial_self_inductance_per_length(w, 1e-3);
+  const double per_mm_long = partial_self_inductance_per_length(w, 10e-3);
+  EXPECT_GT(per_mm_long, per_mm_short);           // log growth of the average
+  EXPECT_LT(per_mm_long, per_mm_short * 2.0);     // but slow
+  // ~1-2 nH/mm scale for isolated thin wires.
+  EXPECT_GT(per_mm_short, 0.5e-9 / 1e-3 * 1e-3);  // > 0.5 nH/mm in H/m terms... (0.5e-6)
+  EXPECT_THROW(partial_self_inductance_per_length(w, 0.0), std::invalid_argument);
+  EXPECT_THROW(partial_self_inductance_per_length(w, 1e-6), std::invalid_argument);
+}
+
+TEST(FullExtraction, SignalVelocityBelowLight) {
+  const WireGeometry w{2e-6, 1e-6, 3e-6, 0.0};
+  const auto pul = extract(w, kCu);
+  EXPECT_GT(pul.resistance, 0.0);
+  EXPECT_GT(pul.capacitance, 0.0);
+  EXPECT_GT(pul.inductance, 0.0);
+  EXPECT_DOUBLE_EQ(pul.conductance, 0.0);
+  const double c0 = 299792458.0;
+  EXPECT_LT(pul.velocity(), c0);
+  EXPECT_GT(pul.velocity(), 0.05 * c0);  // on-chip waves are a good fraction of c
+}
+
+TEST(FullExtraction, CharacteristicImpedancePlausible) {
+  const WireGeometry w{2e-6, 1e-6, 3e-6, 0.0};
+  const auto pul = extract(w, kCu);
+  // On-chip z0 is tens of ohms.
+  EXPECT_GT(pul.lossless_z0(), 10.0);
+  EXPECT_LT(pul.lossless_z0(), 300.0);
+}
+
+}  // namespace

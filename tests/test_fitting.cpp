@@ -1,0 +1,93 @@
+#include "core/fitting.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::core;
+
+TEST(ScaledDelayData, GridShapeAndContent) {
+  const auto samples = generate_scaled_delay_data({0.3, 0.8}, {0.0, 0.5}, {0.0, 1.0});
+  ASSERT_EQ(samples.size(), 8u);
+  for (const auto& s : samples) {
+    EXPECT_GT(s.scaled_delay, 0.0);
+    // t' is bounded by its zeta -> 0 (1.0) and RC-limit (1.48 zeta + eps) forms.
+    EXPECT_LT(s.scaled_delay, 1.0 + 1.6 * s.zeta);
+  }
+  EXPECT_THROW(generate_scaled_delay_data({}, {0.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(generate_scaled_delay_data({-1.0}, {0.0}, {0.0}), std::invalid_argument);
+}
+
+TEST(ScaledDelayData, ScaledDelayDependsMainlyOnZeta) {
+  // The paper's Fig. 2 message: at fixed zeta, varying RT and CT inside
+  // [0, 1] moves t' only slightly.
+  const auto samples =
+      generate_scaled_delay_data({0.6}, {0.0, 0.5, 1.0}, {0.0, 0.5, 1.0});
+  double lo = 1e9, hi = 0.0;
+  for (const auto& s : samples) {
+    lo = std::min(lo, s.scaled_delay);
+    hi = std::max(hi, s.scaled_delay);
+  }
+  EXPECT_LT((hi - lo) / lo, 0.25);
+}
+
+TEST(FitDelayConstants, RecoversPaperValuesFromExactData) {
+  // Fit on the region the paper tabulates (RT, CT in {0.1, 0.5, 1.0}, zeta
+  // up to ~2.5) starting far from the published constants. CT = 0 corners
+  // are excluded: an unloaded far end reflection-doubles the wave and the
+  // exact first crossing departs from any zeta-only curve there (visible as
+  // the spread in the paper's own Fig. 2).
+  std::vector<double> zetas;
+  for (double z = 0.15; z <= 2.5; z += 0.2) zetas.push_back(z);
+  const auto samples =
+      generate_scaled_delay_data(zetas, {0.1, 0.5, 1.0}, {0.1, 0.5, 1.0});
+  const DelayFitOutcome fit = fit_delay_constants(samples);
+  // Our exact reference data is not AS/X, so expect the same ballpark, not
+  // identity: the paper's constants are {2.9, 1.35, 1.48}.
+  // (Measured on this grid: {2.94, 1.34, 1.47}.)
+  EXPECT_NEAR(fit.constants.linear, 1.48, 0.12);
+  EXPECT_NEAR(fit.constants.exp_power, 1.35, 0.45);
+  EXPECT_NEAR(fit.constants.exp_scale, 2.9, 1.2);
+  // The fit describes the data well in aggregate; the worst single point
+  // (RT = 1, CT = 0.1 near critical damping) carries the genuine RT/CT
+  // spread visible in the paper's Fig. 2, so bound RMS tightly and the max
+  // loosely.
+  EXPECT_LT(fit.rms_residual, 0.08);
+  EXPECT_LT(fit.max_rel_error, 0.25);
+}
+
+TEST(FitDelayConstants, Validation) {
+  EXPECT_THROW(fit_delay_constants({}), std::invalid_argument);
+}
+
+TEST(ErrorFactorData, MonotoneFactors) {
+  const auto samples = generate_error_factor_data({0.5, 2.0, 5.0});
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_GT(samples[0].h_factor, samples[1].h_factor);
+  EXPECT_GT(samples[1].h_factor, samples[2].h_factor);
+  EXPECT_GT(samples[0].k_factor, samples[1].k_factor);
+}
+
+TEST(FitErrorFactors, FunctionalFormFitsNumericData) {
+  std::vector<double> ts;
+  for (double t = 0.5; t <= 8.0; t += 0.75) ts.push_back(t);
+  const auto samples = generate_error_factor_data(ts);
+  const ErrorFactorFit hf = fit_h_factor(samples);
+  const ErrorFactorFit kf = fit_k_factor(samples);
+  // The paper's 1/[1+aT^3]^b family describes our numeric optimum too —
+  // with different constants (see EXPERIMENTS.md).
+  EXPECT_LT(hf.max_rel_error, 0.05);
+  EXPECT_LT(kf.max_rel_error, 0.05);
+  EXPECT_GT(hf.coefficient, 0.0);
+  EXPECT_GT(kf.exponent, 0.0);
+}
+
+TEST(FitErrorFactors, Validation) {
+  EXPECT_THROW(fit_h_factor({}), std::invalid_argument);
+  EXPECT_THROW(fit_k_factor({{1.0, 0.9, 0.9}}), std::invalid_argument);
+}
+
+}  // namespace

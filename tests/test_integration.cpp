@@ -1,0 +1,193 @@
+// Cross-module integration tests: the closed-form model, the exact
+// frequency-domain solution, and the time-domain MNA simulator are three
+// independent implementations that must tell one consistent story.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/delay_model.h"
+#include "core/repeater.h"
+#include "core/two_pole.h"
+#include "sim/builders.h"
+#include "sim/netlist_parser.h"
+#include "tline/rc_line.h"
+#include "tline/step_response.h"
+
+namespace {
+
+using namespace rlcsim;
+
+// ---------------------------------------------------------------------------
+// The Table-1 property: eq. (9) vs the two reference engines, across the
+// paper's own parameter grid (RT, CT in {0.1, 0.5, 1.0}, Lt 1e-8..1e-5 H).
+// ---------------------------------------------------------------------------
+struct Table1Param {
+  double rt, ct, lt;
+};
+
+class Table1Agreement : public ::testing::TestWithParam<Table1Param> {};
+
+TEST_P(Table1Agreement, ModelWithin8PercentOfBothReferences) {
+  const auto [rt, ct, lt] = GetParam();
+  const double rtr = 500.0, ct_line = 1e-12;
+  const tline::GateLineLoad sys{rtr, {rtr / rt, lt, ct_line}, ct * ct_line};
+
+  const double model = core::rlc_delay(sys);
+  const double laplace = tline::threshold_delay(sys);
+  const double mna = sim::simulate_gate_line_delay(sys, 120);
+
+  // The two simulators agree to well under a percent...
+  EXPECT_NEAR(mna, laplace, laplace * 0.005)
+      << "RT=" << rt << " CT=" << ct << " Lt=" << lt;
+  // ...and the closed form matches them to the paper's advertised accuracy
+  // (5%, with a small margin for our references not being AS/X).
+  EXPECT_NEAR(model, laplace, laplace * 0.08)
+      << "RT=" << rt << " CT=" << ct << " Lt=" << lt;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, Table1Agreement,
+    ::testing::Values(Table1Param{0.5, 0.1, 1e-8}, Table1Param{0.5, 0.5, 1e-7},
+                      Table1Param{0.5, 1.0, 1e-6}, Table1Param{1.0, 0.1, 1e-7},
+                      Table1Param{1.0, 0.5, 1e-5}, Table1Param{1.0, 1.0, 1e-8},
+                      Table1Param{0.1, 0.5, 1e-6}, Table1Param{0.1, 1.0, 1e-8}));
+
+// ---------------------------------------------------------------------------
+// Quadratic -> linear length dependence (Section II).
+// ---------------------------------------------------------------------------
+TEST(LengthDependence, RcIsQuadraticLcIsLinear) {
+  // Resistive wire: doubling the length ~quadruples the delay.
+  const tline::PerUnitLength rc_wire{50e3, 5e-9, 0.2e-9};  // very resistive
+  const auto delay_at = [](const tline::PerUnitLength& pul, double len) {
+    const tline::GateLineLoad sys{0.0, tline::make_line(pul, len), 0.0};
+    return tline::threshold_delay(sys);
+  };
+  const double rc_ratio = delay_at(rc_wire, 10e-3) / delay_at(rc_wire, 5e-3);
+  EXPECT_GT(rc_ratio, 3.5);
+
+  // Inductive wire: doubling the length ~doubles the delay.
+  const tline::PerUnitLength lc_wire{100.0, 0.5e-6, 0.2e-9};
+  const double lc_ratio = delay_at(lc_wire, 10e-3) / delay_at(lc_wire, 5e-3);
+  EXPECT_LT(lc_ratio, 2.3);
+  EXPECT_GT(lc_ratio, 1.8);
+}
+
+TEST(LengthDependence, ModelTracksTheTransition) {
+  // The closed form must show the same ratios as the exact solution.
+  const tline::PerUnitLength wire{5e3, 0.3e-6, 0.2e-9};
+  for (double len : {2e-3, 8e-3}) {
+    const tline::GateLineLoad sys{0.0, tline::make_line(wire, len), 0.0};
+    const double exact = tline::threshold_delay(sys);
+    EXPECT_NEAR(core::rlc_delay(sys), exact, exact * 0.06) << "len=" << len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Repeater chain: closed-form total delay vs full chain simulation with
+// behavioral buffers.
+// ---------------------------------------------------------------------------
+TEST(RepeaterChainIntegration, ModelMatchesSimulatedChain) {
+  const tline::LineParams line{200.0, 5e-9, 2e-12};
+  const core::MinBuffer buf{3000.0, 5e-15, 1.0, 0.0};
+  const core::RepeaterDesign design =
+      core::rounded_sections(line, buf, core::ismail_friedman_rlc(line, buf));
+  const sim::RepeaterChainSpec spec{line, static_cast<int>(design.sections),
+                                    design.size, buf.r0, buf.c0, 40, 1.0};
+  const double simulated = sim::simulate_repeater_chain_delay(spec);
+  const double modeled = core::total_delay(line, buf, design);
+  EXPECT_NEAR(modeled, simulated, simulated * 0.08);
+}
+
+TEST(RepeaterChainIntegration, RlcSizingBeatsRcSizingInSimulation) {
+  // Ground truth for the paper's core engineering claim at strong
+  // inductance: simulate both sizings; the RLC-aware one is faster AND
+  // far smaller.
+  const core::MinBuffer buf{3000.0, 5e-15, 1.0, 0.0};
+  const tline::LineParams line{450.0, 33.75e-9, 45e-12};  // T = 5
+  const core::RepeaterDesign rc = core::bakoglu_rc(line, buf);
+  const core::RepeaterDesign rlc = core::ismail_friedman_rlc(line, buf);
+
+  const auto chain_delay = [&](const core::RepeaterDesign& d) {
+    sim::RepeaterChainSpec spec{line,
+                                static_cast<int>(std::lround(d.sections)),
+                                d.size, buf.r0, buf.c0, 16, 1.0};
+    return sim::simulate_repeater_chain_delay(spec);
+  };
+  const double t_rc = chain_delay(rc);
+  const double t_rlc = chain_delay(rlc);
+  EXPECT_LT(t_rlc, t_rc * 1.02);  // not slower (usually faster)
+  // And the area ratio is the dramatic part: ~5.4x at T = 5.
+  const double area_ratio = (rc.size * std::lround(rc.sections)) /
+                            (rlc.size * std::lround(rlc.sections));
+  EXPECT_GT(area_ratio, 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Netlist path equals programmatic path.
+// ---------------------------------------------------------------------------
+TEST(NetlistIntegration, ParsedLadderMatchesBuilderLadder) {
+  // 4-segment pi ladder written out by hand in netlist form.
+  const std::string netlist = R"(hand-written 4-segment ladder
+V1 vin 0 STEP(0 1 0)
+R0 vin drv 500
+C0 drv 0 0.125p
+R1 drv m0 125
+L1 m0 n0 2.5n
+C1 n0 0 0.25p
+R2 n0 m1 125
+L2 m1 n1 2.5n
+C2 n1 0 0.25p
+R3 n1 m2 125
+L3 m2 n2 2.5n
+C3 n2 0 0.25p
+R4 n2 m3 125
+L4 m3 out 2.5n
+C4 out 0 0.125p
+CL out 0 1p
+.tran 4p 40n
+)";
+  const auto parsed = sim::parse_netlist(netlist);
+  const auto result = sim::run_transient(parsed.circuit, *parsed.tran);
+  const double parsed_delay = result.waveforms.trace("out").delay(1.0);
+
+  const tline::GateLineLoad sys{500.0, {500.0, 1e-8, 1e-12}, 1e-12};
+  const double built_delay = sim::simulate_gate_line_delay(sys, 4, 40e-9, 4e-12);
+  EXPECT_NEAR(parsed_delay, built_delay, built_delay * 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Two-pole model vs exact response: overshoot prediction in the ringing
+// regime.
+// ---------------------------------------------------------------------------
+TEST(TwoPoleIntegration, OvershootPredictionInRingingRegime) {
+  const tline::GateLineLoad sys{50.0, {50.0, 1e-8, 1e-12}, 0.1e-12};
+  const core::TwoPoleModel two_pole(sys);
+  ASSERT_TRUE(two_pole.underdamped());
+
+  const auto sampled = tline::step_response(sys, 20e-9, 800);
+  const auto metrics = tline::measure_step(sampled.time, sampled.value);
+  EXPECT_NEAR(two_pole.overshoot(), metrics.overshoot, 0.12);
+  EXPECT_GT(metrics.overshoot, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Elmore/b1 moment: the simulator's area-under-curve must reproduce it.
+// ---------------------------------------------------------------------------
+TEST(MomentIntegration, SimulatorReproducesFirstMoment) {
+  // b1 = integral of (1 - v(t)) dt for a unit step (when overshoot is mild).
+  const tline::GateLineLoad sys{500.0, {500.0, 1e-9, 1e-12}, 1e-12};
+  const auto circuit = sim::build_gate_line_load(sys, 100);
+  sim::TransientOptions opt;
+  opt.t_stop = 30e-9;
+  opt.dt = 10e-12;
+  const auto result = sim::run_transient(circuit, opt);
+  const auto trace = result.waveforms.trace("out");
+  double integral = 0.0;
+  const auto& times = trace.time();
+  const auto& values = trace.value();
+  for (std::size_t i = 1; i < times.size(); ++i)
+    integral += (1.0 - 0.5 * (values[i] + values[i - 1])) * (times[i] - times[i - 1]);
+  EXPECT_NEAR(integral, tline::moments(sys).b1, tline::moments(sys).b1 * 0.02);
+}
+
+}  // namespace

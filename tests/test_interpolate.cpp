@@ -1,0 +1,117 @@
+#include "numeric/interpolate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::numeric;
+
+TEST(LinearInterp, ExactAtSamplesAndMidpoints) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{0.0, 10.0, 14.0};
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 1.5), 12.0);
+}
+
+TEST(LinearInterp, ClampsOutsideRange) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 9.0), 4.0);
+}
+
+TEST(LinearInterp, ValidatesGrid) {
+  EXPECT_THROW(interp_linear({1.0}, {1.0}, 0.5), std::invalid_argument);
+  EXPECT_THROW(interp_linear({1.0, 1.0}, {1.0, 2.0}, 0.5), std::invalid_argument);
+  EXPECT_THROW(interp_linear({2.0, 1.0}, {1.0, 2.0}, 0.5), std::invalid_argument);
+  EXPECT_THROW(interp_linear({1.0, 2.0}, {1.0}, 0.5), std::invalid_argument);
+}
+
+TEST(MonotoneCubic, InterpolatesSamplesExactly) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{0.0, 0.8, 0.95, 1.0};
+  const MonotoneCubic f(xs, ys);
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_NEAR(f(xs[i]), ys[i], 1e-14);
+}
+
+TEST(MonotoneCubic, PreservesMonotonicity) {
+  // Step-like data that cubic splines overshoot; Fritsch–Carlson must not.
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{0.0, 0.01, 0.99, 1.0, 1.0};
+  const MonotoneCubic f(xs, ys);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 4.0; x += 0.01) {
+    const double y = f(x);
+    EXPECT_GE(y, prev - 1e-12);
+    EXPECT_GE(y, -1e-12);
+    EXPECT_LE(y, 1.0 + 1e-12);
+    prev = y;
+  }
+}
+
+TEST(MonotoneCubic, FlatAtLocalExtremum) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{0.0, 1.0, 0.0};
+  const MonotoneCubic f(xs, ys);
+  // Peak must stay at the sample value (no overshoot past 1).
+  for (double x = 0.0; x <= 2.0; x += 0.01) EXPECT_LE(f(x), 1.0 + 1e-12);
+}
+
+TEST(MonotoneCubic, SmootherThanLinearOnSmoothData) {
+  const std::vector<double> xs{0.0, 0.5, 1.0, 1.5, 2.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(std::sin(x));
+  const MonotoneCubic f(xs, ys);
+  double cubic_err = 0.0, linear_err = 0.0;
+  for (double x = 0.05; x < 2.0; x += 0.07) {
+    cubic_err = std::max(cubic_err, std::fabs(f(x) - std::sin(x)));
+    linear_err = std::max(linear_err, std::fabs(interp_linear(xs, ys, x) - std::sin(x)));
+  }
+  EXPECT_LT(cubic_err, linear_err);
+}
+
+TEST(FindCrossing, RisingAndFalling) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{0.0, 1.0, 0.0, 1.0, 0.0};
+  const auto rise = find_crossing(xs, ys, 0.5, 0.0, +1);
+  ASSERT_TRUE(rise);
+  EXPECT_DOUBLE_EQ(*rise, 0.5);
+  const auto fall = find_crossing(xs, ys, 0.5, 0.0, -1);
+  ASSERT_TRUE(fall);
+  EXPECT_DOUBLE_EQ(*fall, 1.5);
+  const auto second_rise = find_crossing(xs, ys, 0.5, 2.0, +1);
+  ASSERT_TRUE(second_rise);
+  EXPECT_DOUBLE_EQ(*second_rise, 2.5);
+}
+
+TEST(FindCrossing, EitherDirection) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{1.0, 0.0, 1.0};
+  const auto any = find_crossing(xs, ys, 0.5, 0.0, 0);
+  ASSERT_TRUE(any);
+  EXPECT_DOUBLE_EQ(*any, 0.5);  // the falling one comes first
+}
+
+TEST(FindCrossing, NoCrossingReturnsNullopt) {
+  const std::vector<double> xs{0.0, 1.0};
+  const std::vector<double> ys{0.0, 0.4};
+  EXPECT_FALSE(find_crossing(xs, ys, 0.5));
+  EXPECT_FALSE(find_crossing(xs, ys, 0.2, 0.0, -1));  // wrong direction
+}
+
+TEST(FindCrossing, SubSampleAccuracy) {
+  // y = t^2 sampled coarsely; the linear-interp crossing of 0.25 between
+  // samples 0 and 1 is at t such that interpolation hits 0.25.
+  const std::vector<double> xs{0.0, 1.0};
+  const std::vector<double> ys{0.0, 1.0};
+  const auto t = find_crossing(xs, ys, 0.25, 0.0, +1);
+  ASSERT_TRUE(t);
+  EXPECT_DOUBLE_EQ(*t, 0.25);
+}
+
+}  // namespace

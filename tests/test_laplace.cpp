@@ -1,0 +1,121 @@
+#include "numeric/laplace.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::numeric;
+using Complex = std::complex<double>;
+
+TEST(Euler, StepFunction) {
+  // F = 1/s -> f(t) = 1.
+  const LaplaceFn f = [](Complex s) { return 1.0 / s; };
+  for (double t : {0.1, 1.0, 10.0}) EXPECT_NEAR(invert_euler(f, t), 1.0, 1e-7);
+}
+
+TEST(Euler, Ramp) {
+  const LaplaceFn f = [](Complex s) { return 1.0 / (s * s); };
+  for (double t : {0.5, 2.0, 7.0}) EXPECT_NEAR(invert_euler(f, t), t, 1e-6 * t + 1e-8);
+}
+
+TEST(Euler, Exponential) {
+  const LaplaceFn f = [](Complex s) { return 1.0 / (s + 2.0); };
+  for (double t : {0.1, 1.0, 3.0})
+    EXPECT_NEAR(invert_euler(f, t), std::exp(-2.0 * t), 1e-7);
+}
+
+TEST(Euler, OscillatorySine) {
+  // The case Stehfest cannot do: F = 1/(s^2+1) -> sin t.
+  const LaplaceFn f = [](Complex s) { return 1.0 / (s * s + 1.0); };
+  for (double t : {0.3, 1.0, 3.14, 6.0, 12.0})
+    EXPECT_NEAR(invert_euler(f, t), std::sin(t), 1e-6);
+}
+
+TEST(Euler, DampedCosine) {
+  // F = (s+a)/((s+a)^2 + w^2) -> e^{-at} cos(wt).
+  const double a = 0.5, w = 4.0;
+  const LaplaceFn f = [=](Complex s) { return (s + a) / ((s + a) * (s + a) + w * w); };
+  for (double t : {0.2, 1.0, 2.5})
+    EXPECT_NEAR(invert_euler(f, t), std::exp(-a * t) * std::cos(w * t), 1e-6);
+}
+
+TEST(Euler, RejectsNonpositiveTime) {
+  const LaplaceFn f = [](Complex s) { return 1.0 / s; };
+  EXPECT_THROW(invert_euler(f, 0.0), std::invalid_argument);
+  EXPECT_THROW(invert_euler(f, -1.0), std::invalid_argument);
+}
+
+TEST(Euler, VectorOverloadMatchesScalar) {
+  const LaplaceFn f = [](Complex s) { return 1.0 / (s + 1.0); };
+  const std::vector<double> times{0.5, 1.0, 2.0};
+  const auto values = invert_euler(f, times);
+  ASSERT_EQ(values.size(), 3u);
+  for (std::size_t i = 0; i < times.size(); ++i)
+    EXPECT_DOUBLE_EQ(values[i], invert_euler(f, times[i]));
+}
+
+TEST(Stehfest, StepRampExponential) {
+  // n = 7 Stehfest delivers ~5-6 correct digits on smooth transforms.
+  EXPECT_NEAR(invert_stehfest([](double s) { return 1.0 / s; }, 3.0), 1.0, 1e-8);
+  EXPECT_NEAR(invert_stehfest([](double s) { return 1.0 / (s * s); }, 2.0), 2.0, 1e-6);
+  EXPECT_NEAR(invert_stehfest([](double s) { return 1.0 / (s + 1.0); }, 1.5),
+              std::exp(-1.5), 5e-6);
+}
+
+TEST(Stehfest, DiffusionKernel) {
+  // F = exp(-sqrt(s))/s -> erfc(1/(2 sqrt(t))): the RC-line family.
+  const LaplaceRealFn f = [](double s) { return std::exp(-std::sqrt(s)) / s; };
+  for (double t : {0.25, 1.0, 4.0})
+    EXPECT_NEAR(invert_stehfest(f, t), std::erfc(0.5 / std::sqrt(t)), 5e-5);
+}
+
+TEST(Stehfest, RejectsBadArguments) {
+  const LaplaceRealFn f = [](double s) { return 1.0 / s; };
+  EXPECT_THROW(invert_stehfest(f, 0.0), std::invalid_argument);
+  EXPECT_THROW(invert_stehfest(f, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(invert_stehfest(f, 1.0, 13), std::invalid_argument);
+}
+
+TEST(EulerVsStehfest, AgreeOnSmoothTransform) {
+  // Both algorithms, zero shared code, must agree on an overdamped response.
+  const double tau = 3.0;
+  const LaplaceFn fc = [=](Complex s) { return 1.0 / (s * (1.0 + s * tau)); };
+  const LaplaceRealFn fr = [=](double s) { return 1.0 / (s * (1.0 + s * tau)); };
+  for (double t : {0.5, 2.0, 5.0, 15.0}) {
+    const double expected = 1.0 - std::exp(-t / tau);
+    EXPECT_NEAR(invert_euler(fc, t), expected, 1e-7);
+    EXPECT_NEAR(invert_stehfest(fr, t), expected, 1e-4);
+  }
+}
+
+// Parameterized sweep over second-order damping: Euler inversion vs the
+// analytic step response of 1/(s (s^2 + 2 zeta s + 1)).
+class EulerSecondOrder : public ::testing::TestWithParam<double> {};
+
+TEST_P(EulerSecondOrder, MatchesAnalyticStepResponse) {
+  const double zeta = GetParam();
+  const LaplaceFn f = [=](Complex s) {
+    return 1.0 / (s * (s * s + 2.0 * zeta * s + 1.0));
+  };
+  const auto analytic = [=](double t) {
+    if (zeta < 1.0) {
+      const double wd = std::sqrt(1.0 - zeta * zeta);
+      return 1.0 - std::exp(-zeta * t) *
+                       (std::cos(wd * t) + zeta / wd * std::sin(wd * t));
+    }
+    const double rt = std::sqrt(zeta * zeta - 1.0);
+    const double p1 = -zeta + rt, p2 = -zeta - rt;
+    return 1.0 + (p2 * std::exp(p1 * t) - p1 * std::exp(p2 * t)) / (p1 - p2);
+  };
+  for (double t : {0.5, 1.0, 2.0, 5.0, 9.0})
+    EXPECT_NEAR(invert_euler(f, t), analytic(t), 2e-6) << "zeta=" << zeta << " t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(DampingSweep, EulerSecondOrder,
+                         ::testing::Values(0.1, 0.3, 0.7, 1.2, 2.0, 5.0));
+
+}  // namespace

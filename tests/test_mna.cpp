@@ -1,0 +1,118 @@
+#include "sim/mna.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "numeric/matrix.h"
+
+namespace {
+
+using namespace rlcsim::sim;
+using rlcsim::numeric::RealLu;
+
+TEST(DcSolve, VoltageDivider) {
+  Circuit c;
+  c.add_voltage_source("in", "0", DcSpec{10.0});
+  c.add_resistor("in", "mid", 1000.0);
+  c.add_resistor("mid", "0", 3000.0);
+  const MnaAssembler mna(c);
+  TransientState empty;
+  const auto x = RealLu(mna.dc_matrix()).solve(mna.dc_rhs(0.0, empty));
+  const auto mid = c.find_node("mid");
+  ASSERT_TRUE(mid);
+  EXPECT_NEAR(x[static_cast<std::size_t>(*mid)], 7.5, 1e-6);
+}
+
+TEST(DcSolve, InductorIsShort) {
+  Circuit c;
+  c.add_voltage_source("in", "0", DcSpec{5.0});
+  c.add_inductor("in", "out", 1e-9);
+  c.add_resistor("out", "0", 100.0);
+  const MnaAssembler mna(c);
+  TransientState empty;
+  const auto x = RealLu(mna.dc_matrix()).solve(mna.dc_rhs(0.0, empty));
+  const auto out = c.find_node("out");
+  EXPECT_NEAR(x[static_cast<std::size_t>(*out)], 5.0, 1e-6);
+  // Inductor branch current = 5 V / 100 ohm.
+  EXPECT_NEAR(x[mna.inductor_branch(0)], 0.05, 1e-9);
+}
+
+TEST(DcSolve, CapacitorIsOpen) {
+  Circuit c;
+  c.add_voltage_source("in", "0", DcSpec{2.0});
+  c.add_resistor("in", "out", 1000.0);
+  c.add_capacitor("out", "0", 1e-12);
+  const MnaAssembler mna(c);
+  TransientState empty;
+  const auto x = RealLu(mna.dc_matrix()).solve(mna.dc_rhs(0.0, empty));
+  const auto out = c.find_node("out");
+  // No DC current -> no drop across the resistor (up to the Gmin leak).
+  EXPECT_NEAR(x[static_cast<std::size_t>(*out)], 2.0, 1e-6);
+}
+
+TEST(Assembler, UnknownLayout) {
+  Circuit c;
+  c.add_voltage_source("a", "0", DcSpec{1.0});
+  c.add_voltage_source("b", "0", DcSpec{2.0});
+  c.add_inductor("a", "b", 1e-9);
+  c.add_resistor("b", "0", 1.0);
+  const MnaAssembler mna(c);
+  EXPECT_EQ(mna.node_count(), 2u);
+  EXPECT_EQ(mna.unknown_count(), 2u + 2u + 1u);
+  EXPECT_EQ(mna.vsource_branch(0), 2u);
+  EXPECT_EQ(mna.vsource_branch(1), 3u);
+  EXPECT_EQ(mna.inductor_branch(0), 4u);
+}
+
+TEST(TransientMatrix, CapacitorCompanionConductance) {
+  Circuit c;
+  c.add_voltage_source("in", "0", DcSpec{0.0});
+  c.add_resistor("in", "out", 1.0);
+  c.add_capacitor("out", "0", 2e-12);
+  const MnaAssembler mna(c);
+  const double dt = 1e-9;
+  const auto trap = mna.transient_matrix(dt, Integrator::kTrapezoidal);
+  const auto be = mna.transient_matrix(dt, Integrator::kBackwardEuler);
+  const auto out = static_cast<std::size_t>(*c.find_node("out"));
+  // Diagonal at "out": 1/R + G_c. Trapezoidal G = 2C/dt, BE G = C/dt.
+  EXPECT_NEAR(trap(out, out), 1.0 + 2.0 * 2e-12 / dt, 1e-9);
+  EXPECT_NEAR(be(out, out), 1.0 + 2e-12 / dt, 1e-9);
+  EXPECT_THROW(mna.transient_matrix(0.0, Integrator::kTrapezoidal),
+               std::invalid_argument);
+}
+
+TEST(InitialState, PopulatesFromDcSolution) {
+  Circuit c;
+  c.add_voltage_source("in", "0", DcSpec{3.0});
+  c.add_inductor("in", "out", 1e-9);
+  c.add_resistor("out", "0", 3.0);
+  c.add_capacitor("out", "0", 1e-12);
+  const MnaAssembler mna(c);
+  TransientState empty;
+  const auto x = RealLu(mna.dc_matrix()).solve(mna.dc_rhs(0.0, empty));
+  const TransientState s = mna.initial_state(x);
+  EXPECT_EQ(s.node_voltage.size(), 2u);
+  EXPECT_NEAR(s.inductor_current[0], 1.0, 1e-6);
+  EXPECT_EQ(s.capacitor_current.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.capacitor_current[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.time, 0.0);
+}
+
+TEST(BufferDrive, SwitchesAtFireTime) {
+  Buffer b;
+  b.vdd = 2.5;
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(MnaAssembler::buffer_drive(b, inf, 1e9), 0.0);
+  EXPECT_DOUBLE_EQ(MnaAssembler::buffer_drive(b, 1e-9, 0.5e-9), 0.0);
+  EXPECT_DOUBLE_EQ(MnaAssembler::buffer_drive(b, 1e-9, 1e-9), 2.5);
+  EXPECT_DOUBLE_EQ(MnaAssembler::buffer_drive(b, 1e-9, 2e-9), 2.5);
+}
+
+TEST(Assembler, RejectsInvalidCircuit) {
+  Circuit c;  // empty
+  EXPECT_THROW(MnaAssembler{c}, std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "tech/fom.h"
+#include "tech/nodes.h"
+
+namespace {
+
+using namespace rlcsim;
+using namespace rlcsim::tech;
+
+TEST(Nodes, IntrinsicDelayShrinksWithScaling) {
+  const auto nodes = all_nodes();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_LT(intrinsic_delay(nodes[1]), intrinsic_delay(nodes[0]));
+  EXPECT_LT(intrinsic_delay(nodes[2]), intrinsic_delay(nodes[1]));
+  // 0.25 um era: ~tens of ps.
+  EXPECT_NEAR(intrinsic_delay(nodes[0]), 18e-12, 1e-12);
+}
+
+TEST(Nodes, ScaledBufferFollowsHRule) {
+  const DeviceParams d = node_250nm();
+  const ScaledBuffer b = scale_buffer(d, 40.0);
+  EXPECT_DOUBLE_EQ(b.output_resistance, d.r0 / 40.0);
+  EXPECT_DOUBLE_EQ(b.input_capacitance, d.c0 * 40.0);
+  EXPECT_DOUBLE_EQ(b.area, d.area_min * 40.0);
+  EXPECT_THROW(scale_buffer(d, 0.0), std::invalid_argument);
+}
+
+TEST(Nodes, MinBufferAdapter) {
+  const DeviceParams d = node_250nm();
+  const core::MinBuffer b = as_min_buffer(d);
+  EXPECT_DOUBLE_EQ(b.r0, d.r0);
+  EXPECT_DOUBLE_EQ(b.c0, d.c0);
+  EXPECT_DOUBLE_EQ(b.area, d.area_min);
+}
+
+TEST(Nodes, WidePresetHasLowerResistanceThanSignal) {
+  const DeviceParams d = node_250nm();
+  const auto wide = tech::extract(wide_clock_wire(d));
+  const auto sig = tech::extract(signal_wire(d));
+  EXPECT_LT(wide.resistance, sig.resistance * 0.2);
+}
+
+TEST(Nodes, WideClockWireReachesInductiveRegimeAt250nm) {
+  // The paper claims T_{L/R} ~ 5 is common at 0.25 um for low-resistance
+  // wires; our presets must land in that regime (within a factor ~2).
+  const DeviceParams d = node_250nm();
+  const auto pul = tech::extract(wide_clock_wire(d));
+  const double t = (pul.inductance / pul.resistance) / intrinsic_delay(d);
+  EXPECT_GT(t, 2.0);
+  EXPECT_LT(t, 12.0);
+}
+
+TEST(Fom, WindowOrderingAndExistence) {
+  const tline::PerUnitLength pul{10e3, 0.5e-6, 0.15e-9};  // low-R global wire
+  const InductanceWindow w = inductance_window(pul, 50e-12);
+  EXPECT_TRUE(w.exists());
+  EXPECT_GT(w.min_length, 0.0);
+  EXPECT_GT(w.max_length, w.min_length);
+  EXPECT_THROW(inductance_window(pul, 0.0), std::invalid_argument);
+  EXPECT_THROW(inductance_window({0.0, 0.5e-6, 0.15e-9}, 1e-12), std::invalid_argument);
+}
+
+TEST(Fom, ResistiveWireHasNoWindow) {
+  // Very resistive wire: attenuation bound falls below the rise-time bound.
+  const tline::PerUnitLength pul{5e6, 0.3e-6, 0.2e-9};
+  const InductanceWindow w = inductance_window(pul, 100e-12);
+  EXPECT_FALSE(w.exists());
+}
+
+TEST(Fom, InductanceMattersInsideWindowOnly) {
+  const tline::PerUnitLength pul{10e3, 0.5e-6, 0.15e-9};
+  const double tr = 50e-12;
+  const InductanceWindow w = inductance_window(pul, tr);
+  const double mid = 0.5 * (w.min_length + w.max_length);
+  EXPECT_TRUE(inductance_matters(pul, mid, tr));
+  EXPECT_FALSE(inductance_matters(pul, w.min_length * 0.5, tr));
+  EXPECT_FALSE(inductance_matters(pul, w.max_length * 2.0, tr));
+  EXPECT_THROW(inductance_matters(pul, 0.0, tr), std::invalid_argument);
+}
+
+TEST(Fom, FasterEdgesWidenTheWindow) {
+  const tline::PerUnitLength pul{10e3, 0.5e-6, 0.15e-9};
+  const InductanceWindow slow = inductance_window(pul, 200e-12);
+  const InductanceWindow fast = inductance_window(pul, 20e-12);
+  EXPECT_LT(fast.min_length, slow.min_length);
+  EXPECT_DOUBLE_EQ(fast.max_length, slow.max_length);  // upper bound is R-driven
+}
+
+TEST(Fom, LineDampingMatchesLineParams) {
+  const tline::PerUnitLength pul{10e3, 0.5e-6, 0.15e-9};
+  const double l = 5e-3;
+  EXPECT_NEAR(line_damping(pul, l),
+              tline::make_line(pul, l).intrinsic_damping(), 1e-15);
+}
+
+TEST(Fom, DampingQuantifiesTheWindowUpperBound) {
+  // At the attenuation bound l_max = (2/R) sqrt(L/C), the line damping
+  // zeta0 = (R l / 4) sqrt(C/L) equals exactly 0.5 — the overdamping onset.
+  const tline::PerUnitLength pul{10e3, 0.5e-6, 0.15e-9};
+  const InductanceWindow w = inductance_window(pul, 1e-12);
+  EXPECT_NEAR(line_damping(pul, w.max_length), 0.5, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include "numeric/optimize.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::numeric;
+
+TEST(GoldenSection, QuadraticMinimum) {
+  const auto m = golden_section([](double x) { return (x - 2.0) * (x - 2.0); }, -10.0,
+                                10.0, {.x_tolerance = 1e-10});
+  EXPECT_NEAR(m.x, 2.0, 1e-8);
+  EXPECT_NEAR(m.value, 0.0, 1e-15);
+}
+
+TEST(GoldenSection, RejectsEmptyInterval) {
+  EXPECT_THROW(golden_section([](double x) { return x; }, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(BrentMin, QuarticMinimum) {
+  const auto f = [](double x) { return std::pow(x - 0.3, 4) + 1.5; };
+  const auto m = brent_min(f, -5.0, 5.0, {.x_tolerance = 1e-10});
+  EXPECT_NEAR(m.x, 0.3, 1e-4);  // quartic floor is flat; loose x tolerance
+  EXPECT_NEAR(m.value, 1.5, 1e-12);
+}
+
+TEST(BrentMin, AsymmetricValley) {
+  const auto f = [](double x) { return std::exp(x) - 2.0 * x; };
+  const auto m = brent_min(f, -2.0, 4.0);
+  EXPECT_NEAR(m.x, std::log(2.0), 1e-7);
+}
+
+TEST(BrentMin, FasterThanGoldenOnSmooth) {
+  const auto f = [](double x) { return (x - 1.0) * (x - 1.0) + 3.0; };
+  const auto brent = brent_min(f, -100.0, 100.0, {.x_tolerance = 1e-10});
+  const auto golden = golden_section(f, -100.0, 100.0, {.x_tolerance = 1e-10});
+  EXPECT_NEAR(brent.x, golden.x, 1e-7);
+  EXPECT_LT(brent.iterations, golden.iterations);
+}
+
+TEST(NelderMead, Rosenbrock2D) {
+  const auto rosenbrock = [](const std::vector<double>& p) {
+    const double a = 1.0 - p[0];
+    const double b = p[1] - p[0] * p[0];
+    return a * a + 100.0 * b * b;
+  };
+  const auto m = nelder_mead(rosenbrock, {-1.2, 1.0}, {0.5},
+                             {.x_tolerance = 1e-10, .max_iterations = 5000});
+  EXPECT_NEAR(m.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(m.x[1], 1.0, 1e-5);
+  EXPECT_TRUE(m.converged);
+}
+
+TEST(NelderMead, Quadratic4D) {
+  const auto f = [](const std::vector<double>& p) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const double d = p[i] - static_cast<double>(i);
+      acc += (i + 1.0) * d * d;
+    }
+    return acc;
+  };
+  const auto m = nelder_mead(f, {5.0, 5.0, 5.0, 5.0}, {1.0},
+                             {.x_tolerance = 1e-9, .max_iterations = 5000});
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(m.x[i], static_cast<double>(i), 1e-4);
+}
+
+TEST(NelderMead, RejectsBadArguments) {
+  const auto f = [](const std::vector<double>& p) { return p[0]; };
+  EXPECT_THROW(nelder_mead(f, {}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(nelder_mead(f, {1.0, 2.0}, {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(GridRefine2D, FindsGlobalAmongLocalMinima) {
+  // Two valleys; the global one is off-center and narrow.
+  const auto f = [](double x, double y) {
+    const double local = (x - 3.0) * (x - 3.0) + (y - 3.0) * (y - 3.0) + 1.0;
+    const double global =
+        10.0 * ((x + 2.0) * (x + 2.0) + (y + 1.0) * (y + 1.0));
+    return std::min(local, global);
+  };
+  const auto m = grid_refine_2d(f, -5.0, 5.0, -5.0, 5.0, 30, 14);
+  EXPECT_NEAR(m.x[0], -2.0, 1e-4);
+  EXPECT_NEAR(m.x[1], -1.0, 1e-4);
+}
+
+TEST(GridRefine2D, RejectsDegenerateRectangles) {
+  const auto f = [](double, double) { return 0.0; };
+  EXPECT_THROW(grid_refine_2d(f, 1.0, 1.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(grid_refine_2d(f, 0.0, 1.0, 0.0, 1.0, 2), std::invalid_argument);
+}
+
+// Both 1-D minimizers must agree across a family of shifted log-quadratics.
+class Minimizer1DAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(Minimizer1DAgreement, GoldenAndBrentAgree) {
+  const double center = GetParam();
+  const auto f = [center](double x) {
+    return std::cosh(x - center);  // smooth, unimodal, minimum at `center`
+  };
+  const auto g = golden_section(f, center - 7.0, center + 9.0, {.x_tolerance = 1e-11});
+  const auto b = brent_min(f, center - 7.0, center + 9.0, {.x_tolerance = 1e-11});
+  EXPECT_NEAR(g.x, center, 1e-7);
+  EXPECT_NEAR(b.x, center, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(CenterSweep, Minimizer1DAgreement,
+                         ::testing::Values(-3.0, -0.5, 0.0, 0.25, 1.0, 4.0));
+
+}  // namespace

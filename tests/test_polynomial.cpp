@@ -1,0 +1,124 @@
+#include "numeric/polynomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::numeric;
+
+TEST(Polyval, RealAndComplexHorner) {
+  const std::vector<double> p{1.0, -2.0, 3.0};  // 1 - 2x + 3x^2
+  EXPECT_DOUBLE_EQ(polyval(p, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(polyval(p, 2.0), 9.0);
+  const std::complex<double> z(1.0, 1.0);
+  const std::complex<double> expected = 1.0 - 2.0 * z + 3.0 * z * z;
+  EXPECT_NEAR(std::abs(polyval(p, z) - expected), 0.0, 1e-14);
+}
+
+TEST(Polyder, Derivative) {
+  const std::vector<double> p{5.0, 1.0, -2.0, 4.0};  // 5 + x - 2x^2 + 4x^3
+  const std::vector<double> d = polyder(p);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], -4.0);
+  EXPECT_DOUBLE_EQ(d[2], 12.0);
+  EXPECT_EQ(polyder({7.0}).size(), 1u);
+  EXPECT_DOUBLE_EQ(polyder({7.0})[0], 0.0);
+}
+
+TEST(Quadratic, RealRootsStableForm) {
+  // x^2 - 1e8 x + 1 = 0: naive formula loses the small root to cancellation.
+  const auto r = solve_quadratic(1.0, -1e8, 1.0);
+  const double small = std::min(r.r1.real(), r.r2.real());
+  const double large = std::max(r.r1.real(), r.r2.real());
+  EXPECT_NEAR(small, 1e-8, 1e-16);
+  EXPECT_NEAR(large, 1e8, 1.0);
+}
+
+TEST(Quadratic, ComplexConjugatePair) {
+  const auto r = solve_quadratic(1.0, 2.0, 5.0);  // roots -1 +/- 2i
+  EXPECT_NEAR(r.r1.real(), -1.0, 1e-12);
+  EXPECT_NEAR(std::fabs(r.r1.imag()), 2.0, 1e-12);
+  EXPECT_NEAR(r.r2.real(), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.r1.imag(), -r.r2.imag());
+}
+
+TEST(Quadratic, RejectsDegenerate) {
+  EXPECT_THROW(solve_quadratic(0.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Cubic, ThreeRealRoots) {
+  // (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6.
+  auto roots = solve_cubic(1.0, -6.0, 11.0, -6.0);
+  std::vector<double> reals;
+  for (const auto& r : roots) {
+    EXPECT_NEAR(r.imag(), 0.0, 1e-9);
+    reals.push_back(r.real());
+  }
+  std::sort(reals.begin(), reals.end());
+  EXPECT_NEAR(reals[0], 1.0, 1e-9);
+  EXPECT_NEAR(reals[1], 2.0, 1e-9);
+  EXPECT_NEAR(reals[2], 3.0, 1e-9);
+}
+
+TEST(Cubic, OneRealTwoComplex) {
+  // (x-2)(x^2+1) = x^3 - 2x^2 + x - 2.
+  const auto roots = solve_cubic(1.0, -2.0, 1.0, -2.0);
+  int real_count = 0;
+  for (const auto& r : roots) {
+    if (std::fabs(r.imag()) < 1e-9) {
+      ++real_count;
+      EXPECT_NEAR(r.real(), 2.0, 1e-9);
+    } else {
+      EXPECT_NEAR(std::fabs(r.imag()), 1.0, 1e-9);
+      EXPECT_NEAR(r.real(), 0.0, 1e-9);
+    }
+  }
+  EXPECT_EQ(real_count, 1);
+}
+
+TEST(Cubic, RejectsDegenerate) {
+  EXPECT_THROW(solve_cubic(0.0, 1.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Polyroots, MatchesClosedFormsAtLowDegree) {
+  // Degree 1 and 2 dispatch to the closed forms.
+  const auto lin = polyroots({3.0, 1.5});
+  ASSERT_EQ(lin.size(), 1u);
+  EXPECT_NEAR(lin[0].real(), -2.0, 1e-12);
+
+  const auto quad = polyroots({2.0, -3.0, 1.0});  // (x-1)(x-2)
+  ASSERT_EQ(quad.size(), 2u);
+}
+
+TEST(Polyroots, QuinticKnownRoots) {
+  // (x-1)(x-2)(x-3)(x-4)(x-5), coefficients lowest-first.
+  const std::vector<double> p{-120.0, 274.0, -225.0, 85.0, -15.0, 1.0};
+  auto roots = polyroots(p);
+  ASSERT_EQ(roots.size(), 5u);
+  std::vector<double> reals;
+  for (const auto& r : roots) {
+    EXPECT_NEAR(r.imag(), 0.0, 1e-6);
+    reals.push_back(r.real());
+  }
+  std::sort(reals.begin(), reals.end());
+  for (int i = 0; i < 5; ++i) EXPECT_NEAR(reals[i], i + 1.0, 1e-6);
+}
+
+TEST(Polyroots, ResidualIsSmall) {
+  const std::vector<double> p{1.0, 2.0, 3.0, 4.0, 5.0};
+  for (const auto& r : polyroots(p))
+    EXPECT_LT(std::abs(polyval(p, r)), 1e-8);
+}
+
+TEST(Polyroots, IgnoresTrailingZeros) {
+  const auto roots = polyroots({-2.0, 1.0, 0.0, 0.0});
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0].real(), 2.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Property-based sweeps over the physics invariants the library rests on.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/delay_model.h"
+#include "numeric/laplace.h"
+#include "sim/builders.h"
+#include "tline/rc_line.h"
+#include "tline/step_response.h"
+
+namespace {
+
+using namespace rlcsim;
+
+// ---------------------------------------------------------------------------
+// Invariant 1: the exact step response is causal, bounded, and settles to 1.
+// ---------------------------------------------------------------------------
+class ResponseSanity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResponseSanity, BoundedAndSettling) {
+  const double lt = GetParam();
+  const tline::GateLineLoad sys{500.0, {500.0, lt, 1e-12}, 0.5e-12};
+  const double horizon = 20.0 * std::max(tline::moments(sys).b1,
+                                         sys.line.time_of_flight());
+  const auto r = tline::step_response(sys, horizon, 300);
+  for (std::size_t i = 0; i < r.time.size(); ++i) {
+    EXPECT_GT(r.value[i], -0.4) << "t=" << r.time[i];   // bounded undershoot
+    EXPECT_LT(r.value[i], 2.1) << "t=" << r.time[i];    // bounded overshoot
+  }
+  EXPECT_NEAR(r.value.back(), 1.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(InductanceDecades, ResponseSanity,
+                         ::testing::Values(1e-9, 1e-8, 1e-7, 1e-6, 1e-5));
+
+// ---------------------------------------------------------------------------
+// Invariant 2: delay monotonicity in each impedance, model AND simulator.
+// ---------------------------------------------------------------------------
+TEST(Monotonicity, DelayIncreasesWithLineCapacitance) {
+  double prev_model = 0.0, prev_exact = 0.0;
+  for (double ct : {0.5e-12, 1e-12, 2e-12, 4e-12}) {
+    const tline::GateLineLoad sys{500.0, {500.0, 1e-8, ct}, 0.5e-12};
+    const double model = core::rlc_delay(sys);
+    const double exact = tline::threshold_delay(sys);
+    EXPECT_GT(model, prev_model);
+    EXPECT_GT(exact, prev_exact);
+    prev_model = model;
+    prev_exact = exact;
+  }
+}
+
+TEST(Monotonicity, DelayIncreasesWithInductanceInLcRegime) {
+  // With low loss the delay is flight-time dominated: more L = slower.
+  double prev = 0.0;
+  for (double lt : {1e-9, 4e-9, 1.6e-8, 6.4e-8}) {
+    const tline::GateLineLoad sys{50.0, {50.0, lt, 1e-12}, 0.1e-12};
+    const double exact = tline::threshold_delay(sys);
+    EXPECT_GT(exact, prev) << "Lt=" << lt;
+    prev = exact;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 3: zeta is dimensionless and scale-invariant; the scaled delay
+// t' = tpd * wn depends on (zeta, RT, CT) only.
+// ---------------------------------------------------------------------------
+class ScaledDelayInvariance : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaledDelayInvariance, SameZetaRtCtSameScaledDelay) {
+  const double scale = GetParam();
+  // Base system.
+  const tline::GateLineLoad base{250.0, {500.0, 2e-8, 1e-12}, 0.5e-12};
+  // Impedance-scaled system: R *= s, L *= s^2 keeps zeta, RT, CT fixed.
+  const tline::GateLineLoad scaled{250.0 * scale,
+                                   {500.0 * scale, 2e-8 * scale * scale, 1e-12},
+                                   0.5e-12};
+  const core::DelayModel mb(base), ms(scaled);
+  ASSERT_NEAR(ms.zeta(), mb.zeta(), 1e-12);
+
+  const double tb = tline::threshold_delay(base) * mb.omega_n();
+  const double ts = tline::threshold_delay(scaled) * ms.omega_n();
+  EXPECT_NEAR(ts, tb, tb * 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaledDelayInvariance,
+                         ::testing::Values(0.1, 0.5, 3.0, 20.0));
+
+// ---------------------------------------------------------------------------
+// Invariant 4: ladder discretization converges monotonically (in envelope)
+// to the distributed answer, and 40+ segments is inside 1%.
+// ---------------------------------------------------------------------------
+class LadderConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(LadderConvergence, SimulatorConvergesToExact) {
+  const double lt = GetParam();
+  const tline::GateLineLoad sys{300.0, {600.0, lt, 1.5e-12}, 0.7e-12};
+  const double exact = tline::threshold_delay(sys);
+  const double with_40 = sim::simulate_gate_line_delay(sys, 40);
+  const double with_120 = sim::simulate_gate_line_delay(sys, 120);
+  EXPECT_LT(std::fabs(with_120 - exact), std::fabs(with_40 - exact) + exact * 1e-4);
+  EXPECT_NEAR(with_40, exact, exact * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(InductanceSweep, LadderConvergence,
+                         ::testing::Values(1e-8, 1e-7, 1e-6));
+
+// ---------------------------------------------------------------------------
+// Invariant 5: for overdamped (RC-like) systems the two independent Laplace
+// inversion algorithms agree on the whole waveform.
+// ---------------------------------------------------------------------------
+TEST(InversionCrossCheck, EulerAndStehfestAgreeOnOverdampedLine) {
+  const tline::GateLineLoad sys{1000.0, {2000.0, 1e-10, 1e-12}, 0.5e-12};
+  const auto via_euler = [&](double t) { return tline::step_response_at(sys, t); };
+  const auto via_stehfest = [&](double t) {
+    return numeric::invert_stehfest(
+        [&](double s) {
+          return std::real(tline::transfer_exact(sys, {s, 0.0})) / s;
+        },
+        t);
+  };
+  const double tau = tline::moments(sys).b1;
+  for (double x : {0.2, 0.5, 1.0, 2.0, 4.0})
+    EXPECT_NEAR(via_euler(x * tau), via_stehfest(x * tau), 1e-4) << "x=" << x;
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 6: eq. (9) accuracy claim over a random-ish but deterministic
+// cloud of systems within the fitted range.
+// ---------------------------------------------------------------------------
+TEST(Eq9Accuracy, CloudWithinNinePercent) {
+  int checked = 0;
+  for (int i = 0; i < 24; ++i) {
+    // Deterministic pseudo-random parameters in the fitted range.
+    const double u1 = 0.5 + 0.5 * std::sin(12.9898 * i + 78.233);
+    const double u2 = 0.5 + 0.5 * std::sin(39.3468 * i + 11.135);
+    const double u3 = 0.5 + 0.5 * std::sin(93.9898 * i + 53.421);
+    const double rt_ratio = 0.05 + 0.95 * u1;
+    const double ct_ratio = 0.05 + 0.95 * u2;
+    const double lt = std::pow(10.0, -9.0 + 4.0 * u3);  // 1e-9 .. 1e-5 H
+
+    const double rtr = 500.0, ct_line = 1e-12;
+    const tline::GateLineLoad sys{rtr, {rtr / rt_ratio, lt, ct_line},
+                                  ct_ratio * ct_line};
+    const double model = core::rlc_delay(sys);
+    const double exact = tline::threshold_delay(sys);
+    EXPECT_NEAR(model, exact, exact * 0.09)
+        << "RT=" << rt_ratio << " CT=" << ct_ratio << " Lt=" << lt;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 24);
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 7: RC formulas are the L->0 limit of everything.
+// ---------------------------------------------------------------------------
+TEST(RcLimit, AllPathsConverge) {
+  const double rtr = 400.0, rt = 1200.0, ct = 1e-12, cl = 0.3e-12;
+  const tline::GateLineLoad nearly_rc{rtr, {rt, 1e-13, ct}, cl};
+  const double exact_rlc = tline::threshold_delay(nearly_rc);
+  const double exact_rc = tline::rc_exact_delay(rtr, rt, ct, cl);
+  EXPECT_NEAR(exact_rlc, exact_rc, exact_rc * 0.01);
+  EXPECT_NEAR(core::rlc_delay(nearly_rc), exact_rc, exact_rc * 0.06);
+  EXPECT_NEAR(tline::sakurai_delay(rtr, rt, ct, cl), exact_rc, exact_rc * 0.05);
+}
+
+}  // namespace

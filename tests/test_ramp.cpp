@@ -1,0 +1,81 @@
+#include "tline/ramp_response.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tline/step_response.h"
+
+namespace {
+
+using namespace rlcsim;
+using namespace rlcsim::tline;
+
+const GateLineLoad kSystem{500.0, {500.0, 1e-8, 1e-12}, 1e-12};
+
+TEST(Ramp, ResponseBasics) {
+  EXPECT_DOUBLE_EQ(ramp_response_at(kSystem, 1e-10, 0.0), 0.0);
+  // Well past everything: settles to 1.
+  EXPECT_NEAR(ramp_response_at(kSystem, 1e-10, 1e-6), 1.0, 1e-4);
+  EXPECT_THROW(ramp_response_at(kSystem, 0.0, 1e-9), std::invalid_argument);
+}
+
+TEST(Ramp, FastRampConvergesToStepResponse) {
+  const double t = 2e-9;
+  const double step = step_response_at(kSystem, t);
+  const double fast = ramp_response_at(kSystem, 1e-13, t);
+  EXPECT_NEAR(fast, step, 5e-4);
+}
+
+TEST(Ramp, SlowRampFollowsInput) {
+  // For tr far above the system time constant, the output tracks the input:
+  // at t = tr/2 the output is ~0.5 (minus a small lag).
+  const double tr = 1e-6;  // vastly slower than the ~2 ns system
+  const double mid = ramp_response_at(kSystem, tr, tr / 2.0);
+  EXPECT_NEAR(mid, 0.5, 0.01);
+}
+
+TEST(Ramp, DelayConvergesToStepDelayAsTrShrinks) {
+  const double step_delay = threshold_delay(kSystem);
+  const double fast = ramp_threshold_delay(kSystem, 1e-12);
+  EXPECT_NEAR(fast, step_delay, step_delay * 0.01);
+}
+
+TEST(Ramp, DelayIncreasesWithRiseTime) {
+  double prev = 0.0;
+  for (double tr : {0.1e-9, 1e-9, 4e-9, 16e-9}) {
+    const double d = ramp_threshold_delay(kSystem, tr);
+    EXPECT_GT(d, prev * 0.999) << "tr=" << tr;
+    prev = d;
+  }
+}
+
+TEST(Ramp, StepApproximationErrorSmallForFastEdges) {
+  // The paper's step-input assumption: fine while tr is below the system
+  // time constant, degrading beyond it.
+  const double b1 = moments(kSystem).b1;
+  EXPECT_LT(step_approximation_error(kSystem, 0.1 * b1), 0.05);
+  EXPECT_GT(step_approximation_error(kSystem, 5.0 * b1), 0.10);
+}
+
+TEST(Ramp, Validation) {
+  EXPECT_THROW(ramp_threshold_delay(kSystem, 0.0), std::invalid_argument);
+  EXPECT_THROW(ramp_threshold_delay(kSystem, 1e-9, 0.0), std::invalid_argument);
+  EXPECT_THROW(ramp_threshold_delay(kSystem, 1e-9, 1.0), std::invalid_argument);
+}
+
+// The 50%-to-50% ramp delay of a first-order-like overdamped system is
+// bounded below by the step delay for any rise time (linear-system fact for
+// monotone step responses).
+class RampBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(RampBound, RampDelayAtLeastStepDelay) {
+  const double tr = GetParam();
+  const double step_delay = threshold_delay(kSystem);
+  EXPECT_GE(ramp_threshold_delay(kSystem, tr), step_delay * 0.995);
+}
+
+INSTANTIATE_TEST_SUITE_P(RiseTimes, RampBound,
+                         ::testing::Values(1e-11, 1e-10, 1e-9, 5e-9, 2e-8));
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "tline/rc_line.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::tline;
+
+TEST(Elmore, ClosedForm) {
+  EXPECT_DOUBLE_EQ(elmore_delay(100.0, 200.0, 1e-12, 2e-12),
+                   100.0 * 3e-12 + 200.0 * (0.5e-12 + 2e-12));
+  EXPECT_DOUBLE_EQ(elmore_delay(0.0, 200.0, 1e-12, 0.0), 1e-10);
+}
+
+TEST(Sakurai, ClosedForm) {
+  EXPECT_DOUBLE_EQ(sakurai_delay(0.0, 1000.0, 1e-12, 0.0), 0.377e-9);
+  EXPECT_DOUBLE_EQ(
+      sakurai_delay(100.0, 1000.0, 1e-12, 2e-12),
+      0.377 * 1000.0 * 1e-12 +
+          0.693 * (100.0 * 1e-12 + 100.0 * 2e-12 + 1000.0 * 2e-12));
+}
+
+TEST(PaperRcLimit, Coefficient) {
+  EXPECT_DOUBLE_EQ(paper_rc_limit(1000.0, 1e-12), 0.37e-9);
+}
+
+TEST(RcModalStep, BoundariesAndMonotonicity) {
+  const double rt = 1000.0, ct = 1e-12, tau = rt * ct;
+  EXPECT_DOUBLE_EQ(rc_modal_step(rt, ct, 0.0), 0.0);
+  EXPECT_NEAR(rc_modal_step(rt, ct, 5.0 * tau), 1.0, 1e-5);
+  double prev = -1.0;
+  for (double x = 0.01; x < 3.0; x += 0.05) {
+    const double v = rc_modal_step(rt, ct, x * tau);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  EXPECT_THROW(rc_modal_step(0.0, ct, 1.0), std::invalid_argument);
+}
+
+TEST(RcModalDelay, ClassicCoefficient) {
+  // The exact 50% coefficient of a distributed RC line is ~0.3786 R C.
+  const double coeff = rc_modal_delay(1000.0, 1e-12) / 1e-9;
+  EXPECT_NEAR(coeff, 0.3786, 5e-4);
+  // The paper's rounded 0.37 and Sakurai's 0.377 are both near it.
+  EXPECT_NEAR(coeff, 0.37, 0.01);
+}
+
+TEST(RcModalDelay, ThresholdValidation) {
+  EXPECT_THROW(rc_modal_delay(1.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(rc_modal_delay(1.0, 1.0, 1.5), std::invalid_argument);
+}
+
+TEST(RcExactDelay, AgreesWithModalSeriesOnBareLine) {
+  // Two fully independent exact solutions of the same PDE.
+  const double rt = 2500.0, ct = 0.8e-12;
+  const double via_series = rc_modal_delay(rt, ct);
+  const double via_stehfest = rc_exact_delay(0.0, rt, ct, 0.0);
+  EXPECT_NEAR(via_stehfest, via_series, via_series * 1e-3);
+}
+
+TEST(RcExactDelay, SakuraiWithinAFewPercentWithGate) {
+  const double rtr = 500.0, rt = 1000.0, ct = 1e-12, cl = 0.5e-12;
+  const double exact = rc_exact_delay(rtr, rt, ct, cl);
+  const double sakurai = sakurai_delay(rtr, rt, ct, cl);
+  EXPECT_NEAR(sakurai, exact, exact * 0.05);
+}
+
+TEST(RcExactDelay, ElmoreOverestimatesBareLine) {
+  // Elmore = first moment = 0.5 RC > exact 0.3786 RC for the bare line.
+  const double rt = 1000.0, ct = 1e-12;
+  EXPECT_GT(elmore_delay(0.0, rt, ct, 0.0), rc_exact_delay(0.0, rt, ct, 0.0));
+}
+
+TEST(RcExactDelay, Validation) {
+  EXPECT_THROW(rc_exact_delay(0.0, 0.0, 1e-12, 0.0), std::invalid_argument);
+  EXPECT_THROW(rc_exact_delay(0.0, 1.0, 1e-12, 0.0, 1.5), std::invalid_argument);
+}
+
+// Gate-dominated limit: when Rtr >> Rt the system approaches the lumped
+// single-pole RC with tau = Rtr (Ct + CL): delay -> ln 2 tau.
+TEST(RcExactDelay, GateDominatedLimit) {
+  const double rtr = 1e6, rt = 1.0, ct = 1e-12, cl = 0.0;
+  const double tau = rtr * ct;
+  EXPECT_NEAR(rc_exact_delay(rtr, rt, ct, cl), std::log(2.0) * tau, tau * 0.01);
+}
+
+// Delay scale-invariance: scaling R by a and C by 1/a leaves the delay
+// coefficient * (RC) unchanged; scaling both by a scales delay by a^2 ... etc.
+class RcScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(RcScaling, DelayScalesWithRcProduct) {
+  const double scale = GetParam();
+  const double base = rc_modal_delay(1000.0, 1e-12);
+  EXPECT_NEAR(rc_modal_delay(1000.0 * scale, 1e-12), base * scale,
+              base * scale * 1e-9);
+  EXPECT_NEAR(rc_modal_delay(1000.0, 1e-12 * scale), base * scale,
+              base * scale * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, RcScaling, ::testing::Values(0.1, 0.5, 2.0, 10.0));
+
+}  // namespace

@@ -1,0 +1,157 @@
+#include "core/repeater.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim;
+using namespace rlcsim::core;
+
+const tline::LineParams kLine{450.0, 33.75e-9, 45e-12};  // T_{L/R} = 5 with kBuf
+const MinBuffer kBuf{3000.0, 5e-15, 1.0, 0.0};            // R0 C0 = 15 ps
+
+TEST(TLr, Definition) {
+  // T = (Lt/Rt) / (R0 C0) = 75 ps / 15 ps = 5.
+  EXPECT_NEAR(t_lr(kLine, kBuf), 5.0, 1e-12);
+  EXPECT_THROW(t_lr({0.0, 1e-9, 1e-12}, kBuf), std::invalid_argument);
+}
+
+TEST(Bakoglu, ClosedForms) {
+  const RepeaterDesign d = bakoglu_rc(kLine, kBuf);
+  EXPECT_NEAR(d.size, std::sqrt(kBuf.r0 * 45e-12 / (450.0 * kBuf.c0)), 1e-9);
+  EXPECT_NEAR(d.sections, std::sqrt(450.0 * 45e-12 / (2.0 * kBuf.r0 * kBuf.c0)), 1e-9);
+  // Works for an RC line (Lt = 0) too.
+  EXPECT_NO_THROW(bakoglu_rc({450.0, 0.0, 45e-12}, kBuf));
+}
+
+TEST(ErrorFactors, UnityAtZeroAndDecreasing) {
+  EXPECT_DOUBLE_EQ(h_error_factor(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(k_error_factor(0.0), 1.0);
+  double ph = 1.0, pk = 1.0;
+  for (double t : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    EXPECT_LT(h_error_factor(t), ph);
+    EXPECT_LT(k_error_factor(t), pk);
+    ph = h_error_factor(t);
+    pk = k_error_factor(t);
+  }
+  EXPECT_THROW(h_error_factor(-1.0), std::invalid_argument);
+  EXPECT_THROW(k_error_factor(-1.0), std::invalid_argument);
+}
+
+TEST(ErrorFactors, PublishedValues) {
+  // h'(T) = [1 + 0.16 T^3]^-0.24, k'(T) = [1 + 0.18 T^3]^-0.30.
+  EXPECT_NEAR(h_error_factor(5.0), std::pow(1.0 + 0.16 * 125.0, -0.24), 1e-12);
+  EXPECT_NEAR(k_error_factor(5.0), std::pow(1.0 + 0.18 * 125.0, -0.30), 1e-12);
+}
+
+TEST(IsmailFriedman, ReducesToBakogluWithoutInductance) {
+  const tline::LineParams rc_ish{450.0, 1e-15, 45e-12};  // negligible L
+  const RepeaterDesign rc = bakoglu_rc(rc_ish, kBuf);
+  const RepeaterDesign rlc = ismail_friedman_rlc(rc_ish, kBuf);
+  EXPECT_NEAR(rlc.size, rc.size, rc.size * 1e-6);
+  EXPECT_NEAR(rlc.sections, rc.sections, rc.sections * 1e-6);
+}
+
+TEST(IsmailFriedman, ShrinksDesignWithInductance) {
+  const RepeaterDesign rc = bakoglu_rc(kLine, kBuf);
+  const RepeaterDesign rlc = ismail_friedman_rlc(kLine, kBuf);
+  EXPECT_LT(rlc.size, rc.size);
+  EXPECT_LT(rlc.sections, rc.sections);
+  EXPECT_NEAR(rlc.size, rc.size * h_error_factor(5.0), 1e-9);
+  EXPECT_NEAR(rlc.sections, rc.sections * k_error_factor(5.0), 1e-9);
+}
+
+TEST(TotalDelay, MatchesKTimesSectionModel) {
+  const RepeaterDesign d{100.0, 4.0};
+  const double total = total_delay(kLine, kBuf, d);
+  const tline::GateLineLoad section{kBuf.r0 / d.size, kLine.section(4),
+                                    kBuf.c0 * d.size};
+  EXPECT_NEAR(total, 4.0 * rlc_delay(section), total * 1e-12);
+}
+
+TEST(TotalDelay, Validation) {
+  EXPECT_THROW(total_delay(kLine, kBuf, {0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(total_delay(kLine, kBuf, {1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(total_delay(kLine, {0.0, 1e-15}, {1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(RoundedSections, PicksBetterInteger) {
+  const RepeaterDesign d{100.0, 3.4};
+  const RepeaterDesign r = rounded_sections(kLine, kBuf, d);
+  EXPECT_TRUE(r.sections == 3.0 || r.sections == 4.0);
+  const double t3 = total_delay(kLine, kBuf, {100.0, 3.0});
+  const double t4 = total_delay(kLine, kBuf, {100.0, 4.0});
+  EXPECT_DOUBLE_EQ(total_delay(kLine, kBuf, r), std::min(t3, t4));
+  // Fractional k < 1 rounds up to 1.
+  EXPECT_DOUBLE_EQ(rounded_sections(kLine, kBuf, {100.0, 0.3}).sections, 1.0);
+}
+
+TEST(AreaIncrease, PaperAnchors) {
+  // The two quantitative anchors printed in the paper's Section III.
+  EXPECT_NEAR(area_increase_percent(3.0), 154.0, 1.0);
+  EXPECT_NEAR(area_increase_percent(5.0), 435.0, 1.5);
+  EXPECT_DOUBLE_EQ(area_increase_percent(0.0), 0.0);
+  EXPECT_THROW(area_increase_percent(-1.0), std::invalid_argument);
+}
+
+TEST(AreaIncrease, ConsistentWithErrorFactors) {
+  // %AI = 100 (1/(h'k') - 1) by construction.
+  for (double t : {1.0, 2.5, 6.0}) {
+    const double from_factors =
+        100.0 * (1.0 / (h_error_factor(t) * k_error_factor(t)) - 1.0);
+    EXPECT_NEAR(area_increase_percent(t), from_factors, 1e-9);
+  }
+}
+
+TEST(RepeaterArea, Formula) {
+  MinBuffer b = kBuf;
+  b.area = 2.0;
+  EXPECT_DOUBLE_EQ(repeater_area(b, {10.0, 5.0}), 100.0);
+}
+
+TEST(DynamicPower, WirePlusRepeaterCap) {
+  MinBuffer b = kBuf;
+  b.output_capacitance = 5e-15;
+  const double p = dynamic_power(kLine, b, {10.0, 5.0}, 1e9, 2.5);
+  const double expected = 1e9 * 2.5 * 2.5 * (45e-12 + 5.0 * 10.0 * 10e-15);
+  EXPECT_NEAR(p, expected, expected * 1e-12);
+  EXPECT_THROW(dynamic_power(kLine, b, {1.0, 1.0}, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(DynamicPower, RcSizingCostsMorePower) {
+  const RepeaterDesign rc = bakoglu_rc(kLine, kBuf);
+  const RepeaterDesign rlc = ismail_friedman_rlc(kLine, kBuf);
+  EXPECT_GT(dynamic_power(kLine, kBuf, rc, 1e9, 2.5),
+            dynamic_power(kLine, kBuf, rlc, 1e9, 2.5));
+}
+
+TEST(MinBuffer, Validation) {
+  EXPECT_THROW(validate(MinBuffer{0.0, 1e-15, 1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(validate(MinBuffer{1.0, 0.0, 1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(validate(MinBuffer{1.0, 1e-15, 1.0, -1e-15}), std::invalid_argument);
+}
+
+// Sweep: the RLC design's own-model delay never exceeds the RC design's by
+// more than a whisker across T (both are near-optimal sizings of a flat
+// objective; the RLC one must never be catastrophically worse).
+class SizingSanity : public ::testing::TestWithParam<double> {};
+
+TEST_P(SizingSanity, ClosedFormSizingsStayReasonable) {
+  const double t = GetParam();
+  const tline::LineParams line{1.0, t, 1.0};
+  const MinBuffer buffer{1.0, 1.0, 1.0, 0.0};
+  const double d_rc = total_delay(line, buffer, bakoglu_rc(line, buffer));
+  const double d_rlc = total_delay(line, buffer, ismail_friedman_rlc(line, buffer));
+  EXPECT_GT(d_rc, 0.0);
+  EXPECT_GT(d_rlc, 0.0);
+  EXPECT_LT(d_rlc, d_rc * 1.35);
+  EXPECT_LT(d_rc, d_rlc * 1.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(TSweep, SizingSanity,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 3.0, 5.0, 8.0));
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include "tline/rlc.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::tline;
+
+TEST(PerUnitLength, DerivedQuantities) {
+  PerUnitLength pul{25.0, 0.5e-6, 0.2e-9, 0.0};  // 25 ohm/m? (units arbitrary here)
+  EXPECT_DOUBLE_EQ(pul.lossless_z0(), std::sqrt(0.5e-6 / 0.2e-9));
+  EXPECT_DOUBLE_EQ(pul.velocity(), 1.0 / std::sqrt(0.5e-6 * 0.2e-9));
+}
+
+TEST(PerUnitLength, DerivedQuantitiesValidate) {
+  PerUnitLength bad{1.0, 0.0, 0.0, 0.0};
+  EXPECT_THROW(bad.lossless_z0(), std::invalid_argument);
+  EXPECT_THROW(bad.velocity(), std::invalid_argument);
+}
+
+TEST(LineParams, SectionScaling) {
+  const LineParams line{100.0, 4e-9, 2e-12};
+  const LineParams s = line.section(4);
+  EXPECT_DOUBLE_EQ(s.total_resistance, 25.0);
+  EXPECT_DOUBLE_EQ(s.total_inductance, 1e-9);
+  EXPECT_DOUBLE_EQ(s.total_capacitance, 0.5e-12);
+  EXPECT_THROW(line.section(0), std::invalid_argument);
+}
+
+TEST(LineParams, TimeScales) {
+  const LineParams line{100.0, 4e-9, 1e-12};
+  EXPECT_DOUBLE_EQ(line.time_of_flight(), std::sqrt(4e-9 * 1e-12));
+  EXPECT_DOUBLE_EQ(line.rc_time(), 1e-10);
+  // zeta0 = (R/4) sqrt(C/L).
+  EXPECT_DOUBLE_EQ(line.intrinsic_damping(), 25.0 * std::sqrt(1e-12 / 4e-9));
+}
+
+TEST(LineParams, SectioningPreservesDamping) {
+  // zeta of a section: (R/k/4) sqrt((C/k)/(L/k)) = zeta/k. The per-section
+  // damping drops linearly in k — the physics behind repeater insertion
+  // becoming useless in the LC limit.
+  const LineParams line{200.0, 8e-9, 3e-12};
+  const double z1 = line.intrinsic_damping();
+  EXPECT_NEAR(line.section(5).intrinsic_damping(), z1 / 5.0, 1e-15);
+}
+
+TEST(MakeLine, ScalesByLength) {
+  const PerUnitLength pul{25.0e3, 0.5e-6, 0.2e-9};  // per meter
+  const LineParams line = make_line(pul, 2e-3);     // 2 mm
+  EXPECT_DOUBLE_EQ(line.total_resistance, 50.0);
+  EXPECT_DOUBLE_EQ(line.total_inductance, 1e-9);
+  EXPECT_DOUBLE_EQ(line.total_capacitance, 0.4e-12);
+  EXPECT_THROW(make_line(pul, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_line(pul, -1.0), std::invalid_argument);
+}
+
+TEST(Validate, AcceptsGoodRejectsBad) {
+  EXPECT_NO_THROW(validate({100.0, 1e-9, 1e-12}));
+  EXPECT_THROW(validate({100.0, 0.0, 1e-12}), std::invalid_argument);  // needs L > 0
+  EXPECT_NO_THROW(validate_rc({100.0, 0.0, 1e-12}));
+  EXPECT_THROW(validate_rc({100.0, -1e-9, 1e-12}), std::invalid_argument);
+  EXPECT_THROW(validate({-1.0, 1e-9, 1e-12}), std::invalid_argument);
+  EXPECT_THROW(validate({100.0, 1e-9, 0.0}), std::invalid_argument);
+  const double nan = std::nan("");
+  EXPECT_THROW(validate({nan, 1e-9, 1e-12}), std::invalid_argument);
+}
+
+TEST(Describe, MentionsAllParasitics) {
+  const std::string d = describe({500.0, 1e-9, 1e-12});
+  EXPECT_NE(d.find("Rt="), std::string::npos);
+  EXPECT_NE(d.find("Lt="), std::string::npos);
+  EXPECT_NE(d.find("Ct="), std::string::npos);
+  EXPECT_NE(d.find("zeta0="), std::string::npos);
+}
+
+}  // namespace

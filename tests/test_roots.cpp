@@ -1,0 +1,91 @@
+#include "numeric/roots.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::numeric;
+
+TEST(BracketRoot, FindsSignChangeByExpansion) {
+  // Root at x = 10, initial interval far to the left.
+  const auto f = [](double x) { return x - 10.0; };
+  const Bracket b = bracket_root(f, 0.0, 1.0);
+  EXPECT_LT(f(b.lo) * f(b.hi), 0.0);
+}
+
+TEST(BracketRoot, ThrowsWhenNoRoot) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW(bracket_root(f, -1.0, 1.0, 10), std::runtime_error);
+}
+
+TEST(BracketRoot, RejectsBadInterval) {
+  EXPECT_THROW(bracket_root([](double x) { return x; }, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Bisect, LinearFunction) {
+  EXPECT_NEAR(bisect([](double x) { return 2.0 * x - 3.0; }, 0.0, 10.0), 1.5, 1e-9);
+}
+
+TEST(Bisect, RequiresBracket) {
+  EXPECT_THROW(bisect([](double x) { return x + 5.0; }, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Brent, PolynomialRoot) {
+  const auto f = [](double x) { return x * x * x - 2.0 * x - 5.0; };
+  const double root = brent(f, 2.0, 3.0);
+  EXPECT_NEAR(root, 2.0945514815423265, 1e-12);
+}
+
+TEST(Brent, TranscendentalRoot) {
+  const double root = brent([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_NEAR(root, 0.7390851332151607, 1e-12);
+}
+
+TEST(Brent, EndpointRoots) {
+  EXPECT_DOUBLE_EQ(brent([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(brent([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(Brent, SteepFunction) {
+  // Nearly-vertical crossing stresses the interpolation safeguards.
+  const auto f = [](double x) { return std::tanh(1e6 * (x - 0.123456789)); };
+  EXPECT_NEAR(brent(f, 0.0, 1.0), 0.123456789, 1e-9);
+}
+
+TEST(NewtonSafe, ConvergesWithDerivative) {
+  const auto f = [](double x) { return x * x - 2.0; };
+  const auto df = [](double x) { return 2.0 * x; };
+  EXPECT_NEAR(newton_safe(f, df, 0.0, 2.0), std::sqrt(2.0), 1e-12);
+}
+
+TEST(NewtonSafe, SurvivesZeroDerivative) {
+  // f'(0) = 0: the safeguard must fall back to bisection steps.
+  const auto f = [](double x) { return x * x * x - 0.001; };
+  const auto df = [](double x) { return 3.0 * x * x; };
+  EXPECT_NEAR(newton_safe(f, df, -1.0, 1.0), 0.1, 1e-9);
+}
+
+// The three bracketing solvers must agree on a family of shifted roots.
+class RootSolverAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(RootSolverAgreement, AllSolversFindSameRoot) {
+  const double shift = GetParam();
+  const auto f = [shift](double x) { return std::expm1(x) - shift; };
+  const double expected = std::log1p(shift);
+  const double lo = -2.0, hi = 50.0;
+  EXPECT_NEAR(bisect(f, lo, hi, {.x_tolerance = 1e-13}), expected, 1e-10);
+  EXPECT_NEAR(brent(f, lo, hi, {.x_tolerance = 1e-13}), expected, 1e-10);
+  EXPECT_NEAR(newton_safe(f, [](double x) { return std::exp(x); }, lo, hi,
+                          {.x_tolerance = 1e-13}),
+              expected, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShiftSweep, RootSolverAgreement,
+                         ::testing::Values(0.1, 0.5, 1.0, 3.0, 10.0, 100.0, 1e4));
+
+}  // namespace

@@ -1,0 +1,51 @@
+#include "core/scaling.h"
+
+#include <gtest/gtest.h>
+
+#include "tech/device.h"
+#include "tech/nodes.h"
+
+namespace {
+
+using namespace rlcsim;
+using namespace rlcsim::core;
+
+std::vector<std::pair<std::string, MinBuffer>> preset_buffers() {
+  std::vector<std::pair<std::string, MinBuffer>> out;
+  for (const auto& node : tech::all_nodes())
+    out.emplace_back(node.node_name, tech::as_min_buffer(node));
+  return out;
+}
+
+TEST(ScalingStudy, TlrGrowsAsIntrinsicDelayShrinks) {
+  // A fixed wide wire studied across three buffer generations: the paper's
+  // Section IV claim is that T_{L/R} (and hence the cost of RC-only design)
+  // grows as R0 C0 shrinks.
+  const tline::LineParams wire{100.0, 10e-9, 2e-12};  // Lt/Rt = 100 ps
+  const auto points = scaling_study(wire, preset_buffers());
+  ASSERT_EQ(points.size(), 3u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i].r0c0, points[i - 1].r0c0);
+    EXPECT_GT(points[i].t_lr, points[i - 1].t_lr);
+    EXPECT_GT(points[i].area_increase, points[i - 1].area_increase);
+  }
+}
+
+TEST(ScalingStudy, RowContentsConsistent) {
+  const tline::LineParams wire{100.0, 10e-9, 2e-12};
+  const auto points = scaling_study(wire, preset_buffers());
+  for (const auto& p : points) {
+    EXPECT_FALSE(p.label.empty());
+    EXPECT_GT(p.k_rc, p.k_rlc);  // inductance always reduces the section count
+    EXPECT_GT(p.h_rc, p.h_rlc);
+    EXPECT_NEAR(p.area_increase,
+                100.0 * (p.k_rc * p.h_rc / (p.k_rlc * p.h_rlc) - 1.0), 0.5);
+  }
+}
+
+TEST(ScalingStudy, EmptyBufferListYieldsEmptyStudy) {
+  const tline::LineParams wire{100.0, 10e-9, 2e-12};
+  EXPECT_TRUE(scaling_study(wire, {}).empty());
+}
+
+}  // namespace

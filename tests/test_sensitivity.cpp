@@ -1,0 +1,75 @@
+#include "core/sensitivity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim;
+using namespace rlcsim::core;
+
+const tline::GateLineLoad kSystem{500.0, {500.0, 1e-8, 1e-12}, 1e-12};
+
+TEST(Sensitivity, AllPartialsPositive) {
+  // Delay increases with every impedance in the overdamped regime.
+  const DelaySensitivity s = delay_sensitivity(kSystem);
+  EXPECT_GT(s.d_rtr, 0.0);
+  EXPECT_GT(s.d_rt, 0.0);
+  EXPECT_GT(s.d_ct, 0.0);
+  EXPECT_GT(s.d_cl, 0.0);
+}
+
+TEST(Sensitivity, MatchesDirectFiniteDifference) {
+  const DelaySensitivity s = delay_sensitivity(kSystem);
+  // Cross-check d/d Ct against an independent two-point evaluation.
+  const double h = 1e-15;
+  tline::GateLineLoad up = kSystem, down = kSystem;
+  up.line.total_capacitance += h;
+  down.line.total_capacitance -= h;
+  const double direct = (rlc_delay(up) - rlc_delay(down)) / (2.0 * h);
+  EXPECT_NEAR(s.d_ct, direct, std::fabs(direct) * 1e-3);
+}
+
+TEST(Sensitivity, RcLimitDriverSensitivity) {
+  // In the deep-RC limit with CT -> 0, eq. (9) gives
+  // tpd ~ 0.74 (0.5 Rt Ct + Rtr Ct + ...) / sqrt(1+CT), so
+  // d tpd / d Rtr -> 0.74 (Ct + CL) at CT ~ 0.
+  const tline::GateLineLoad rc{500.0, {5000.0, 1e-12, 1e-12}, 1e-15};
+  const DelaySensitivity s = delay_sensitivity(rc);
+  const double expected = 0.74 * (1e-12 + 1e-15);
+  EXPECT_NEAR(s.d_rtr, expected, expected * 0.02);
+}
+
+TEST(Sensitivity, LcLimitLengthExponentIsOne) {
+  // Wave regime: tpd ~ l sqrt(LC) -> log-sensitivity to (Rt, Lt, Ct) jointly
+  // (the length exponent) is 1; Lt and Ct each carry ~0.5.
+  const tline::GateLineLoad lc{0.1, {1.0, 1e-8, 1e-12}, 1e-15};
+  const LogSensitivity s = log_sensitivity(lc);
+  EXPECT_NEAR(s.length_exponent(), 1.0, 0.02);
+  EXPECT_NEAR(s.lt, 0.5, 0.02);
+  EXPECT_NEAR(s.ct, 0.5, 0.03);
+  EXPECT_NEAR(s.rt, 0.0, 0.02);
+}
+
+TEST(Sensitivity, RcLimitLengthExponentIsTwo) {
+  const tline::GateLineLoad rc{0.1, {50000.0, 1e-12, 1e-12}, 1e-16};
+  const LogSensitivity s = log_sensitivity(rc);
+  EXPECT_NEAR(s.length_exponent(), 2.0, 0.03);
+}
+
+TEST(Sensitivity, LengthExponentInterpolatesInTransition) {
+  const tline::GateLineLoad mid{100.0, {300.0, 1e-8, 1e-12}, 0.2e-12};
+  const double p = log_sensitivity(mid).length_exponent();
+  EXPECT_GT(p, 1.0);
+  EXPECT_LT(p, 2.0);
+}
+
+TEST(Sensitivity, Validation) {
+  EXPECT_THROW(delay_sensitivity(kSystem, kPaperFit, 0.0), std::invalid_argument);
+  EXPECT_THROW(delay_sensitivity(kSystem, kPaperFit, 0.5), std::invalid_argument);
+  EXPECT_THROW(delay_sensitivity({1.0, {1.0, 0.0, 1e-12}, 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,57 @@
+#include "numeric/stats.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::numeric;
+
+TEST(Stats, MeanRmsMaxAbs) {
+  const std::vector<double> v{1.0, -2.0, 3.0, -4.0};
+  EXPECT_DOUBLE_EQ(mean(v), -0.5);
+  EXPECT_DOUBLE_EQ(rms(v), std::sqrt(30.0 / 4.0));
+  EXPECT_DOUBLE_EQ(max_abs(v), 4.0);
+  EXPECT_DOUBLE_EQ(max_abs({}), 0.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  EXPECT_THROW(mean({}), std::invalid_argument);
+  EXPECT_THROW(rms({}), std::invalid_argument);
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(Stats, Percentile) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+  EXPECT_THROW(percentile(v, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(v, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, CompareSummary) {
+  const std::vector<double> a{1.0, 2.2, 3.0};
+  const std::vector<double> b{1.0, 2.0, 3.3};
+  const ErrorSummary s = compare(a, b);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.max_abs, 0.3, 1e-12);
+  EXPECT_NEAR(s.mean_abs, 0.5 / 3.0, 1e-12);
+  EXPECT_NEAR(s.max_rel, 0.1, 1e-12);
+}
+
+TEST(Stats, CompareValidatesSizes) {
+  EXPECT_THROW(compare({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(compare({}, {}), std::invalid_argument);
+}
+
+TEST(Stats, RelErrorFloorGuardsZeroReference) {
+  EXPECT_DOUBLE_EQ(rel_error(1.5, 1.0), 0.5);
+  // Against a zero reference the floor keeps the result finite.
+  EXPECT_LT(rel_error(1e-31, 0.0), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include "tline/step_response.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "tline/rc_line.h"
+
+namespace {
+
+using namespace rlcsim::tline;
+
+TEST(StepResponseAt, StartsAtZeroEndsAtOne) {
+  const GateLineLoad sys{500.0, {500.0, 1e-8, 1e-12}, 1e-12};
+  EXPECT_DOUBLE_EQ(step_response_at(sys, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(step_response_at(sys, -1.0), 0.0);
+  // Settled well past all time constants.
+  EXPECT_NEAR(step_response_at(sys, 1e-6), 1.0, 1e-4);
+}
+
+TEST(StepResponse, SampledGridShape) {
+  const GateLineLoad sys{500.0, {500.0, 1e-8, 1e-12}, 1e-12};
+  const SampledResponse r = step_response(sys, 10e-9, 100);
+  ASSERT_EQ(r.time.size(), 100u);
+  ASSERT_EQ(r.value.size(), 100u);
+  EXPECT_DOUBLE_EQ(r.time.front(), 0.1e-9);
+  EXPECT_DOUBLE_EQ(r.time.back(), 10e-9);
+  EXPECT_THROW(step_response(sys, -1.0, 10), std::invalid_argument);
+  EXPECT_THROW(step_response(sys, 1e-9, 1), std::invalid_argument);
+}
+
+TEST(ThresholdDelay, MatchesRcModalForResistiveLine) {
+  // Nearly-RC line (tiny L): the exact RLC delay must approach the
+  // independent modal-series RC result.
+  const double rt = 1000.0, ct = 1e-12;
+  const GateLineLoad sys{0.0, {rt, 1e-13, ct}, 0.0};
+  const double rlc = threshold_delay(sys);
+  const double rc = rc_modal_delay(rt, ct);
+  EXPECT_NEAR(rlc, rc, rc * 0.01);
+}
+
+TEST(ThresholdDelay, LosslessLineIsTimeOfFlight) {
+  // R -> 0: the far end sees (an overshooting) step arriving at sqrt(LtCt).
+  const GateLineLoad sys{0.0, {1e-3, 1e-8, 1e-12}, 0.0};
+  const double tof = sys.line.time_of_flight();
+  EXPECT_NEAR(threshold_delay(sys), tof, tof * 0.01);
+}
+
+TEST(ThresholdDelay, UnderdampedFirstCrossingNotLater) {
+  // Strongly ringing system: the search must return the FIRST crossing,
+  // which is below the Elmore delay for underdamped responses.
+  const GateLineLoad sys{50.0, {100.0, 1e-8, 1e-12}, 0.2e-12};
+  const double t50 = threshold_delay(sys);
+  const DenominatorMoments m = moments(sys);
+  EXPECT_LT(t50, m.b1);
+  // And the response there really is 0.5.
+  EXPECT_NEAR(step_response_at(sys, t50), 0.5, 1e-6);
+}
+
+TEST(ThresholdDelay, MonotoneInThreshold) {
+  const GateLineLoad sys{500.0, {500.0, 1e-7, 1e-12}, 0.5e-12};
+  EXPECT_LT(threshold_delay(sys, 0.1), threshold_delay(sys, 0.5));
+  EXPECT_LT(threshold_delay(sys, 0.5), threshold_delay(sys, 0.9));
+  EXPECT_THROW(threshold_delay(sys, 0.0), std::invalid_argument);
+  EXPECT_THROW(threshold_delay(sys, 1.0), std::invalid_argument);
+}
+
+TEST(MeasureStep, SyntheticFirstOrder) {
+  // v(t) = 1 - e^{-t}: delay = ln 2, rise = ln 9, no overshoot.
+  std::vector<double> t, v;
+  for (int i = 0; i <= 4000; ++i) {
+    t.push_back(i * 0.005);
+    v.push_back(1.0 - std::exp(-t.back()));
+  }
+  const StepMetrics m = measure_step(t, v);
+  EXPECT_NEAR(m.delay_50, std::log(2.0), 1e-4);
+  EXPECT_NEAR(m.rise_10_90, std::log(9.0), 1e-3);
+  EXPECT_DOUBLE_EQ(m.overshoot, 0.0);
+  ASSERT_TRUE(m.settle_2pct.has_value());
+  EXPECT_NEAR(*m.settle_2pct, -std::log(0.02), 0.01);
+}
+
+TEST(MeasureStep, OvershootingSecondOrder) {
+  // zeta = 0.2 normalized second order: overshoot = exp(-pi z / sqrt(1-z^2)).
+  const double zeta = 0.2;
+  const double wd = std::sqrt(1.0 - zeta * zeta);
+  std::vector<double> t, v;
+  for (int i = 0; i <= 8000; ++i) {
+    t.push_back(i * 0.005);
+    v.push_back(1.0 - std::exp(-zeta * t.back()) *
+                          (std::cos(wd * t.back()) +
+                           zeta / wd * std::sin(wd * t.back())));
+  }
+  const StepMetrics m = measure_step(t, v);
+  EXPECT_NEAR(m.overshoot, std::exp(-M_PI * zeta / wd), 1e-3);
+  EXPECT_GT(m.delay_50, 0.0);
+}
+
+TEST(MeasureStep, UnsettledWaveformHasNoSettleTime) {
+  std::vector<double> t{0.0, 1.0, 2.0};
+  std::vector<double> v{0.0, 0.5, 0.9};  // still 10% away at the end
+  const StepMetrics m = measure_step(t, v);
+  EXPECT_FALSE(m.settle_2pct.has_value());
+}
+
+TEST(MeasureStep, Validation) {
+  EXPECT_THROW(measure_step({0.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(measure_step({0.0, 1.0}, {0.0, 1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(measure_step({0.0, 1.0}, {0.0, 0.1}), std::runtime_error);
+}
+
+}  // namespace

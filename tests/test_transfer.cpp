@@ -1,0 +1,103 @@
+#include "tline/transfer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::tline;
+
+TEST(GateLineLoad, Ratios) {
+  const GateLineLoad sys{500.0, {1000.0, 1e-9, 2e-12}, 1e-12};
+  EXPECT_DOUBLE_EQ(sys.rt_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(sys.ct_ratio(), 0.5);
+}
+
+TEST(GateLineLoad, Validation) {
+  EXPECT_NO_THROW(validate({500.0, {1000.0, 1e-9, 1e-12}, 1e-13}));
+  EXPECT_NO_THROW(validate({0.0, {1000.0, 1e-9, 1e-12}, 0.0}));
+  EXPECT_THROW(validate({-1.0, {1000.0, 1e-9, 1e-12}, 0.0}), std::invalid_argument);
+  EXPECT_THROW(validate({1.0, {1000.0, 1e-9, 1e-12}, -1e-15}), std::invalid_argument);
+  EXPECT_THROW(validate({1.0, {1000.0, 0.0, 1e-12}, 0.0}), std::invalid_argument);
+}
+
+TEST(TransferExact, DcGainIsUnity) {
+  const GateLineLoad sys{500.0, {500.0, 1e-8, 1e-12}, 1e-12};
+  const Complex h = transfer_exact(sys, Complex(1.0, 0.0));  // ~DC
+  EXPECT_NEAR(h.real(), 1.0, 1e-6);
+  EXPECT_NEAR(h.imag(), 0.0, 1e-6);
+}
+
+TEST(TransferExact, MagnitudeRollsOff) {
+  const GateLineLoad sys{500.0, {500.0, 1e-8, 1e-12}, 1e-12};
+  double prev = 1.0;
+  for (double f : {1e7, 1e8, 1e9}) {
+    const double mag = std::abs(transfer_exact(sys, Complex(0.0, 2.0 * M_PI * f)));
+    EXPECT_LT(mag, prev * 1.3);  // allow mild resonant peaking
+    prev = mag;
+  }
+  EXPECT_LT(prev, 0.2);  // well past the corner by 1 GHz
+}
+
+TEST(TransferLumped, ConvergesToExact) {
+  const GateLineLoad sys{200.0, {800.0, 4e-9, 2e-12}, 0.5e-12};
+  const Complex s(0.0, 2.0 * M_PI * 3e9);
+  const Complex exact = transfer_exact(sys, s);
+  double prev_err = 1e9;
+  for (int segments : {2, 8, 32, 128}) {
+    const double err = std::abs(transfer_lumped(sys, segments, s) - exact);
+    EXPECT_LE(err, prev_err * 1.001);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-4);
+  EXPECT_THROW(transfer_lumped(sys, 0, s), std::invalid_argument);
+}
+
+TEST(Moments, ClosedFormMatchesNumericDerivatives) {
+  // b1 and b2 from the closed form must equal the Taylor coefficients of
+  // 1/H(s) measured by central differences at s ~ 0.
+  const GateLineLoad sys{300.0, {700.0, 2e-9, 1.5e-12}, 0.8e-12};
+  const DenominatorMoments m = moments(sys);
+
+  const double h = 1e4;  // |s| step, far below the corner (~1/b1)
+  const auto d = [&](double s_real) {
+    return 1.0 / transfer_exact(sys, Complex(s_real, 0.0)).real();
+  };
+  const double b1_numeric = (d(h) - d(-h)) / (2.0 * h);
+  const double b2_numeric = (d(h) - 2.0 * d(0.0) + d(-h)) / (h * h) / 2.0;
+  EXPECT_NEAR(b1_numeric, m.b1, std::fabs(m.b1) * 1e-5);
+  EXPECT_NEAR(b2_numeric, m.b2, std::fabs(m.b2) * 1e-3);
+}
+
+TEST(Moments, B1IsElmoreDelay) {
+  const double rtr = 450.0, rt = 900.0, ct = 1.2e-12, cl = 0.4e-12;
+  const GateLineLoad sys{rtr, {rt, 1e-9, ct}, cl};
+  EXPECT_DOUBLE_EQ(moments(sys).b1, rtr * (ct + cl) + rt * (ct / 2.0 + cl));
+}
+
+TEST(Moments, InductanceEntersOnlyB2) {
+  const GateLineLoad a{500.0, {500.0, 1e-9, 1e-12}, 1e-12};
+  const GateLineLoad b{500.0, {500.0, 9e-9, 1e-12}, 1e-12};
+  EXPECT_DOUBLE_EQ(moments(a).b1, moments(b).b1);
+  EXPECT_LT(moments(a).b2, moments(b).b2);
+  // The Lt contribution is linear: b2(9L) - b2(L) = 8 L (Ct/2 + CL).
+  EXPECT_NEAR(moments(b).b2 - moments(a).b2, 8e-9 * (0.5e-12 + 1e-12), 1e-24);
+}
+
+// Across a parameter sweep, the DC limit of the lumped and exact transfer
+// functions must both be exactly 1 (voltage division with no DC load).
+class TransferDcSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransferDcSweep, UnityDcGain) {
+  const double lt = GetParam();
+  const GateLineLoad sys{500.0, {500.0, lt, 1e-12}, 1e-12};
+  EXPECT_NEAR(transfer_exact(sys, Complex(10.0, 0.0)).real(), 1.0, 1e-5);
+  EXPECT_NEAR(transfer_lumped(sys, 16, Complex(10.0, 0.0)).real(), 1.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(InductanceSweep, TransferDcSweep,
+                         ::testing::Values(1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5));
+
+}  // namespace

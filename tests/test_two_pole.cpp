@@ -1,0 +1,135 @@
+#include "core/two_pole.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "tline/step_response.h"
+
+namespace {
+
+using namespace rlcsim;
+using namespace rlcsim::core;
+
+TEST(TwoPole, MomentsFromSystem) {
+  const tline::GateLineLoad sys{500.0, {500.0, 1e-8, 1e-12}, 1e-12};
+  const TwoPoleModel m(sys);
+  const auto moments = tline::moments(sys);
+  EXPECT_DOUBLE_EQ(m.b1(), moments.b1);
+  EXPECT_DOUBLE_EQ(m.b2(), moments.b2);
+}
+
+TEST(TwoPole, NormalizedParameters) {
+  // b1 = 2 zeta / wn, b2 = 1 / wn^2.
+  const TwoPoleModel m(2.0e-9, 1.0e-18);
+  EXPECT_DOUBLE_EQ(m.natural_frequency(), 1e9);
+  EXPECT_DOUBLE_EQ(m.damping(), 1.0);
+}
+
+TEST(TwoPole, PolesUnderAndOverdamped) {
+  const TwoPoleModel under(0.4e-9, 1.0e-18);  // zeta = 0.2
+  const auto [u1, u2] = under.poles();
+  EXPECT_NE(u1.imag(), 0.0);
+  EXPECT_DOUBLE_EQ(u1.real(), u2.real());
+  EXPECT_DOUBLE_EQ(u1.imag(), -u2.imag());
+  EXPECT_LT(u1.real(), 0.0);
+
+  const TwoPoleModel over(4e-9, 1.0e-18);  // zeta = 2
+  const auto [o1, o2] = over.poles();
+  EXPECT_DOUBLE_EQ(o1.imag(), 0.0);
+  EXPECT_LT(o1.real(), o2.real());
+  EXPECT_LT(o2.real(), 0.0);
+  // Product of poles = 1/b2.
+  EXPECT_NEAR(o1.real() * o2.real(), 1.0 / 1.0e-18, 1e18 * 1e-9);
+}
+
+TEST(TwoPole, StepResponseLimits) {
+  const TwoPoleModel m(1e-9, 1e-19);
+  EXPECT_DOUBLE_EQ(m.step_response(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.step_response(-1.0), 0.0);
+  EXPECT_NEAR(m.step_response(100e-9), 1.0, 1e-9);
+}
+
+TEST(TwoPole, CriticallyDampedFormula) {
+  // zeta = 1: v(t) = 1 - (1 + wt) e^{-wt}. At wt = 1: 1 - 2/e.
+  const TwoPoleModel m(2.0e-9, 1.0e-18);
+  EXPECT_NEAR(m.step_response(1e-9), 1.0 - 2.0 / std::exp(1.0), 1e-9);
+}
+
+TEST(TwoPole, UnderdampedMatchesClassicFormula) {
+  const double zeta = 0.3, wn = 1e9;
+  const TwoPoleModel m(2.0 * zeta / wn, 1.0 / (wn * wn));
+  const double t = 2e-9;
+  const double wd = wn * std::sqrt(1.0 - zeta * zeta);
+  const double expected =
+      1.0 - std::exp(-zeta * wn * t) *
+                (std::cos(wd * t) + zeta / std::sqrt(1 - zeta * zeta) * std::sin(wd * t));
+  EXPECT_NEAR(m.step_response(t), expected, 1e-12);
+}
+
+TEST(TwoPole, ThresholdDelayConsistent) {
+  for (double zeta : {0.2, 0.7, 1.0, 1.8, 4.0}) {
+    const double wn = 1e9;
+    const TwoPoleModel m(2.0 * zeta / wn, 1.0 / (wn * wn));
+    const double t50 = m.threshold_delay(0.5);
+    EXPECT_NEAR(m.step_response(t50), 0.5, 1e-9) << "zeta=" << zeta;
+    EXPECT_LT(m.threshold_delay(0.1), t50);
+  }
+  const TwoPoleModel m(1e-9, 1e-19);
+  EXPECT_THROW(m.threshold_delay(0.0), std::invalid_argument);
+  EXPECT_THROW(m.threshold_delay(1.0), std::invalid_argument);
+}
+
+TEST(TwoPole, OvershootAndPeakTime) {
+  const double zeta = 0.4, wn = 2e9;
+  const TwoPoleModel m(2.0 * zeta / wn, 1.0 / (wn * wn));
+  const double os = std::exp(-M_PI * zeta / std::sqrt(1.0 - zeta * zeta));
+  EXPECT_NEAR(m.overshoot(), os, 1e-12);
+  ASSERT_TRUE(m.peak_time());
+  // The response at the peak time equals 1 + overshoot.
+  EXPECT_NEAR(m.step_response(*m.peak_time()), 1.0 + os, 1e-9);
+
+  const TwoPoleModel od(4.0 / wn, 1.0 / (wn * wn));  // zeta = 2
+  EXPECT_DOUBLE_EQ(od.overshoot(), 0.0);
+  EXPECT_FALSE(od.peak_time());
+}
+
+TEST(TwoPole, TracksExactResponseForModerateDamping) {
+  // The moment-matched two-pole model should predict the exact 50% delay of
+  // the distributed system within ~10% in the gate-dominated regime (where
+  // two poles dominate).
+  const tline::GateLineLoad sys{1500.0, {300.0, 1e-9, 1e-12}, 2e-12};
+  const TwoPoleModel m(sys);
+  const double exact = tline::threshold_delay(sys);
+  EXPECT_NEAR(m.threshold_delay(0.5), exact, exact * 0.10);
+}
+
+TEST(TwoPole, Validation) {
+  EXPECT_THROW(TwoPoleModel(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(TwoPoleModel(1.0, -1.0), std::invalid_argument);
+}
+
+// Property sweep: structural bounds on the 50% delay. Overdamped responses
+// cross before the first moment b1 (median before mean of a positive
+// impulse response); underdamped responses cross before their first peak.
+class TwoPoleBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(TwoPoleBounds, FirstCrossingBounds) {
+  const double zeta = GetParam();
+  const double wn = 1e9;
+  const TwoPoleModel m(2.0 * zeta / wn, 1.0 / (wn * wn));
+  const double t50 = m.threshold_delay(0.5);
+  if (zeta >= 1.0) {
+    EXPECT_LT(t50, m.b1() * 1.0000001);
+  } else {
+    ASSERT_TRUE(m.peak_time());
+    EXPECT_LT(t50, *m.peak_time());
+  }
+  EXPECT_GT(t50, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(DampingSweep, TwoPoleBounds,
+                         ::testing::Values(0.15, 0.5, 0.9, 1.0, 1.5, 3.0, 10.0));
+
+}  // namespace

@@ -1,0 +1,138 @@
+#include "tline/two_port.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::tline;
+
+constexpr double kTol = 1e-12;
+
+void expect_close(Complex a, Complex b, double tol = kTol) {
+  EXPECT_NEAR(std::abs(a - b), 0.0, tol) << "a=" << a << " b=" << b;
+}
+
+TEST(Abcd, IdentityCascade) {
+  const Abcd eye;
+  const Abcd r = series_resistor(50.0);
+  const Abcd both = eye.cascade(r);
+  expect_close(both.a, r.a);
+  expect_close(both.b, r.b);
+  expect_close(both.c, r.c);
+  expect_close(both.d, r.d);
+}
+
+TEST(Abcd, SeriesImpedancesAdd) {
+  const Abcd two = series_resistor(30.0).cascade(series_resistor(20.0));
+  expect_close(two.b, Complex(50.0, 0.0));
+  expect_close(two.a, Complex(1.0, 0.0));
+}
+
+TEST(Abcd, ShuntAdmittancesAdd) {
+  const Complex s(0.0, 1e9);
+  const Abcd two = shunt_capacitor(1e-12, s).cascade(shunt_capacitor(2e-12, s));
+  expect_close(two.c, s * 3e-12);
+}
+
+TEST(Abcd, ReciprocityDeterminantOne) {
+  // Every R/L/C two-port is reciprocal: AD - BC = 1, preserved by cascade.
+  const Complex s(1e8, 2e9);
+  const Abcd net = series_resistor(100.0)
+                       .cascade(shunt_capacitor(1e-12, s))
+                       .cascade(series_inductor(1e-9, s))
+                       .cascade(shunt_capacitor(2e-12, s));
+  expect_close(net.a * net.d - net.b * net.c, Complex(1.0, 0.0), 1e-10);
+}
+
+TEST(DistributedLine, ReciprocalAndSymmetric) {
+  const LineParams line{100.0, 1e-9, 1e-12};
+  const Complex s(1e8, 5e9);
+  const Abcd net = distributed_line(line, s);
+  expect_close(net.a, net.d);  // symmetric line
+  expect_close(net.a * net.d - net.b * net.c, Complex(1.0, 0.0), 1e-9);
+}
+
+TEST(DistributedLine, DcLimitIsSeriesResistance) {
+  // At s -> 0 the line is just its total series resistance.
+  const LineParams line{123.0, 1e-9, 1e-12};
+  const Abcd net = distributed_line(line, Complex(1e-3, 0.0));
+  expect_close(net.a, Complex(1.0, 0.0), 1e-6);
+  expect_close(net.b, Complex(123.0, 0.0), 1e-4);
+}
+
+TEST(DistributedLine, HandlesZeroInductance) {
+  // RC line: theta = sqrt(s R C), finite and well-defined.
+  const LineParams line{1000.0, 0.0, 1e-12};
+  const Complex s(0.0, 1e9);
+  const Abcd net = distributed_line(line, s);
+  EXPECT_TRUE(std::isfinite(net.a.real()));
+  EXPECT_TRUE(std::isfinite(net.b.imag()));
+  expect_close(net.a * net.d - net.b * net.c, Complex(1.0, 0.0), 1e-9);
+}
+
+TEST(LumpedLadder, ConvergesToDistributedLine) {
+  const LineParams line{200.0, 2e-9, 2e-12};
+  const Complex s(0.0, 2.0 * M_PI * 1e9);
+  const Abcd exact = distributed_line(line, s);
+  double prev_err = 1e9;
+  for (int segments : {4, 16, 64}) {
+    const Abcd ladder = lumped_ladder(line, segments, s);
+    const double err = std::abs(ladder.a - exact.a) + std::abs(ladder.b - exact.b) +
+                       std::abs(ladder.c - exact.c);
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-3 * std::abs(exact.b));
+}
+
+TEST(LumpedLadder, SecondOrderConvergence) {
+  // Pi-segment discretization error should fall ~4x when segments double.
+  const LineParams line{100.0, 1e-9, 1e-12};
+  const Complex s(0.0, 2.0 * M_PI * 2e9);
+  const Abcd exact = distributed_line(line, s);
+  const auto err = [&](int n) {
+    const Abcd l = lumped_ladder(line, n, s);
+    return std::abs(l.a - exact.a);
+  };
+  const double ratio = err(10) / err(20);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(TerminatedTransfer, VoltageDividerSanity) {
+  // Pure resistive divider: source 100 ohm into shunt -> H = R/(R+Rs) with
+  // a load resistor expressed as load admittance.
+  const Abcd nothing;  // direct connection
+  const Complex h = terminated_transfer(nothing, Complex(100.0, 0.0),
+                                        Complex(1.0 / 300.0, 0.0));
+  expect_close(h, Complex(300.0 / 400.0, 0.0));
+}
+
+TEST(TerminatedTransfer, OverflowYieldsZero) {
+  // Huge attenuation: cosh overflows; the transfer must be 0, not NaN.
+  const LineParams line{1e6, 1e-9, 1e-9};
+  const Abcd net = distributed_line(line, Complex(1e12, 0.0));
+  const Complex h = terminated_transfer(net, Complex(0.0, 0.0), Complex(0.0, 0.0));
+  EXPECT_TRUE(std::isfinite(h.real()));
+  EXPECT_TRUE(std::isfinite(h.imag()));
+  expect_close(h, Complex(0.0, 0.0), 1e-30);
+}
+
+TEST(TerminatedTransfer, MatchedLosslessLineIsAllPass) {
+  // A lossless line driven and loaded by its characteristic impedance has
+  // |H| = z0/(z0+zs) * ... for matched source: |Vout/Vin| = 0.5 independent
+  // of frequency (half the voltage at the matched source divider).
+  const LineParams line{0.0, 1e-9, 1e-12};  // lossless
+  const double z0 = std::sqrt(1e-9 / 1e-12);
+  for (double f : {1e8, 1e9, 5e9}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    const Abcd net = distributed_line(line, s);
+    const Complex h =
+        terminated_transfer(net, Complex(z0, 0.0), Complex(1.0 / z0, 0.0));
+    EXPECT_NEAR(std::abs(h), 0.5, 1e-9) << "f=" << f;
+  }
+}
+
+}  // namespace

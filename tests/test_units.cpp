@@ -1,0 +1,76 @@
+#include "numeric/units.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::units;
+using namespace rlcsim::units::literals;
+
+TEST(UnitsLiterals, ScaleCorrectly) {
+  EXPECT_DOUBLE_EQ(1.0_kohm, 1000.0);
+  EXPECT_DOUBLE_EQ(2.5_pF, 2.5e-12);
+  EXPECT_DOUBLE_EQ(3.0_fF, 3.0e-15);
+  EXPECT_DOUBLE_EQ(1.0_nH, 1.0e-9);
+  EXPECT_DOUBLE_EQ(10.0_ps, 1.0e-11);
+  EXPECT_DOUBLE_EQ(5.0_mm, 5.0e-3);
+  EXPECT_DOUBLE_EQ(0.25_um, 0.25e-6);
+}
+
+TEST(UnitsEng, PicksPrefixAndDigits) {
+  EXPECT_EQ(eng(3.3e-10, "s"), "330.0 ps");
+  EXPECT_EQ(eng(1.0e-12, "F"), "1.000 pF");
+  EXPECT_EQ(eng(500.0, "ohm"), "500.0 ohm");
+  EXPECT_EQ(eng(6.0e3, "ohm"), "6.000 kohm");
+  EXPECT_EQ(eng(0.0, "V"), "0 V");
+}
+
+TEST(UnitsEng, NegativeValues) {
+  EXPECT_EQ(eng(-2.5e-9, "s"), "-2.500 ns");
+}
+
+TEST(UnitsEng, SignificantDigitControl) {
+  EXPECT_EQ(eng(1.23456e-9, "s", 6), "1.23456 ns");
+  EXPECT_EQ(eng(1.23456e-9, "s", 2), "1.2 ns");
+}
+
+TEST(UnitsParse, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("42"), 42.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1e-12"), 1e-12);
+}
+
+TEST(UnitsParse, ScaleSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("1p"), 1e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.5n"), 2.5e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3u"), 3e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("4m"), 4e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("5k"), 5e3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("6MEG"), 6e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("7g"), 7e9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("8f"), 8e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_number("9t"), 9e12);
+}
+
+TEST(UnitsParse, UnitWordsAfterSuffix) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("5pF"), 5e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1kohm"), 1e3);
+  // A bare unit word with no scale prefix is a plain multiplier of 1.
+  EXPECT_DOUBLE_EQ(parse_spice_number("5V"), 5.0);
+}
+
+TEST(UnitsParse, MalformedReturnsNan) {
+  EXPECT_TRUE(std::isnan(parse_spice_number("")));
+  EXPECT_TRUE(std::isnan(parse_spice_number("abc")));
+  EXPECT_TRUE(std::isnan(parse_spice_number("--1")));
+}
+
+TEST(UnitsParse, MegBeforeMilli) {
+  // Regression guard: "meg" must not be parsed as "m" + "eg".
+  EXPECT_DOUBLE_EQ(parse_spice_number("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1m"), 1e-3);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include "sim/waveform.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlcsim::sim;
+
+Trace first_order_trace(double tau, double t_end, int n) {
+  std::vector<double> t, v;
+  for (int i = 0; i <= n; ++i) {
+    t.push_back(t_end * i / n);
+    v.push_back(1.0 - std::exp(-t.back() / tau));
+  }
+  return Trace(std::move(t), std::move(v));
+}
+
+TEST(Trace, ConstructionValidation) {
+  EXPECT_THROW(Trace({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Trace({0.0, 1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(Trace, AtInterpolatesLinearly) {
+  const Trace tr({0.0, 1.0, 2.0}, {0.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(tr.at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(tr.at(1.7), 2.0);
+  EXPECT_DOUBLE_EQ(tr.at(-5.0), 0.0);  // clamped
+}
+
+TEST(Trace, DelayOfFirstOrderResponse) {
+  const Trace tr = first_order_trace(1.0, 8.0, 8000);
+  EXPECT_NEAR(tr.delay(1.0), std::log(2.0), 1e-4);
+  EXPECT_NEAR(tr.delay(1.0, 0.9), std::log(10.0), 1e-3);
+}
+
+TEST(Trace, DelayThrowsWhenNeverCrossing) {
+  const Trace tr({0.0, 1.0}, {0.0, 0.3});
+  EXPECT_THROW(tr.delay(1.0), std::runtime_error);
+}
+
+TEST(Trace, RiseTime) {
+  const Trace tr = first_order_trace(1.0, 10.0, 10000);
+  EXPECT_NEAR(tr.rise_time(1.0), std::log(9.0), 1e-3);
+}
+
+TEST(Trace, OvershootAndExtremes) {
+  std::vector<double> t, v;
+  for (int i = 0; i <= 1000; ++i) {
+    t.push_back(i * 0.01);
+    v.push_back(1.0 - std::exp(-t.back()) * std::cos(3.0 * t.back()) * 1.2);
+  }
+  const Trace tr(t, v);
+  EXPECT_GT(tr.max_value(), 1.0);
+  EXPECT_LT(tr.min_value(), 0.0);
+  EXPECT_NEAR(tr.overshoot(1.0), tr.max_value() - 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(tr.overshoot(2.0), 0.0);  // far below that reference
+  EXPECT_THROW(tr.overshoot(0.0), std::invalid_argument);
+}
+
+TEST(Trace, CrossingDirections) {
+  const Trace tr({0.0, 1.0, 2.0, 3.0}, {0.0, 1.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(*tr.crossing(0.5, 0.0, +1), 0.5);
+  EXPECT_DOUBLE_EQ(*tr.crossing(0.5, 0.0, -1), 1.5);
+  EXPECT_DOUBLE_EQ(*tr.crossing(0.5, 1.6, +1), 2.5);
+  EXPECT_FALSE(tr.crossing(2.0, 0.0, +1));
+}
+
+TEST(WaveformCsv, RoundTripFormat) {
+  std::map<std::string, std::vector<double>> values;
+  values["a"] = {0.0, 1.0};
+  values["b"] = {2.0, 3.0};
+  const WaveformSet ws({0.0, 1e-9}, std::move(values));
+
+  std::ostringstream out;
+  write_csv(ws, out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "time,a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line.substr(0, 15), "0.000000000e+00");
+  std::getline(in, line);
+  EXPECT_NE(line.find("1.000000000e-09"), std::string::npos);
+  EXPECT_NE(line.find("3.000000000e+00"), std::string::npos);
+}
+
+TEST(WaveformCsv, ColumnSelectionAndErrors) {
+  std::map<std::string, std::vector<double>> values;
+  values["a"] = {0.0, 1.0};
+  values["b"] = {2.0, 3.0};
+  const WaveformSet ws({0.0, 1.0}, std::move(values));
+  std::ostringstream out;
+  write_csv(ws, out, {"b"});
+  EXPECT_EQ(out.str().substr(0, 7), "time,b\n");
+  std::ostringstream out2;
+  EXPECT_THROW(write_csv(ws, out2, {"missing"}), std::out_of_range);
+  EXPECT_THROW(write_csv_file(ws, "/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(WaveformSet, TraceAccessAndErrors) {
+  std::map<std::string, std::vector<double>> values;
+  values["a"] = {0.0, 1.0};
+  values["b"] = {2.0, 3.0};
+  const WaveformSet ws({0.0, 1.0}, std::move(values));
+  EXPECT_TRUE(ws.has("a"));
+  EXPECT_FALSE(ws.has("c"));
+  EXPECT_DOUBLE_EQ(ws.trace("b").final_value(), 3.0);
+  EXPECT_THROW(ws.trace("c"), std::out_of_range);
+  const auto names = ws.node_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+}  // namespace
