@@ -1,0 +1,199 @@
+// Dense-vs-sparse solver scaling on the paper's core workload: N-segment
+// distributed RLC ladders (gate + line + load) swept over segment count.
+//
+// For each N this runs (a) a transient (4000 steps, trapezoidal with
+// breakpoint BE damping) and (b) a 100-point logarithmic AC sweep, with the
+// solver forced dense and forced sparse, and emits one JSON document on
+// stdout: wall times, LU factorization counts, and the max abs waveform
+// deviation of the sparse path from the dense oracle. The dense runs are
+// skipped above the size where O(n^3) stops being benchmarkable (they would
+// dominate the total runtime by minutes); the JSON carries null there.
+//
+// Usage: solver_scaling [--fast]
+//   --fast   caps N at 500 (CI smoke run)
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/ac.h"
+#include "sim/builders.h"
+#include "sim/transient.h"
+#include "tline/rc_line.h"
+#include "tline/transfer.h"
+
+namespace {
+
+using namespace rlcsim;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// The benchmark workload: a strongly inductive on-chip line (same flavor as
+// the perf_models bench system) where the paper's analysis matters.
+const tline::GateLineLoad& bench_system() {
+  static const tline::GateLineLoad system{500.0, {500.0, 1e-7, 1e-12}, 0.5e-12};
+  return system;
+}
+
+double transient_horizon() {
+  const auto& s = bench_system();
+  const double elmore =
+      tline::elmore_delay(s.driver_resistance, s.line.total_resistance,
+                          s.line.total_capacitance, s.load_capacitance);
+  const double tof = std::sqrt(s.line.total_inductance *
+                               (s.line.total_capacitance + s.load_capacitance));
+  return 8.0 * std::max(elmore, tof);
+}
+
+struct TransientRun {
+  double seconds = 0.0;
+  std::size_t factorizations = 0;
+  sim::TransientResult result;
+};
+
+TransientRun run_transient_with(int segments, sim::SolverKind solver) {
+  const sim::Circuit circuit = sim::build_gate_line_load(bench_system(), segments);
+  sim::TransientOptions options;
+  options.t_stop = transient_horizon();  // dt = 0 -> exactly 4000 nominal steps
+  options.solver = solver;
+  TransientRun run;
+  const auto start = Clock::now();
+  run.result = sim::run_transient(circuit, options);
+  run.seconds = seconds_since(start);
+  run.factorizations = run.result.lu_factorizations;
+  return run;
+}
+
+// Max abs deviation between two runs over every recorded node waveform.
+double max_waveform_deviation(const sim::TransientResult& a,
+                              const sim::TransientResult& b) {
+  double max_err = 0.0;
+  for (const auto& node : a.waveforms.node_names()) {
+    const sim::Trace ta = a.waveforms.trace(node);
+    const sim::Trace tb = b.waveforms.trace(node);
+    const auto& va = ta.value();
+    const auto& vb = tb.value();
+    const std::size_t n = std::min(va.size(), vb.size());
+    for (std::size_t i = 0; i < n; ++i)
+      max_err = std::max(max_err, std::fabs(va[i] - vb[i]));
+    if (va.size() != vb.size()) max_err = 1.0;  // grid mismatch: flag loudly
+  }
+  return max_err;
+}
+
+struct AcRun {
+  double seconds = 0.0;
+  sim::AcSweepInfo info;
+  std::vector<sim::AcSample> samples;
+};
+
+AcRun run_ac_with(int segments, sim::SolverKind solver) {
+  const sim::Circuit circuit = sim::build_gate_line_load(bench_system(), segments);
+  const auto freqs = sim::log_frequencies(1e6, 1e11, 100);
+  AcRun run;
+  const auto start = Clock::now();
+  run.samples = sim::ac_transfer(circuit, "vsrc", "out", freqs,
+                                 solver, &run.info);
+  run.seconds = seconds_since(start);
+  return run;
+}
+
+double max_ac_deviation(const AcRun& a, const AcRun& b) {
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < a.samples.size(); ++i)
+    max_err = std::max(max_err, std::abs(a.samples[i].value - b.samples[i].value));
+  return max_err;
+}
+
+void json_number_or_null(const char* key, double value, bool present) {
+  if (present)
+    std::printf("\"%s\": %.6e", key, value);
+  else
+    std::printf("\"%s\": null", key);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+  if (argc > 2 || (argc == 2 && !fast)) {
+    std::fprintf(stderr, "usage: %s [--fast]\n", argv[0]);
+    return 2;
+  }
+  const std::vector<int> sizes =
+      fast ? std::vector<int>{50, 100, 200, 500}
+           : std::vector<int>{50, 100, 200, 500, 1000, 2000};
+  // O(n^3) ceilings: beyond these the dense oracle takes minutes per point.
+  const int dense_transient_cap = 1000;
+  const int dense_ac_cap = 200;
+
+  std::printf("{\n");
+  std::printf("  \"workload\": \"gate + N-segment RLC ladder + load "
+              "(Rtr=500, Rt=500, Lt=1e-7, Ct=1e-12, CL=0.5e-12)\",\n");
+
+  std::printf("  \"transient\": [\n");
+  for (std::size_t idx = 0; idx < sizes.size(); ++idx) {
+    const int n = sizes[idx];
+    const TransientRun sparse = run_transient_with(n, sim::SolverKind::kSparse);
+    const bool have_dense = n <= dense_transient_cap;
+    TransientRun dense;
+    double max_err = 0.0;
+    if (have_dense) {
+      dense = run_transient_with(n, sim::SolverKind::kDense);
+      max_err = max_waveform_deviation(dense.result, sparse.result);
+    }
+    std::printf("    {\"segments\": %d, \"unknowns\": %zu, \"steps\": %zu, ",
+                n, sim::MnaAssembler(sim::build_gate_line_load(bench_system(), n))
+                       .unknown_count(),
+                sparse.result.steps_taken);
+    std::printf("\"sparse_s\": %.6e, \"sparse_factorizations\": %zu, ",
+                sparse.seconds, sparse.factorizations);
+    json_number_or_null("dense_s", dense.seconds, have_dense);
+    std::printf(", ");
+    if (have_dense)
+      std::printf("\"dense_factorizations\": %zu, ", dense.factorizations);
+    else
+      std::printf("\"dense_factorizations\": null, ");
+    json_number_or_null("speedup", have_dense ? dense.seconds / sparse.seconds : 0.0,
+                        have_dense);
+    std::printf(", ");
+    json_number_or_null("max_abs_err", max_err, have_dense);
+    std::printf("}%s\n", idx + 1 < sizes.size() ? "," : "");
+    std::fflush(stdout);
+  }
+  std::printf("  ],\n");
+
+  std::printf("  \"ac\": [\n");
+  for (std::size_t idx = 0; idx < sizes.size(); ++idx) {
+    const int n = sizes[idx];
+    const AcRun sparse = run_ac_with(n, sim::SolverKind::kSparse);
+    const bool have_dense = n <= dense_ac_cap;
+    AcRun dense;
+    double max_err = 0.0;
+    if (have_dense) {
+      dense = run_ac_with(n, sim::SolverKind::kDense);
+      max_err = max_ac_deviation(dense, sparse);
+    }
+    std::printf("    {\"segments\": %d, \"points\": %zu, ", n, sparse.samples.size());
+    std::printf("\"sparse_s\": %.6e, \"symbolic_factorizations\": %zu, "
+                "\"numeric_factorizations\": %zu, ",
+                sparse.seconds, sparse.info.symbolic_factorizations,
+                sparse.info.numeric_factorizations);
+    json_number_or_null("dense_s", dense.seconds, have_dense);
+    std::printf(", ");
+    json_number_or_null("speedup", have_dense ? dense.seconds / sparse.seconds : 0.0,
+                        have_dense);
+    std::printf(", ");
+    json_number_or_null("max_abs_err", max_err, have_dense);
+    std::printf("}%s\n", idx + 1 < sizes.size() ? "," : "");
+    std::fflush(stdout);
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

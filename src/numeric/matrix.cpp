@@ -50,24 +50,31 @@ LuFactorization<T>::LuFactorization(Matrix<T> a)
 
 template <typename T>
 std::vector<T> LuFactorization<T>::solve(const std::vector<T>& b) const {
-  if (b.size() != n_)
+  std::vector<T> x = b;
+  solve_in_place(x);
+  return x;
+}
+
+template <typename T>
+void LuFactorization<T>::solve_in_place(std::vector<T>& x) const {
+  if (x.size() != n_)
     throw std::invalid_argument("LuFactorization::solve: rhs size mismatch");
 
   // Apply the row permutation, then forward- and back-substitute.
-  std::vector<T> x(n_);
-  for (std::size_t i = 0; i < n_; ++i) x[i] = b[pivot_[i]];
+  work_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) work_[i] = x[pivot_[i]];
 
   for (std::size_t i = 1; i < n_; ++i) {
-    T sum = x[i];
-    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
-    x[i] = sum;
+    T sum = work_[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * work_[j];
+    work_[i] = sum;
   }
   for (std::size_t ii = n_; ii-- > 0;) {
-    T sum = x[ii];
-    for (std::size_t j = ii + 1; j < n_; ++j) sum -= lu_(ii, j) * x[j];
-    x[ii] = sum / lu_(ii, ii);
+    T sum = work_[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) sum -= lu_(ii, j) * work_[j];
+    work_[ii] = sum / lu_(ii, ii);
   }
-  return x;
+  x.swap(work_);
 }
 
 template <typename T>

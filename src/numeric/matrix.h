@@ -89,6 +89,10 @@ class LuFactorization {
   // Solves A x = b for one right-hand side.
   std::vector<T> solve(const std::vector<T>& b) const;
 
+  // In-place variant for hot loops: overwrites `x` (the RHS on entry) with
+  // the solution, using an internal scratch buffer reused across calls.
+  void solve_in_place(std::vector<T>& x) const;
+
   // Determinant from the factorization (product of U's diagonal and pivot sign).
   T determinant() const;
 
@@ -97,6 +101,7 @@ class LuFactorization {
   Matrix<T> lu_;
   std::vector<std::size_t> pivot_;
   int pivot_sign_ = 1;
+  mutable std::vector<T> work_;  // solve_in_place scratch
 };
 
 using RealLu = LuFactorization<double>;

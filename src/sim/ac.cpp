@@ -1,87 +1,19 @@
 #include "sim/ac.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <optional>
 #include <stdexcept>
 
 #include "numeric/matrix.h"
 #include "numeric/roots.h"
-#include "sim/mna.h"
+#include "numeric/sparse.h"
 
 namespace rlcsim::sim {
 namespace {
 
 using Complex = std::complex<double>;
-
-void stamp_conductance(numeric::ComplexMatrix& m, NodeId a, NodeId b, Complex g) {
-  if (a != kGround) {
-    m(a, a) += g;
-    if (b != kGround) {
-      m(a, b) -= g;
-      m(b, a) -= g;
-    }
-  }
-  if (b != kGround) m(b, b) += g;
-}
-
-// Builds and solves the complex MNA system at angular frequency w with unit
-// excitation on `source_index`; returns the full unknown vector.
-std::vector<Complex> solve_at(const Circuit& circuit, const MnaAssembler& layout,
-                              std::size_t source_index, double w) {
-  const std::size_t n = layout.unknown_count();
-  numeric::ComplexMatrix m(n, n);
-  const Complex s(0.0, w);
-
-  for (const auto& r : circuit.resistors())
-    stamp_conductance(m, r.n1, r.n2, Complex(1.0 / r.resistance, 0.0));
-  for (const auto& c : circuit.capacitors())
-    stamp_conductance(m, c.n1, c.n2, s * c.capacitance);
-  for (const auto& b : circuit.buffers()) {
-    stamp_conductance(m, b.output, kGround, Complex(1.0 / b.output_resistance, 0.0));
-    if (b.input_capacitance > 0.0)
-      stamp_conductance(m, b.input, kGround, s * b.input_capacitance);
-  }
-
-  const auto& inductors = circuit.inductors();
-  for (std::size_t k = 0; k < inductors.size(); ++k) {
-    const auto& l = inductors[k];
-    const std::size_t j = layout.inductor_branch(k);
-    if (l.n1 != kGround) {
-      m(l.n1, j) += 1.0;
-      m(j, l.n1) += 1.0;
-    }
-    if (l.n2 != kGround) {
-      m(l.n2, j) -= 1.0;
-      m(j, l.n2) -= 1.0;
-    }
-    m(j, j) -= s * l.inductance;
-  }
-  for (const auto& mutual : circuit.mutuals()) {
-    const std::size_t ja = layout.inductor_branch(mutual.inductor_a);
-    const std::size_t jb = layout.inductor_branch(mutual.inductor_b);
-    m(ja, jb) -= s * mutual.mutual;
-    m(jb, ja) -= s * mutual.mutual;
-  }
-
-  const auto& vsources = circuit.voltage_sources();
-  std::vector<Complex> rhs(n, Complex(0.0, 0.0));
-  for (std::size_t k = 0; k < vsources.size(); ++k) {
-    const auto& v = vsources[k];
-    const std::size_t j = layout.vsource_branch(k);
-    if (v.positive != kGround) {
-      m(v.positive, j) += 1.0;
-      m(j, v.positive) += 1.0;
-    }
-    if (v.negative != kGround) {
-      m(v.negative, j) -= 1.0;
-      m(j, v.negative) -= 1.0;
-    }
-    if (k == source_index) rhs[j] = Complex(1.0, 0.0);
-  }
-  // AC current sources are not excited (the API drives one V source).
-
-  return numeric::ComplexLu(std::move(m)).solve(rhs);
-}
 
 std::size_t find_source(const Circuit& circuit, const std::string& name) {
   const auto& vsources = circuit.voltage_sources();
@@ -101,20 +33,91 @@ double AcSample::phase_deg() const {
 std::vector<AcSample> ac_transfer(const Circuit& circuit,
                                   const std::string& source_name,
                                   const std::string& node,
-                                  const std::vector<double>& frequencies) {
+                                  const std::vector<double>& frequencies,
+                                  SolverKind solver, AcSweepInfo* info) {
   const MnaAssembler layout(circuit);
   const std::size_t source = find_source(circuit, source_name);
   const auto node_id = circuit.find_node(node);
   if (!node_id || *node_id == kGround)
     throw std::invalid_argument("ac_transfer: unknown (or ground) node '" + node + "'");
 
+  const std::size_t n = layout.unknown_count();
+  const bool sparse = use_sparse_solver(solver, n);
+
+  // Unit excitation on the chosen source; all other sources zeroed.
+  std::vector<Complex> rhs(n, Complex{});
+  rhs[layout.vsource_branch(source)] = Complex(1.0, 0.0);
+
+  AcSweepInfo stats;
+  stats.used_sparse_solver = sparse;
+  const auto global_before = numeric::sparse_lu_stats();
+
+  // One pattern for the whole sweep; only the values change per point.
+  numeric::ComplexSparse a(layout.system_pattern());
+  std::optional<numeric::ComplexSparseLu> lu;
+  if (sparse && !frequencies.empty()) {
+    // The sweep's single symbolic factorization. Pivot at the HIGHEST
+    // frequency: that is where s*C swamps G and the pivot choice is
+    // stressed; at lower frequencies the system is closer to diagonally
+    // dominant and the same order stays accurate.
+    const double f_max = *std::max_element(frequencies.begin(), frequencies.end());
+    layout.system_values(Complex(0.0, 2.0 * std::numbers::pi * f_max), a.values());
+    lu.emplace(a);
+  }
+
   std::vector<AcSample> out;
   out.reserve(frequencies.size());
   for (double f : frequencies) {
     if (!(f >= 0.0)) throw std::invalid_argument("ac_transfer: negative frequency");
-    const auto x = solve_at(circuit, layout, source, 2.0 * std::numbers::pi * f);
+    const Complex s(0.0, 2.0 * std::numbers::pi * f);
+    layout.system_values(s, a.values());
+
+    std::vector<Complex> x;
+    if (sparse) {
+      lu->refactor(a);
+      x = lu->solve(rhs);
+      // The pivot order is reused across the whole sweep. Iterative
+      // refinement through the existing factors recovers full accuracy at
+      // O(nnz) per pass without any new factorization; a fresh re-pivot
+      // (which costs a symbolic analysis) is reserved for outright
+      // breakdown. The residual r = A x - b doubles as the correction RHS,
+      // so each pass costs one sparse multiply and one solve. Thresholds
+      // scale with the attainable floor eps*||A||*||x|| so large-norm
+      // systems do not spin on unreachable absolute targets.
+      double a_norm = 0.0;
+      for (const auto& v : a.values()) a_norm = std::max(a_norm, std::abs(v));
+      double x_norm = 0.0;
+      for (const auto& v : x) x_norm = std::max(x_norm, std::abs(v));
+      const double floor_scale = std::max(1.0, a_norm * x_norm);
+      double res_norm = 0.0;
+      for (int pass = 0;; ++pass) {
+        auto r = a.multiply(x);
+        res_norm = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          r[i] -= rhs[i];
+          res_norm = std::max(res_norm, std::abs(r[i]));
+        }
+        if (res_norm <= 1e-13 * floor_scale || pass == 3) break;
+        lu->solve_in_place(r);
+        for (std::size_t i = 0; i < n; ++i) x[i] -= r[i];
+      }
+      if (res_norm > 1e-6 * floor_scale) {
+        lu.emplace(a);
+        x = lu->solve(rhs);
+      }
+    } else {
+      x = numeric::ComplexLu(a.to_dense()).solve(rhs);
+      ++stats.numeric_factorizations;
+    }
     out.push_back({f, x[static_cast<std::size_t>(*node_id)]});
   }
+
+  if (sparse) {
+    const auto& global_after = numeric::sparse_lu_stats();
+    stats.symbolic_factorizations = global_after.symbolic - global_before.symbolic;
+    stats.numeric_factorizations = global_after.numeric - global_before.numeric;
+  }
+  if (info) *info = stats;
   return out;
 }
 

@@ -5,6 +5,14 @@
 // node transfer function H(f) = V(node)/V(source). Buffers contribute their
 // input capacitance and output conductance (quiescent output stage).
 //
+// The system at every frequency is G + s*C over ONE sparsity pattern (see
+// sim/mna.h), so a sweep assembles the pattern once, performs one symbolic
+// sparse factorization at the first point, and only refactorizes values at
+// each subsequent point. Small systems use the dense LU instead (same
+// size policy as the transient engine). Each sparse solve is residual-checked
+// and falls back to a fresh full factorization if the reused pivot order has
+// gone stale — accuracy never depends on the reuse heuristic.
+//
 // This shares the element stamps' topology with the transient engine but
 // uses the true admittances sC and sL instead of companion models, so
 // AC-vs-transient agreement is a genuine cross-check of the integrator, and
@@ -12,10 +20,12 @@
 #pragma once
 
 #include <complex>
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "sim/circuit.h"
+#include "sim/mna.h"
 
 namespace rlcsim::sim {
 
@@ -28,12 +38,22 @@ struct AcSample {
   double phase_deg() const;
 };
 
+// Solver work performed by one AC sweep (for asserting pattern reuse).
+struct AcSweepInfo {
+  std::size_t symbolic_factorizations = 0;  // sparse full factorizations
+  std::size_t numeric_factorizations = 0;   // total factorizations (any kind)
+  bool used_sparse_solver = false;
+};
+
 // Transfer from `source_name` (a voltage source) to `node`. Throws
-// std::invalid_argument if the source or node does not exist.
+// std::invalid_argument if the source or node does not exist. `info`, when
+// non-null, receives the sweep's factorization counts.
 std::vector<AcSample> ac_transfer(const Circuit& circuit,
                                   const std::string& source_name,
                                   const std::string& node,
-                                  const std::vector<double>& frequencies);
+                                  const std::vector<double>& frequencies,
+                                  SolverKind solver = SolverKind::kAuto,
+                                  AcSweepInfo* info = nullptr);
 
 // Convenience single-frequency version.
 std::complex<double> ac_transfer_at(const Circuit& circuit,

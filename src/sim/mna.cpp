@@ -7,18 +7,6 @@
 namespace rlcsim::sim {
 namespace {
 
-// Adds `g` between nodes a and b in the conductance block.
-void stamp_conductance(numeric::RealMatrix& m, NodeId a, NodeId b, double g) {
-  if (a != kGround) {
-    m(a, a) += g;
-    if (b != kGround) {
-      m(a, b) -= g;
-      m(b, a) -= g;
-    }
-  }
-  if (b != kGround) m(b, b) += g;
-}
-
 // Adds current `i` flowing INTO node a and OUT of node b.
 void stamp_current(std::vector<double>& rhs, NodeId a, NodeId b, double i) {
   if (a != kGround) rhs[static_cast<std::size_t>(a)] += i;
@@ -29,7 +17,45 @@ double node_voltage(const std::vector<double>& v, NodeId n) {
   return n == kGround ? 0.0 : v[static_cast<std::size_t>(n)];
 }
 
+// Adds `g` between nodes a and b into a triplet set.
+void stamp_conductance(std::vector<numeric::Triplet<double>>& t, NodeId a, NodeId b,
+                       double g) {
+  if (a != kGround) {
+    t.push_back({a, a, g});
+    if (b != kGround) {
+      t.push_back({a, b, -g});
+      t.push_back({b, a, -g});
+    }
+  }
+  if (b != kGround) t.push_back({b, b, g});
+}
+
+// Symmetric +/-1 incidence between a node pair and a branch row/column.
+void stamp_branch_incidence(std::vector<numeric::Triplet<double>>& t, NodeId n1,
+                            NodeId n2, int branch) {
+  if (n1 != kGround) {
+    t.push_back({n1, branch, 1.0});
+    t.push_back({branch, n1, 1.0});
+  }
+  if (n2 != kGround) {
+    t.push_back({n2, branch, -1.0});
+    t.push_back({branch, n2, -1.0});
+  }
+}
+
 }  // namespace
+
+bool use_sparse_solver(SolverKind solver, std::size_t unknowns) {
+  switch (solver) {
+    case SolverKind::kDense:
+      return false;
+    case SolverKind::kSparse:
+      return true;
+    case SolverKind::kAuto:
+      break;
+  }
+  return unknowns >= kSparseSolverThreshold;
+}
 
 MnaAssembler::MnaAssembler(const Circuit& circuit) : circuit_(circuit) {
   circuit_.validate();
@@ -37,6 +63,7 @@ MnaAssembler::MnaAssembler(const Circuit& circuit) : circuit_(circuit) {
   vsource_base_ = n_nodes_;
   inductor_base_ = vsource_base_ + circuit_.voltage_sources().size();
   n_unknowns_ = inductor_base_ + circuit_.inductors().size();
+  stamp_system();
 }
 
 std::size_t MnaAssembler::vsource_branch(std::size_t vsource_index) const {
@@ -47,49 +74,107 @@ std::size_t MnaAssembler::inductor_branch(std::size_t inductor_index) const {
   return inductor_base_ + inductor_index;
 }
 
-numeric::RealMatrix MnaAssembler::dc_matrix(double gmin) const {
-  numeric::RealMatrix m(n_unknowns_, n_unknowns_);
-  for (std::size_t i = 0; i < n_nodes_; ++i) m(i, i) += gmin;
+void MnaAssembler::stamp_system() {
+  // ---- G: conductances and incidence (timestep/frequency independent) ----
+  for (const auto& r : circuit_.resistors())
+    stamp_conductance(g_triplets_, r.n1, r.n2, 1.0 / r.resistance);
+
+  const auto& vsources = circuit_.voltage_sources();
+  for (std::size_t k = 0; k < vsources.size(); ++k)
+    stamp_branch_incidence(g_triplets_, vsources[k].positive, vsources[k].negative,
+                           static_cast<int>(vsource_branch(k)));
+
+  const auto& inductors = circuit_.inductors();
+  for (std::size_t k = 0; k < inductors.size(); ++k)
+    stamp_branch_incidence(g_triplets_, inductors[k].n1, inductors[k].n2,
+                           static_cast<int>(inductor_branch(k)));
+
+  for (const auto& b : circuit_.buffers())
+    stamp_conductance(g_triplets_, b.output, kGround, 1.0 / b.output_resistance);
+
+  // ---- C: capacitances and -L/-M branch terms; the assembled system is
+  // G + scale*C with scale = factor/dt (transient companion) or s (AC) ----
+  for (const auto& c : circuit_.capacitors())
+    stamp_conductance(c_triplets_, c.n1, c.n2, c.capacitance);
+
+  for (const auto& b : circuit_.buffers())
+    if (b.input_capacitance > 0.0)
+      stamp_conductance(c_triplets_, b.input, kGround, b.input_capacitance);
+
+  for (std::size_t k = 0; k < inductors.size(); ++k) {
+    const int j = static_cast<int>(inductor_branch(k));
+    c_triplets_.push_back({j, j, -inductors[k].inductance});
+  }
+  for (const auto& mutual : circuit_.mutuals()) {
+    const int ja = static_cast<int>(inductor_branch(mutual.inductor_a));
+    const int jb = static_cast<int>(inductor_branch(mutual.inductor_b));
+    c_triplets_.push_back({ja, jb, -mutual.mutual});
+    c_triplets_.push_back({jb, ja, -mutual.mutual});
+  }
+
+  // ---- merged pattern + value slots --------------------------------------
+  std::vector<std::pair<int, int>> positions;
+  positions.reserve(g_triplets_.size() + c_triplets_.size());
+  for (const auto& t : g_triplets_) positions.emplace_back(t.row, t.col);
+  for (const auto& t : c_triplets_) positions.emplace_back(t.row, t.col);
+  std::vector<int> slots;
+  pattern_ = numeric::build_pattern(static_cast<int>(n_unknowns_), positions, &slots);
+  g_slots_.assign(slots.begin(), slots.begin() + static_cast<std::ptrdiff_t>(g_triplets_.size()));
+  c_slots_.assign(slots.begin() + static_cast<std::ptrdiff_t>(g_triplets_.size()), slots.end());
+}
+
+void MnaAssembler::system_values(double scale, std::vector<double>& out) const {
+  out.assign(static_cast<std::size_t>(pattern_->nnz()), 0.0);
+  for (std::size_t k = 0; k < g_triplets_.size(); ++k)
+    out[static_cast<std::size_t>(g_slots_[k])] += g_triplets_[k].value;
+  for (std::size_t k = 0; k < c_triplets_.size(); ++k)
+    out[static_cast<std::size_t>(c_slots_[k])] += scale * c_triplets_[k].value;
+}
+
+void MnaAssembler::system_values(std::complex<double> scale,
+                                 std::vector<std::complex<double>>& out) const {
+  out.assign(static_cast<std::size_t>(pattern_->nnz()), std::complex<double>{});
+  for (std::size_t k = 0; k < g_triplets_.size(); ++k)
+    out[static_cast<std::size_t>(g_slots_[k])] += g_triplets_[k].value;
+  for (std::size_t k = 0; k < c_triplets_.size(); ++k)
+    out[static_cast<std::size_t>(c_slots_[k])] += scale * c_triplets_[k].value;
+}
+
+double MnaAssembler::transient_scale(double dt, Integrator method) {
+  if (!(dt > 0.0)) throw std::invalid_argument("transient_matrix: dt must be > 0");
+  return (method == Integrator::kTrapezoidal ? 2.0 : 1.0) / dt;
+}
+
+numeric::RealSparse MnaAssembler::dc_sparse(double gmin) const {
+  std::vector<numeric::Triplet<double>> t;
+  for (std::size_t i = 0; i < n_nodes_; ++i)
+    t.push_back({static_cast<int>(i), static_cast<int>(i), gmin});
 
   for (const auto& r : circuit_.resistors())
-    stamp_conductance(m, r.n1, r.n2, 1.0 / r.resistance);
+    stamp_conductance(t, r.n1, r.n2, 1.0 / r.resistance);
 
   // Capacitors are open at DC: no stamp.
 
   // Inductors are shorts at DC: branch equation v1 - v2 = 0, KCL couples j.
   const auto& inductors = circuit_.inductors();
-  for (std::size_t k = 0; k < inductors.size(); ++k) {
-    const auto& l = inductors[k];
-    const std::size_t j = inductor_branch(k);
-    if (l.n1 != kGround) {
-      m(l.n1, j) += 1.0;
-      m(j, l.n1) += 1.0;
-    }
-    if (l.n2 != kGround) {
-      m(l.n2, j) -= 1.0;
-      m(j, l.n2) -= 1.0;
-    }
-  }
+  for (std::size_t k = 0; k < inductors.size(); ++k)
+    stamp_branch_incidence(t, inductors[k].n1, inductors[k].n2,
+                           static_cast<int>(inductor_branch(k)));
 
   const auto& vsources = circuit_.voltage_sources();
-  for (std::size_t k = 0; k < vsources.size(); ++k) {
-    const auto& v = vsources[k];
-    const std::size_t j = vsource_branch(k);
-    if (v.positive != kGround) {
-      m(v.positive, j) += 1.0;
-      m(j, v.positive) += 1.0;
-    }
-    if (v.negative != kGround) {
-      m(v.negative, j) -= 1.0;
-      m(j, v.negative) -= 1.0;
-    }
-  }
+  for (std::size_t k = 0; k < vsources.size(); ++k)
+    stamp_branch_incidence(t, vsources[k].positive, vsources[k].negative,
+                           static_cast<int>(vsource_branch(k)));
 
   // Buffer output stage: conductance 1/Rout from output node to ground.
   for (const auto& b : circuit_.buffers())
-    stamp_conductance(m, b.output, kGround, 1.0 / b.output_resistance);
+    stamp_conductance(t, b.output, kGround, 1.0 / b.output_resistance);
 
-  return m;
+  return numeric::RealSparse(static_cast<int>(n_unknowns_), t);
+}
+
+numeric::RealMatrix MnaAssembler::dc_matrix(double gmin) const {
+  return dc_sparse(gmin).to_dense();
 }
 
 std::vector<double> MnaAssembler::dc_rhs(double t, const TransientState& state) const {
@@ -112,68 +197,15 @@ std::vector<double> MnaAssembler::dc_rhs(double t, const TransientState& state) 
 }
 
 numeric::RealMatrix MnaAssembler::transient_matrix(double dt, Integrator method) const {
-  if (!(dt > 0.0)) throw std::invalid_argument("transient_matrix: dt must be > 0");
-  numeric::RealMatrix m(n_unknowns_, n_unknowns_);
-
-  for (const auto& r : circuit_.resistors())
-    stamp_conductance(m, r.n1, r.n2, 1.0 / r.resistance);
-
-  const double cap_factor = (method == Integrator::kTrapezoidal) ? 2.0 : 1.0;
-  for (const auto& c : circuit_.capacitors())
-    stamp_conductance(m, c.n1, c.n2, cap_factor * c.capacitance / dt);
-
-  // Inductor branch: v1 - v2 - (factor * L / dt) j = history.
-  const double ind_factor = (method == Integrator::kTrapezoidal) ? 2.0 : 1.0;
-  const auto& inductors = circuit_.inductors();
-  for (std::size_t k = 0; k < inductors.size(); ++k) {
-    const auto& l = inductors[k];
-    const std::size_t j = inductor_branch(k);
-    if (l.n1 != kGround) {
-      m(l.n1, j) += 1.0;
-      m(j, l.n1) += 1.0;
-    }
-    if (l.n2 != kGround) {
-      m(l.n2, j) -= 1.0;
-      m(j, l.n2) -= 1.0;
-    }
-    m(j, j) -= ind_factor * l.inductance / dt;
-  }
-
-  // Mutual couplings add symmetric cross terms between inductor branch rows:
-  // v_a = La dja/dt + M djb/dt (and vice versa).
-  for (const auto& mutual : circuit_.mutuals()) {
-    const std::size_t ja = inductor_branch(mutual.inductor_a);
-    const std::size_t jb = inductor_branch(mutual.inductor_b);
-    m(ja, jb) -= ind_factor * mutual.mutual / dt;
-    m(jb, ja) -= ind_factor * mutual.mutual / dt;
-  }
-
-  const auto& vsources = circuit_.voltage_sources();
-  for (std::size_t k = 0; k < vsources.size(); ++k) {
-    const auto& v = vsources[k];
-    const std::size_t j = vsource_branch(k);
-    if (v.positive != kGround) {
-      m(v.positive, j) += 1.0;
-      m(j, v.positive) += 1.0;
-    }
-    if (v.negative != kGround) {
-      m(v.negative, j) -= 1.0;
-      m(j, v.negative) -= 1.0;
-    }
-  }
-
-  for (const auto& b : circuit_.buffers()) {
-    stamp_conductance(m, b.output, kGround, 1.0 / b.output_resistance);
-    if (b.input_capacitance > 0.0)
-      stamp_conductance(m, b.input, kGround, cap_factor * b.input_capacitance / dt);
-  }
-
-  return m;
+  std::vector<double> values;
+  system_values(transient_scale(dt, method), values);
+  return numeric::RealSparse(pattern_, std::move(values)).to_dense();
 }
 
-std::vector<double> MnaAssembler::transient_rhs(double dt, Integrator method,
-                                                const TransientState& state) const {
-  std::vector<double> rhs(n_unknowns_, 0.0);
+void MnaAssembler::transient_rhs_into(double dt, Integrator method,
+                                      const TransientState& state,
+                                      std::vector<double>& rhs) const {
+  rhs.assign(n_unknowns_, 0.0);
   const double t_next = state.time + dt;
   const bool trap = method == Integrator::kTrapezoidal;
 
@@ -236,7 +268,12 @@ std::vector<double> MnaAssembler::transient_rhs(double dt, Integrator method,
     const double v = buffer_drive(b, state.buffer_fire_time[k], t_next);
     stamp_current(rhs, b.output, kGround, v / b.output_resistance);
   }
+}
 
+std::vector<double> MnaAssembler::transient_rhs(double dt, Integrator method,
+                                                const TransientState& state) const {
+  std::vector<double> rhs;
+  transient_rhs_into(dt, method, state, rhs);
   return rhs;
 }
 
@@ -264,9 +301,9 @@ void MnaAssembler::advance_state(const std::vector<double>& solution, double dt,
     throw std::invalid_argument("advance_state: solution size mismatch");
   const bool trap = method == Integrator::kTrapezoidal;
 
-  std::vector<double> new_voltages(
-      solution.begin(), solution.begin() + static_cast<std::ptrdiff_t>(n_nodes_));
-
+  // The first n_nodes_ entries of `solution` are the new node voltages; the
+  // histories are updated straight from them (no temporary copy) and the
+  // state vector is overwritten last.
   // Capacitor history currents: i_new = g (v_new - v_old) - i_old (trap)
   //                             i_new = g (v_new - v_old)          (BE)
   const auto& caps = circuit_.capacitors();
@@ -274,7 +311,7 @@ void MnaAssembler::advance_state(const std::vector<double>& solution, double dt,
     const auto& c = caps[k];
     const double v_old =
         node_voltage(state.node_voltage, c.n1) - node_voltage(state.node_voltage, c.n2);
-    const double v_new = node_voltage(new_voltages, c.n1) - node_voltage(new_voltages, c.n2);
+    const double v_new = node_voltage(solution, c.n1) - node_voltage(solution, c.n2);
     const double g = (trap ? 2.0 : 1.0) * c.capacitance / dt;
     state.capacitor_current[k] =
         trap ? g * (v_new - v_old) - state.capacitor_current[k] : g * (v_new - v_old);
@@ -285,7 +322,7 @@ void MnaAssembler::advance_state(const std::vector<double>& solution, double dt,
     if (b.input_capacitance <= 0.0) continue;
     const std::size_t slot = caps.size() + k;
     const double v_old = node_voltage(state.node_voltage, b.input);
-    const double v_new = node_voltage(new_voltages, b.input);
+    const double v_new = node_voltage(solution, b.input);
     const double g = (trap ? 2.0 : 1.0) * b.input_capacitance / dt;
     state.capacitor_current[slot] =
         trap ? g * (v_new - v_old) - state.capacitor_current[slot]
@@ -295,7 +332,8 @@ void MnaAssembler::advance_state(const std::vector<double>& solution, double dt,
   for (std::size_t k = 0; k < circuit_.inductors().size(); ++k)
     state.inductor_current[k] = solution[inductor_branch(k)];
 
-  state.node_voltage = std::move(new_voltages);
+  state.node_voltage.assign(solution.begin(),
+                            solution.begin() + static_cast<std::ptrdiff_t>(n_nodes_));
   state.time += dt;
 }
 

@@ -6,11 +6,29 @@
 // their branch current as an unknown so zero-resistance inductive loops stay
 // well-conditioned. Buffers contribute their input capacitance and a Norton
 // (source/Rout) output stage, so they add no extra unknowns.
+//
+// The assembler stamps the circuit ONCE, at construction, into two
+// frequency/timestep-independent triplet sets sharing one sparsity pattern:
+//
+//   G — conductances and source/inductor incidence (+/-1) entries;
+//   C — capacitances, and the inductor -L / mutual -M branch entries.
+//
+// Every system the simulator ever solves is then a value-only rescale
+//
+//   transient:  G + (factor/dt) * C      (factor = 1 BE, 2 trapezoidal)
+//   AC:         G + s * C                (s = j*2*pi*f)
+//
+// so a transient run or an AC sweep assembles the pattern exactly once and
+// only rewrites the CSR value array afterwards. The dense matrices returned
+// by dc_matrix()/transient_matrix() are densified from the same triplets and
+// serve as the small-system fast path and the correctness oracle.
 #pragma once
 
+#include <complex>
 #include <vector>
 
 #include "numeric/matrix.h"
+#include "numeric/sparse.h"
 #include "sim/circuit.h"
 
 namespace rlcsim::sim {
@@ -19,6 +37,21 @@ enum class Integrator {
   kBackwardEuler,
   kTrapezoidal,
 };
+
+// Linear-solver selection for the analyses.
+enum class SolverKind {
+  kAuto,    // dense below kSparseSolverThreshold unknowns, sparse above
+  kDense,   // force the dense LU (correctness oracle)
+  kSparse,  // force the sparse LU
+};
+
+// Unknown count at/above which SolverKind::kAuto picks the sparse LU. Below
+// it the dense factorization wins on constant factors and doubles as the
+// correctness oracle.
+inline constexpr std::size_t kSparseSolverThreshold = 64;
+
+// Resolves a SolverKind against a system size.
+bool use_sparse_solver(SolverKind solver, std::size_t unknowns);
 
 // Dynamic state carried between transient steps.
 struct TransientState {
@@ -38,18 +71,42 @@ class MnaAssembler {
   std::size_t vsource_branch(std::size_t vsource_index) const;
   std::size_t inductor_branch(std::size_t inductor_index) const;
 
-  // DC operating point matrix/RHS at time t: capacitors removed, inductors
-  // shorted (their branch equation becomes v1 - v2 = 0). A Gmin conductance
-  // is added on every node so capacitor-only nodes do not make the matrix
-  // singular.
+  // ---- shared G + scale*C system (transient & AC hot paths) --------------
+
+  // Sparsity pattern of G union C, built once in the constructor.
+  const numeric::SparsePatternPtr& system_pattern() const { return pattern_; }
+
+  // CSR values of G + scale*C over system_pattern(). `out` is resized to
+  // nnz; no other allocation.
+  void system_values(double scale, std::vector<double>& out) const;
+  void system_values(std::complex<double> scale,
+                     std::vector<std::complex<double>>& out) const;
+
+  // Companion-model transient scale factor/dt for the C block.
+  static double transient_scale(double dt, Integrator method);
+
+  // ---- DC operating point ------------------------------------------------
+
+  // DC matrix at time t: capacitors removed, inductors shorted (their branch
+  // equation becomes v1 - v2 = 0). A Gmin conductance is added on every node
+  // so capacitor-only nodes do not make the matrix singular. The DC pattern
+  // differs from system_pattern() (inductor rows change meaning).
+  numeric::RealSparse dc_sparse(double gmin = 1e-12) const;
   numeric::RealMatrix dc_matrix(double gmin = 1e-12) const;
   std::vector<double> dc_rhs(double t, const TransientState& state) const;
 
-  // Companion-model transient matrix for step size dt. Depends only on dt
-  // and the integrator, so callers cache the LU factorization per dt.
+  // ---- transient ---------------------------------------------------------
+
+  // Companion-model transient matrix for step size dt (densified from the
+  // G/C triplets). Depends only on dt and the integrator, so callers cache
+  // the LU factorization per dt.
   numeric::RealMatrix transient_matrix(double dt, Integrator method) const;
 
   // RHS for advancing from `state` (at time state.time) to state.time + dt.
+  // The _into variant writes into a caller-owned buffer (resized to the
+  // unknown count) so the per-step hot loop does not allocate.
+  void transient_rhs_into(double dt, Integrator method, const TransientState& state,
+                          std::vector<double>& rhs) const;
   std::vector<double> transient_rhs(double dt, Integrator method,
                                     const TransientState& state) const;
 
@@ -65,11 +122,19 @@ class MnaAssembler {
   static double buffer_drive(const Buffer& buffer, double fire_time, double t);
 
  private:
+  void stamp_system();
+
   const Circuit& circuit_;
   std::size_t n_nodes_ = 0;
   std::size_t n_unknowns_ = 0;
   std::size_t vsource_base_ = 0;
   std::size_t inductor_base_ = 0;
+
+  // Time/frequency-independent stamps: values and their slots in the merged
+  // CSR pattern (slot k is where triplet k's value accumulates).
+  std::vector<numeric::Triplet<double>> g_triplets_, c_triplets_;
+  std::vector<int> g_slots_, c_slots_;
+  numeric::SparsePatternPtr pattern_;
 };
 
 }  // namespace rlcsim::sim

@@ -2,19 +2,40 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <map>
-#include <set>
+#include <optional>
 #include <stdexcept>
 
 #include "numeric/matrix.h"
+#include "numeric/sparse.h"
 
 namespace rlcsim::sim {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Source discontinuity times within [0, t_stop].
+double node_voltage_of(const std::vector<double>& v, NodeId n) {
+  return n == kGround ? 0.0 : v[static_cast<std::size_t>(n)];
+}
+
+// One cached transient-system factorization: dense LU or sparse LU,
+// whichever the run's solver policy selected.
+struct CachedFactor {
+  std::optional<numeric::RealLu> dense;
+  std::optional<numeric::RealSparseLu> sparse;
+
+  void solve_in_place(std::vector<double>& x) const {
+    if (dense)
+      dense->solve_in_place(x);
+    else
+      sparse->solve_in_place(x);
+  }
+};
+
+}  // namespace
+
 void collect_source_breakpoints(const SourceSpec& spec, double t_stop,
                                 std::set<double>& out) {
   if (const auto* step = std::get_if<StepSpec>(&spec)) {
@@ -30,30 +51,40 @@ void collect_source_breakpoints(const SourceSpec& spec, double t_stop,
   }
   if (const auto* pulse = std::get_if<PulseSpec>(&spec)) {
     const bool repeats = pulse->period > 0.0;
-    for (int cycle = 0; cycle < 100000; ++cycle) {
-      const double base = pulse->delay + (repeats ? cycle * pulse->period : 0.0);
+    // Every cycle whose base lies inside [0, t_stop] contributes edges; the
+    // count is bounded by t_stop/period, not by an arbitrary cycle cap. A
+    // simulation must land a step on each edge anyway, so a cycle count no
+    // run could ever integrate is a spec error, not something to truncate
+    // silently: fail loudly instead of exhausting memory.
+    constexpr double kMaxPulseCycles = 1'000'000;
+    const double cycles =
+        repeats ? std::floor((t_stop - pulse->delay) / pulse->period) : 0.0;
+    // Compare BEFORE casting: a double beyond int64 range would make the
+    // cast undefined and could skip this guard entirely.
+    if (cycles > kMaxPulseCycles)
+      throw std::invalid_argument(
+          "collect_source_breakpoints: pulse period is so small that t_stop "
+          "covers more than 1e6 cycles; refusing to enumerate breakpoints");
+    const std::int64_t last_cycle = static_cast<std::int64_t>(cycles);
+    for (std::int64_t cycle = 0; cycle <= last_cycle; ++cycle) {
+      const double base = pulse->delay + static_cast<double>(cycle) * pulse->period;
       if (base > t_stop) break;
       const double edges[4] = {base, base + pulse->rise, base + pulse->rise + pulse->width,
                                base + pulse->rise + pulse->width + pulse->fall};
       for (double e : edges)
         if (e <= t_stop) out.insert(e);
-      if (!repeats) break;
     }
   }
 }
-
-double node_voltage_of(const std::vector<double>& v, NodeId n) {
-  return n == kGround ? 0.0 : v[static_cast<std::size_t>(n)];
-}
-
-}  // namespace
 
 std::vector<double> dc_operating_point(const Circuit& circuit, double gmin) {
   const MnaAssembler assembler(circuit);
   TransientState empty;
   empty.buffer_fire_time.assign(circuit.buffers().size(), kInf);
-  const numeric::RealLu lu(assembler.dc_matrix(gmin));
-  return lu.solve(assembler.dc_rhs(0.0, empty));
+  const auto rhs = assembler.dc_rhs(0.0, empty);
+  if (use_sparse_solver(SolverKind::kAuto, assembler.unknown_count()))
+    return numeric::RealSparseLu(assembler.dc_sparse(gmin)).solve(rhs);
+  return numeric::RealLu(assembler.dc_matrix(gmin)).solve(rhs);
 }
 
 TransientResult run_transient(const Circuit& circuit, const TransientOptions& options) {
@@ -63,16 +94,25 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
       options.dt > 0.0 ? options.dt : options.t_stop / 4000.0;
   if (dt_nominal >= options.t_stop)
     throw std::invalid_argument("run_transient: dt must be < t_stop");
+  // The lower bound keeps dt/dt_quantum inside int64 range for the LU-cache
+  // quantization below (1e-12 still allows million-fold event-step refinement).
+  if (!(options.min_dt_fraction >= 1e-12) || options.min_dt_fraction > 1.0)
+    throw std::invalid_argument(
+        "run_transient: min_dt_fraction must be in [1e-12, 1]");
 
   const MnaAssembler assembler(circuit);
+  const bool use_sparse = use_sparse_solver(options.solver, assembler.unknown_count());
 
   // --- initial state from the DC operating point --------------------------
   TransientState state;
   {
     TransientState empty;
     empty.buffer_fire_time.assign(circuit.buffers().size(), kInf);
-    const numeric::RealLu dc_lu(assembler.dc_matrix(options.dc_gmin));
-    state = assembler.initial_state(dc_lu.solve(assembler.dc_rhs(0.0, empty)));
+    const auto rhs = assembler.dc_rhs(0.0, empty);
+    const auto dc_solution =
+        use_sparse ? numeric::RealSparseLu(assembler.dc_sparse(options.dc_gmin)).solve(rhs)
+                   : numeric::RealLu(assembler.dc_matrix(options.dc_gmin)).solve(rhs);
+    state = assembler.initial_state(dc_solution);
   }
 
   // --- breakpoints ---------------------------------------------------------
@@ -84,15 +124,44 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
   for (const auto& i : circuit.current_sources())
     collect_source_breakpoints(i.spec, options.t_stop, breakpoints);
 
-  // --- LU cache keyed by (dt, integrator) ----------------------------------
-  std::map<std::pair<double, int>, numeric::RealLu> lu_cache;
+  // --- LU cache keyed by (quantized dt, integrator) ------------------------
+  // Step sizes are snapped to multiples of `dt_quantum` before factorizing,
+  // so breakpoint-clipped dts that differ only in the last few ulps share a
+  // factorization instead of each paying a fresh one. The snap error is at
+  // most half a quantum (= 0.5 * min_dt_fraction * dt_nominal), far below
+  // the breakpoint landing tolerance.
+  const double dt_quantum = dt_nominal * options.min_dt_fraction;
+  const auto quantize = [&](double dt) {
+    return static_cast<std::int64_t>(std::llround(dt / dt_quantum));
+  };
+
+  std::map<std::pair<std::int64_t, int>, CachedFactor> lu_cache;
   std::size_t factorizations = 0;
-  const auto factorized = [&](double dt, Integrator method) -> const numeric::RealLu& {
-    const auto key = std::make_pair(dt, static_cast<int>(method));
+  // All sparse numeric factorizations share the first one's symbolic
+  // analysis (the pattern never changes within a run).
+  const numeric::RealSparseLu* symbolic_donor = nullptr;
+  std::vector<double> system_values;  // reused CSR value buffer
+
+  const auto factorized = [&](double dt, Integrator method) -> const CachedFactor& {
+    const auto key = std::make_pair(quantize(dt), static_cast<int>(method));
     auto it = lu_cache.find(key);
     if (it == lu_cache.end()) {
-      it = lu_cache.emplace(key, numeric::RealLu(assembler.transient_matrix(dt, method)))
-               .first;
+      CachedFactor factor;
+      if (use_sparse) {
+        assembler.system_values(MnaAssembler::transient_scale(dt, method),
+                                system_values);
+        const numeric::RealSparse a(assembler.system_pattern(), system_values);
+        if (symbolic_donor) {
+          factor.sparse.emplace(*symbolic_donor);  // copy factors: reuse symbolic
+          factor.sparse->refactor(a);
+        } else {
+          factor.sparse.emplace(a);
+        }
+      } else {
+        factor.dense.emplace(assembler.transient_matrix(dt, method));
+      }
+      it = lu_cache.emplace(key, std::move(factor)).first;
+      if (use_sparse && !symbolic_donor) symbolic_donor = &*it->second.sparse;
       ++factorizations;
     }
     return it->second;
@@ -116,20 +185,23 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
   int be_steps_left = options.be_steps_after_breakpoint;
   std::size_t steps = 0;
   const auto& buffers = circuit.buffers();
+  std::vector<double> solution;  // reused RHS/solution buffer
 
   while (state.time < options.t_stop - 0.5 * min_dt) {
-    // Distance to the next breakpoint bounds the step.
+    // Distance to the next breakpoint bounds the step; snap to the cache
+    // quantization grid so the factorization and the RHS use the same dt.
     const auto next_bp = breakpoints.upper_bound(state.time + 0.5 * min_dt);
     const double bp_time = (next_bp != breakpoints.end()) ? *next_bp : options.t_stop;
     double dt = std::min(dt_nominal, bp_time - state.time);
     dt = std::min(dt, options.t_stop - state.time);
+    dt = static_cast<double>(quantize(dt)) * dt_quantum;
     if (dt <= 0.0) break;
 
     const Integrator method =
         (be_steps_left > 0) ? Integrator::kBackwardEuler : options.integrator;
 
-    std::vector<double> solution =
-        factorized(dt, method).solve(assembler.transient_rhs(dt, method, state));
+    assembler.transient_rhs_into(dt, method, state, solution);
+    factorized(dt, method).solve_in_place(solution);
 
     // Buffer event detection: did any unfired buffer's input cross its
     // threshold during this step?
@@ -154,9 +226,10 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
     if (event_buffer >= 0 && earliest_event > state.time + min_dt &&
         earliest_event < state.time + dt * (1.0 - 1e-9)) {
       // Reject; re-take the step so it ends exactly at the crossing.
-      const double dt_event = earliest_event - state.time;
-      solution = factorized(dt_event, method)
-                     .solve(assembler.transient_rhs(dt_event, method, state));
+      const double dt_event =
+          static_cast<double>(quantize(earliest_event - state.time)) * dt_quantum;
+      assembler.transient_rhs_into(dt_event, method, state, solution);
+      factorized(dt_event, method).solve_in_place(solution);
       assembler.advance_state(solution, dt_event, method, state);
       state.buffer_fire_time[static_cast<std::size_t>(event_buffer)] = state.time;
       breakpoints.insert(state.time);
@@ -188,6 +261,7 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
   result.buffer_fire_times = state.buffer_fire_time;
   result.steps_taken = steps;
   result.lu_factorizations = factorizations;
+  result.used_sparse_solver = use_sparse;
   return result;
 }
 

@@ -10,8 +10,19 @@
 // its threshold inside a step, the step is re-taken so it ends exactly at the
 // (interpolated) crossing time, the buffer is marked fired there, and
 // integration restarts from that breakpoint.
+//
+// Solver policy: the assembled MNA system is G + (factor/dt)*C over one
+// fixed sparsity pattern (see sim/mna.h). Below kSparseSolverThreshold
+// unknowns the dense LU wins on constant factors and doubles as the
+// correctness oracle; at or above it the engine switches to the sparse LU,
+// whose symbolic factorization is computed once per run and shared by every
+// (dt, integrator) numeric factorization. Step sizes are quantized onto a
+// min_dt_fraction grid before keying the LU cache, so breakpoint-clipped dt
+// values that differ only by ulps reuse one factorization instead of
+// triggering spurious refactorizations.
 #pragma once
 
+#include <set>
 #include <vector>
 
 #include "sim/circuit.h"
@@ -27,14 +38,18 @@ struct TransientOptions {
   int be_steps_after_breakpoint = 2;  // BE steps before switching back to trap
   double dc_gmin = 1e-12;
   // Guard: reject pathological event cascades (step shrinking forever).
+  // Also the LU-cache quantization grid: dt is snapped to multiples of
+  // min_dt_fraction * dt before factorizing.
   double min_dt_fraction = 1e-9;  // min event step as a fraction of dt
+  SolverKind solver = SolverKind::kAuto;
 };
 
 struct TransientResult {
   WaveformSet waveforms;
   std::vector<double> buffer_fire_times;  // +inf where a buffer never fired
   std::size_t steps_taken = 0;
-  std::size_t lu_factorizations = 0;
+  std::size_t lu_factorizations = 0;  // numeric factorizations (cache misses)
+  bool used_sparse_solver = false;
 };
 
 // Runs a transient analysis. Throws std::invalid_argument for bad options
@@ -42,7 +57,17 @@ struct TransientResult {
 TransientResult run_transient(const Circuit& circuit, const TransientOptions& options);
 
 // DC operating point: node voltages (and branch currents) with capacitors
-// open and inductors shorted, sources evaluated at t = 0.
+// open and inductors shorted, sources evaluated at t = 0. Uses the same
+// size-based dense/sparse solver policy as run_transient.
 std::vector<double> dc_operating_point(const Circuit& circuit, double gmin = 1e-12);
+
+// Source discontinuity times within [0, t_stop]: step corners, PWL points,
+// and every pulse edge of every cycle whose start lies in the window
+// (bounded by t_stop/period). Throws std::invalid_argument for pulse trains
+// of more than 1e6 cycles — no transient could land on that many edges, so
+// such a spec is an error rather than something to truncate silently.
+// Exposed for testing.
+void collect_source_breakpoints(const SourceSpec& spec, double t_stop,
+                                std::set<double>& out);
 
 }  // namespace rlcsim::sim
