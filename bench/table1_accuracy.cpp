@@ -8,6 +8,10 @@
 // inversion of the exact transfer function (printed: the MNA number; the
 // two agree to < 0.5%, which is also verified here).
 //
+// Both the eq. (9) grid and the 36-cell transient grid are evaluated by the
+// sweep engine from one declarative spec — the transient cells fan out
+// across the thread pool with one shared symbolic factorization per sweep.
+//
 // Note on the published table: the paper's claim is |error| < 5% for
 // RT, CT in [0, 1]. Its RT = 0.1 row group is numerically inconsistent with
 // Rt = Rtr/RT = 5 kohm (see DESIGN.md); we therefore print the grid under
@@ -15,34 +19,37 @@
 // variant (Rt = 50 ohm) that the published RT = 0.1 rows actually match.
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/delay_model.h"
 #include "sim/builders.h"
+#include "sweep/sweep.h"
 #include "tline/step_response.h"
 
 using namespace rlcsim;
 
 namespace {
 
-struct CellResult {
-  double model_ps;
-  double sim_ps;
-  double err_pct;
-};
-
-CellResult evaluate(double rt_total, double ct_ratio, double lt) {
-  const double rtr = 500.0, ct = 1e-12;
-  const tline::GateLineLoad sys{rtr, {rt_total, lt, ct}, ct_ratio * ct};
-  const double model = core::rlc_delay(sys);
-  const double sim = sim::simulate_gate_line_delay(sys, 120);
-  return {model * 1e12, sim * 1e12, benchutil::pct(model, sim)};
-}
-
-void print_grid(const std::vector<std::pair<std::string, double>>& rt_rows) {
+void print_grid(const sweep::SweepEngine& engine,
+                const std::vector<std::pair<std::string, double>>& rt_rows) {
   const std::vector<double> cts{0.1, 0.5, 1.0};
   const std::vector<double> lts{1e-5, 1e-6, 1e-7, 1e-8};
+
+  sweep::SweepSpec spec;
+  spec.base.system = {500.0, {500.0, 1e-7, 1e-12}, 0.5e-12};
+  std::vector<double> rts, cls;
+  for (const auto& [label, rt] : rt_rows) rts.push_back(rt);
+  for (double ct : cts) cls.push_back(ct * 1e-12);
+  spec.axes = {
+      sweep::values(sweep::Variable::kLineResistance, rts),
+      sweep::values(sweep::Variable::kLineInductance, lts),
+      sweep::values(sweep::Variable::kLoadCapacitance, cls),
+  };
+
+  const auto model = engine.run(spec, sweep::Analysis::kClosedFormDelay);
+  const auto sim = engine.run(spec, sweep::Analysis::kTransientDelay);
 
   std::printf("\n%-8s %-7s |", "group", "Lt [H]");
   for (double ct : cts) std::printf("   CT=%.1f: eq9/sim[ps] err  |", ct);
@@ -51,15 +58,17 @@ void print_grid(const std::vector<std::pair<std::string, double>>& rt_rows) {
 
   double worst = 0.0, sum = 0.0;
   int count = 0;
-  for (const auto& [label, rt_total] : rt_rows) {
-    for (double lt : lts) {
-      std::printf("%-8s %-7.0e |", label.c_str(), lt);
-      for (double ct : cts) {
-        const CellResult cell = evaluate(rt_total, ct, lt);
-        std::printf(" %7.0f/%7.0f %+5.1f%% |", cell.model_ps, cell.sim_ps,
-                    cell.err_pct);
-        worst = std::max(worst, std::fabs(cell.err_pct));
-        sum += std::fabs(cell.err_pct);
+  for (std::size_t r = 0; r < rt_rows.size(); ++r) {
+    for (std::size_t l = 0; l < lts.size(); ++l) {
+      std::printf("%-8s %-7.0e |", rt_rows[r].first.c_str(), lts[l]);
+      for (std::size_t c = 0; c < cts.size(); ++c) {
+        const std::size_t flat = spec.flat_index({r, l, c});
+        const double model_ps = model.values[flat] * 1e12;
+        const double sim_ps = sim.values[flat] * 1e12;
+        const double err = benchutil::pct(model.values[flat], sim.values[flat]);
+        std::printf(" %7.0f/%7.0f %+5.1f%% |", model_ps, sim_ps, err);
+        worst = std::max(worst, std::fabs(err));
+        sum += std::fabs(err);
         ++count;
       }
       std::printf("\n");
@@ -67,6 +76,10 @@ void print_grid(const std::vector<std::pair<std::string, double>>& rt_rows) {
   }
   std::printf("\n|error|: worst %.2f%%, mean %.2f%% over %d cells  (paper claims < 5%%)\n",
               worst, sum / count, count);
+  std::printf("[sweep: %zu transient points at %.1f points/sec, %zu threads, "
+              "%zu symbolic factorizations]\n",
+              sim.values.size(), sim.points_per_second, sim.threads_used,
+              sim.symbolic_factorizations);
 }
 
 }  // namespace
@@ -76,12 +89,16 @@ int main() {
       "TABLE 1 — eq. (9) vs dynamic simulation (MNA, 120-segment ladder)\n"
       "Ct = 1 pF, Rtr = 500 ohm; cells printed as eq9/sim with % error");
 
+  sweep::EngineOptions options;
+  options.segments = 120;
+  const sweep::SweepEngine engine(options);
+
   benchutil::section("paper's stated definitions: Rt = Rtr / RT");
-  print_grid({{"RT=0.1", 5000.0}, {"RT=0.5", 1000.0}, {"RT=1.0", 500.0}});
+  print_grid(engine, {{"RT=0.1", 5000.0}, {"RT=0.5", 1000.0}, {"RT=1.0", 500.0}});
 
   benchutil::section(
       "low-resistance variant matching the published RT=0.1 row values (Rt = 50 ohm)");
-  print_grid({{"Rt=50", 50.0}});
+  print_grid(engine, {{"Rt=50", 50.0}});
 
   // Cross-check the two independent reference engines on a few cells.
   benchutil::section("reference cross-check: MNA ladder vs exact Laplace inversion");

@@ -6,10 +6,13 @@
 // One fixed wide global wire studied across three buffer generations
 // (250/180/130 nm-class presets), plus the extraction-driven version where
 // the wire geometry also scales with the node.
+// Each node's scaling point costs a numerical repeater optimization, so the
+// per-node studies are fanned out across the sweep engine's thread pool.
 #include <cstdio>
 
 #include "bench_util.h"
 #include "core/scaling.h"
+#include "sweep/sweep.h"
 #include "tech/nodes.h"
 
 using namespace rlcsim;
@@ -34,22 +37,33 @@ int main() {
       "SECTION IV — RC-model error vs technology scaling (fixed wire,\n"
       "shrinking buffer intrinsic delay R0 C0)");
 
-  std::vector<std::pair<std::string, core::MinBuffer>> buffers;
-  for (const auto& node : tech::all_nodes())
-    buffers.emplace_back(node.node_name, tech::as_min_buffer(node));
+  const std::vector<tech::DeviceParams> nodes = tech::all_nodes();
+  const sweep::SweepEngine engine;
 
   benchutil::section("fixed wire: Rt = 100 ohm, Lt = 10 nH, Ct = 2 pF");
-  print_points(core::scaling_study({100.0, 10e-9, 2e-12}, buffers));
+  std::vector<core::ScalingPoint> fixed(nodes.size());
+  engine.run_custom(nodes.size(),
+                    [&](std::size_t i, sweep::SweepEngine::PointContext&) {
+                      fixed[i] = core::scaling_study(
+                                     {100.0, 10e-9, 2e-12},
+                                     {{nodes[i].node_name, tech::as_min_buffer(nodes[i])}})
+                                     .front();
+                      return 0.0;
+                    });
+  print_points(fixed);
 
   benchutil::section("extraction-driven: each node's own 15 mm wide clock wire");
-  std::vector<core::ScalingPoint> extracted;
-  for (const auto& node : tech::all_nodes()) {
-    const auto pul = tech::extract(tech::wide_clock_wire(node));
-    const tline::LineParams line = tline::make_line(pul, 15e-3);
-    const auto pts = core::scaling_study(
-        line, {{node.node_name, tech::as_min_buffer(node)}});
-    extracted.push_back(pts.front());
-  }
+  std::vector<core::ScalingPoint> extracted(nodes.size());
+  engine.run_custom(nodes.size(),
+                    [&](std::size_t i, sweep::SweepEngine::PointContext&) {
+                      const auto pul = tech::extract(tech::wide_clock_wire(nodes[i]));
+                      const tline::LineParams line = tline::make_line(pul, 15e-3);
+                      extracted[i] = core::scaling_study(
+                                         line, {{nodes[i].node_name,
+                                                 tech::as_min_buffer(nodes[i])}})
+                                         .front();
+                      return 0.0;
+                    });
   print_points(extracted);
 
   std::printf(

@@ -17,21 +17,86 @@ double guarded_delay(const tline::LineParams& line, const MinBuffer& buffer, dou
   return total_delay(line, buffer, {h, k}, fit);
 }
 
+// Batched version of numeric::grid_refine_2d: each refinement level builds
+// the full candidate lattice, hands it to `batch` in one call (the sweep
+// engine evaluates it across its thread pool), then re-centers a shrunken
+// box on the incumbent. Matches grid_refine_2d's contract — robust global
+// scan, ~(range * (4/grid)^levels) final resolution — but exposes the grid
+// as data instead of a point-at-a-time callback.
+numeric::MinimumND batched_grid_refine(
+    const tline::LineParams& line, const MinBuffer& buffer,
+    const DelayFitConstants& fit, const DesignBatchFn& batch, double k_min,
+    double x_lo, double x_hi, double y_lo, double y_hi, int grid_points,
+    int refinements) {
+  std::vector<RepeaterDesign> candidates;
+  std::vector<double> delays;
+  numeric::MinimumND best;
+  best.value = std::numeric_limits<double>::infinity();
+  best.x = {0.5 * (x_lo + x_hi), 0.5 * (y_lo + y_hi)};
+
+  for (int level = 0; level < refinements; ++level) {
+    candidates.clear();
+    const int n = grid_points;
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        candidates.push_back({x_lo + (x_hi - x_lo) * i / (n - 1),
+                              y_lo + (y_hi - y_lo) * j / (n - 1)});
+    batch(line, buffer, fit, candidates, delays);
+
+    std::size_t arg = 0;
+    double val = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      double d = delays[c];
+      // Re-apply the domain guard the serial objective enforces.
+      if (!(candidates[c].size > 1e-6) ||
+          !(candidates[c].sections > std::max(1e-6, k_min)))
+        d = std::numeric_limits<double>::infinity();
+      if (d < val) {
+        val = d;
+        arg = c;
+      }
+    }
+    if (val < best.value) {
+      best.value = val;
+      best.x = {candidates[arg].size, candidates[arg].sections};
+    }
+    // Shrink to +/- 2 cells around the incumbent, clamped to the level's box.
+    const double cx = best.x[0], cy = best.x[1];
+    const double wx = 2.0 * (x_hi - x_lo) / (n - 1), wy = 2.0 * (y_hi - y_lo) / (n - 1);
+    x_lo = std::max(x_lo, cx - wx);
+    x_hi = std::min(x_hi, cx + wx);
+    y_lo = std::max(y_lo, cy - wy);
+    y_hi = std::min(y_hi, cy + wy);
+    ++best.iterations;
+  }
+  best.converged = true;
+  return best;
+}
+
 // Shared 2-D minimization: grid refinement for a robust global pass, then
-// Nelder–Mead to polish.
+// Nelder–Mead to polish. With a batch hook, the grid pass evaluates whole
+// candidate lattices through it (parallel under the sweep engine); without
+// one, the original serial grid_refine_2d path runs unchanged.
 RepeaterDesign minimize_design(const tline::LineParams& line, const MinBuffer& buffer,
                                const RepeaterDesign& seed, double k_min,
-                               const DelayFitConstants& fit) {
+                               const DelayFitConstants& fit,
+                               const DesignBatchFn& batch = {}) {
   const auto objective = [&](double h, double k) {
     return guarded_delay(line, buffer, h, k, k_min, fit);
   };
 
   // Inductance only ever shrinks the optimum relative to the RC solution
   // (h', k' <= 1), but search a generous box around the seed anyway.
-  const auto coarse = numeric::grid_refine_2d(
-      objective, 0.02 * seed.size, 1.6 * seed.size,
-      std::max(k_min, 0.02 * seed.sections), 1.6 * seed.sections,
-      /*grid_points=*/28, /*refinements=*/10);
+  const auto coarse =
+      batch ? batched_grid_refine(line, buffer, fit, batch, k_min, 0.02 * seed.size,
+                                  1.6 * seed.size,
+                                  std::max(k_min, 0.02 * seed.sections),
+                                  1.6 * seed.sections,
+                                  /*grid_points=*/28, /*refinements=*/10)
+            : numeric::grid_refine_2d(
+                  objective, 0.02 * seed.size, 1.6 * seed.size,
+                  std::max(k_min, 0.02 * seed.sections), 1.6 * seed.sections,
+                  /*grid_points=*/28, /*refinements=*/10);
 
   const auto polished = numeric::nelder_mead(
       [&](const std::vector<double>& x) { return objective(x[0], x[1]); },
@@ -44,7 +109,8 @@ RepeaterDesign minimize_design(const tline::LineParams& line, const MinBuffer& b
 
 }  // namespace
 
-NormalizedOptimum normalized_optimum(double t_lr_value, const DelayFitConstants& fit) {
+NormalizedOptimum normalized_optimum(double t_lr_value, const DelayFitConstants& fit,
+                                     const DesignBatchFn& batch) {
   if (!(t_lr_value > 0.0))
     throw std::invalid_argument("normalized_optimum: T must be > 0 (T = 0 is the RC limit)");
 
@@ -53,7 +119,7 @@ NormalizedOptimum normalized_optimum(double t_lr_value, const DelayFitConstants&
   const MinBuffer buffer{1.0, 1.0, 1.0, 0.0};
   const RepeaterDesign rc = bakoglu_rc(line, buffer);
 
-  const RepeaterDesign best = minimize_design(line, buffer, rc, 0.0, fit);
+  const RepeaterDesign best = minimize_design(line, buffer, rc, 0.0, fit, batch);
   NormalizedOptimum out;
   out.h_factor = best.size / rc.size;
   out.k_factor = best.sections / rc.sections;
@@ -62,14 +128,15 @@ NormalizedOptimum normalized_optimum(double t_lr_value, const DelayFitConstants&
 }
 
 OptimizedDesign optimize(const tline::LineParams& line, const MinBuffer& buffer,
-                         const DelayFitConstants& fit, double min_sections) {
+                         const DelayFitConstants& fit, double min_sections,
+                         const DesignBatchFn& batch) {
   tline::validate(line);
   validate(buffer);
 
   // Seed from the closed form (already within a fraction of a percent).
   const RepeaterDesign seed = ismail_friedman_rlc(line, buffer);
   const RepeaterDesign best =
-      minimize_design(line, buffer, seed, std::max(0.0, min_sections), fit);
+      minimize_design(line, buffer, seed, std::max(0.0, min_sections), fit, batch);
 
   OptimizedDesign out;
   out.continuous = best;

@@ -8,9 +8,24 @@
 // Lt = T) and scale by the Bakoglu solution.
 #pragma once
 
+#include <functional>
+#include <vector>
+
 #include "core/repeater.h"
 
 namespace rlcsim::core {
+
+// Batch evaluation hook for the grid passes of the optimizers below: fills
+// `delays[i] = total_delay(line, buffer, candidates[i], fit)` (resizing
+// `delays`). When empty, the optimizers evaluate candidates one by one on
+// the calling thread; the sweep engine supplies a parallel implementation
+// (sweep::SweepEngine::repeater_batch) that fans the candidate grid out
+// across its thread pool — the optimization rides the same machinery as
+// every other sweep.
+using DesignBatchFn = std::function<void(
+    const tline::LineParams& line, const MinBuffer& buffer,
+    const DelayFitConstants& fit, const std::vector<RepeaterDesign>& candidates,
+    std::vector<double>& delays)>;
 
 struct NormalizedOptimum {
   double h_factor = 1.0;  // h'opt — the solid curve of Fig. 4a
@@ -21,7 +36,8 @@ struct NormalizedOptimum {
 // Minimizes the normalized total delay over (h', k') for a given T_{L/R}.
 // Grid refinement seeds a Nelder–Mead polish; accuracy ~1e-6 in the factors.
 NormalizedOptimum normalized_optimum(double t_lr_value,
-                                     const DelayFitConstants& fit = kPaperFit);
+                                     const DelayFitConstants& fit = kPaperFit,
+                                     const DesignBatchFn& batch = {});
 
 // Full-impedance optimum for a physical line/buffer pair. `min_sections`
 // clamps k (>= it); pass 0 to allow the continuous unconstrained optimum.
@@ -33,7 +49,7 @@ struct OptimizedDesign {
 };
 OptimizedDesign optimize(const tline::LineParams& line, const MinBuffer& buffer,
                          const DelayFitConstants& fit = kPaperFit,
-                         double min_sections = 1.0);
+                         double min_sections = 1.0, const DesignBatchFn& batch = {});
 
 // Relative excess delay (fraction, not percent) of the closed-form sizing
 // (eqs. 14/15) versus the numerical optimum at a given T — the quantity the

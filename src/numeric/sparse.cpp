@@ -199,7 +199,9 @@ std::vector<int> rcm_ordering(const SparsePattern& pattern) {
 // ------------------------------------------------------------------- stats
 
 SparseLuStats& sparse_lu_stats() {
-  static SparseLuStats stats;
+  // Thread-local so concurrent sweeps never race on the counters; each
+  // thread observes exactly the factorization work it performed itself.
+  thread_local SparseLuStats stats;
   return stats;
 }
 
@@ -415,8 +417,19 @@ bool SparseLu<T>::numeric_refactor(const SparseMatrix<T>& a) {
 
 template <typename T>
 void SparseLu<T>::refactor(const SparseMatrix<T>& a) {
-  if (a.pattern_ptr() != pattern_)
-    throw std::invalid_argument("SparseLu::refactor: pattern mismatch");
+  if (a.pattern_ptr() != pattern_) {
+    // Structurally identical patterns are as good as pointer-identical ones:
+    // the recorded CSC scatter map (csc_src_) indexes CSR value positions,
+    // which depend only on the structure. Adopting the caller's pattern
+    // pointer makes every later refactor against it an O(1) check. This is
+    // what lets a sweep reuse one symbolic analysis across circuits that are
+    // rebuilt per grid point with identical topology.
+    if (!a.pattern_ptr() || !pattern_ || a.pattern().n != pattern_->n ||
+        a.pattern().row_ptr != pattern_->row_ptr ||
+        a.pattern().col_idx != pattern_->col_idx)
+      throw std::invalid_argument("SparseLu::refactor: pattern mismatch");
+    pattern_ = a.pattern_ptr();
+  }
   if (!numeric_refactor(a)) full_factor(a);
 }
 

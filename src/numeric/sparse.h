@@ -113,9 +113,10 @@ std::vector<int> rcm_ordering(const SparsePattern& pattern);
 
 // ------------------------------------------------------------------- stats
 
-// Process-wide factorization counters, for verifying symbolic reuse (an AC
+// Per-thread factorization counters, for verifying symbolic reuse (an AC
 // sweep must perform exactly ONE symbolic analysis however many frequency
-// points it visits). Reset with `sparse_lu_stats() = {};`.
+// points it visits). Thread-local: each thread sees only its own work, so
+// concurrent sweeps never race. Reset with `sparse_lu_stats() = {};`.
 struct SparseLuStats {
   std::size_t symbolic = 0;  // full factorizations (pattern + pivot search)
   std::size_t numeric = 0;   // total numeric passes (full + refactor)
@@ -130,7 +131,9 @@ SparseLuStats& sparse_lu_stats();
 // Construction performs the full (symbolic + numeric) factorization:
 // RCM pre-ordering, then a left-looking column factorization that discovers
 // the fill pattern by depth-first reachability and pivots by magnitude.
-// `refactor(a)` accepts a matrix with the SAME pattern and new values and
+// `refactor(a)` accepts a matrix with the same pattern — pointer-identical
+// or structurally identical (a sweep rebuilds topologically identical
+// circuits per grid point, each with its own pattern allocation) — and
 // redoes only the numeric work along the recorded pattern with the recorded
 // pivot sequence — no graph traversal, no allocation. If the recorded pivot
 // sequence hits an exactly-zero pivot on the new values, refactor falls back

@@ -1,0 +1,240 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rlcsim::runtime {
+namespace {
+
+// Identity of the pool worker the current thread is executing for, so a
+// nested parallel_for can detect it is already inside a pool and degrade to
+// an inline serial loop instead of deadlocking on its own workers.
+struct WorkerIdentity {
+  const void* pool = nullptr;
+  std::size_t worker = 0;
+};
+thread_local WorkerIdentity tls_identity;
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("RLCSIM_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+struct ThreadPool::Impl {
+  // One contiguous block of unstarted indexes. Owners pop from the front;
+  // thieves cut the back half. Every index in a range is unstarted, so
+  // stealing never duplicates or skips work.
+  struct Range {
+    std::mutex mutex;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  std::size_t size = 1;
+  std::vector<std::thread> background;
+  std::vector<std::unique_ptr<Range>> ranges;
+
+  // Serializes EXTERNAL parallel_for callers: the pool holds one job's state
+  // at a time, so a second caller blocks here until the first job drains.
+  std::mutex submit_mutex;
+
+  std::mutex job_mutex;
+  std::condition_variable work_cv;  // background workers wait here for a job
+  std::condition_variable done_cv;  // the caller waits here for completion
+  bool shutdown = false;
+  std::uint64_t generation = 0;
+
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t total = 0;
+  std::atomic<std::size_t> completed{0};
+  std::size_t active_background = 0;  // guarded by job_mutex
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::size_t error_index = 0;
+
+  void record_error(std::size_t index) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!error || index < error_index) {
+      error = std::current_exception();
+      error_index = index;
+    }
+  }
+
+  bool take_own(std::size_t worker, std::size_t* out) {
+    Range& r = *ranges[worker];
+    std::lock_guard<std::mutex> lock(r.mutex);
+    if (r.begin >= r.end) return false;
+    *out = r.begin++;
+    return true;
+  }
+
+  // Cuts the back half (at least one index) of the largest victim range into
+  // the thief's own range, then pops from it.
+  bool steal(std::size_t thief, std::size_t* out) {
+    std::size_t best = size, best_remaining = 0;
+    for (std::size_t v = 0; v < size; ++v) {
+      if (v == thief) continue;
+      Range& r = *ranges[v];
+      std::lock_guard<std::mutex> lock(r.mutex);
+      if (r.end - r.begin > best_remaining) {
+        best_remaining = r.end - r.begin;
+        best = v;
+      }
+    }
+    if (best == size) return false;
+    std::size_t stolen_begin = 0, stolen_end = 0;
+    {
+      Range& victim = *ranges[best];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      const std::size_t remaining = victim.end - victim.begin;
+      if (remaining == 0) return false;  // raced with the owner; rescan
+      const std::size_t mid = victim.begin + remaining / 2;
+      stolen_begin = mid;
+      stolen_end = victim.end;
+      victim.end = mid;
+    }
+    // Keep the first stolen index for ourselves and publish only the rest:
+    // once the range is visible, other thieves may cut it in turn.
+    {
+      Range& own = *ranges[thief];
+      std::lock_guard<std::mutex> lock(own.mutex);
+      own.begin = stolen_begin + 1;
+      own.end = stolen_end;
+    }
+    *out = stolen_begin;
+    return true;
+  }
+
+  void run_worker(std::size_t worker) {
+    const WorkerIdentity saved = tls_identity;
+    tls_identity = {this, worker};
+    for (;;) {
+      std::size_t index = 0;
+      if (!take_own(worker, &index) && !steal(worker, &index)) break;
+      try {
+        (*fn)(index, worker);
+      } catch (...) {
+        record_error(index);
+      }
+      if (completed.fetch_add(1) + 1 == total) {
+        std::lock_guard<std::mutex> lock(job_mutex);
+        done_cv.notify_all();
+      }
+    }
+    tls_identity = saved;
+  }
+
+  void background_loop(std::size_t worker) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(job_mutex);
+        work_cv.wait(lock,
+                     [&] { return shutdown || (fn != nullptr && generation != seen); });
+        if (shutdown) return;
+        seen = generation;
+        ++active_background;
+      }
+      run_worker(worker);
+      {
+        std::lock_guard<std::mutex> lock(job_mutex);
+        --active_background;
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  impl_->size = threads > 0 ? threads : default_thread_count();
+  impl_->ranges.reserve(impl_->size);
+  for (std::size_t i = 0; i < impl_->size; ++i)
+    impl_->ranges.push_back(std::make_unique<Impl::Range>());
+  for (std::size_t w = 1; w < impl_->size; ++w)
+    impl_->background.emplace_back([this, w] { impl_->background_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->job_mutex);
+    impl_->shutdown = true;
+    impl_->work_cv.notify_all();
+  }
+  for (auto& t : impl_->background) t.join();
+}
+
+std::size_t ThreadPool::size() const { return impl_->size; }
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+
+  // Nested call from inside this pool's own worker: run inline, serially, on
+  // the current worker's identity (thread-local caches keyed by worker id
+  // stay consistent).
+  if (tls_identity.pool == impl_.get()) {
+    const std::size_t worker = tls_identity.worker;
+    std::exception_ptr error;
+    std::size_t error_index = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i, worker);
+      } catch (...) {
+        if (!error) {
+          error = std::current_exception();
+          error_index = i;
+        }
+      }
+    }
+    (void)error_index;
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  // One external job at a time; a concurrent caller waits its turn here.
+  std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->job_mutex);
+    for (std::size_t w = 0; w < impl_->size; ++w) {
+      impl_->ranges[w]->begin = n * w / impl_->size;
+      impl_->ranges[w]->end = n * (w + 1) / impl_->size;
+    }
+    impl_->fn = &fn;
+    impl_->total = n;
+    impl_->completed.store(0);
+    impl_->error = nullptr;
+    ++impl_->generation;
+    impl_->work_cv.notify_all();
+  }
+
+  impl_->run_worker(0);
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->job_mutex);
+    impl_->done_cv.wait(lock, [&] {
+      return impl_->completed.load() == impl_->total && impl_->active_background == 0;
+    });
+    impl_->fn = nullptr;
+  }
+  if (impl_->error) {
+    std::exception_ptr error = impl_->error;
+    impl_->error = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace rlcsim::runtime

@@ -1,0 +1,65 @@
+// Work-stealing thread pool for embarrassingly parallel index spaces.
+//
+// Built for the sweep engine's workload: N independent evaluations whose
+// costs vary by orders of magnitude across the grid (a transient point near
+// the underdamped corner takes many more steps than an overdamped one), so
+// static chunking alone leaves threads idle. Each worker owns a contiguous
+// [begin, end) range of the index space; when a worker drains its range it
+// steals the far half of the largest remaining victim range. Ranges are
+// guarded by small per-worker mutexes — the items this pool runs are
+// microseconds to milliseconds each, so lock traffic is noise.
+//
+// Determinism contract: parallel_for runs fn(i, worker) exactly once per
+// index. Which worker runs an index is schedule-dependent, but if fn(i, w)'s
+// RESULT does not depend on w or on execution order (each index writes only
+// its own output slot), the aggregate result is bit-identical at every
+// thread count. The sweep engine builds on exactly that property.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace rlcsim::runtime {
+
+// Worker count the pool uses when constructed with `threads == 0`:
+// the RLCSIM_THREADS environment variable when set to a positive integer,
+// otherwise std::thread::hardware_concurrency(), never less than 1.
+std::size_t default_thread_count();
+
+class ThreadPool {
+ public:
+  // `threads` is the TOTAL worker count, caller included: the calling thread
+  // participates in every parallel_for as worker 0 and `threads - 1`
+  // background threads serve as workers 1..threads-1. ThreadPool(1) therefore
+  // runs everything inline on the caller with no cross-thread traffic.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const;
+
+  // Runs fn(index, worker) for every index in [0, n), worker in [0, size()).
+  // Blocks until every index has completed. Exceptions thrown by fn are
+  // captured; after all indexes finish, the exception from the LOWEST index
+  // is rethrown (a deterministic choice — which of several failing indexes
+  // surfaces does not depend on scheduling).
+  //
+  // Reentrancy: calling parallel_for from inside fn (i.e. from a pool
+  // worker) executes the nested loop serially inline on that worker — nested
+  // parallelism degrades gracefully instead of deadlocking.
+  //
+  // Concurrent EXTERNAL callers are serialized: the pool runs one job at a
+  // time, and a second thread calling parallel_for blocks until the first
+  // job has drained.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t index, std::size_t worker)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rlcsim::runtime

@@ -54,11 +54,7 @@ Circuit build_gate_line_load(const tline::GateLineLoad& system, int segments,
   return circuit;
 }
 
-namespace {
-
-// A robust simulation horizon for a gate + line + load system: several times
-// the larger of the Elmore delay and the time of flight.
-double default_horizon(const tline::GateLineLoad& system) {
+double default_transient_horizon(const tline::GateLineLoad& system) {
   const double elmore = tline::elmore_delay(
       system.driver_resistance, system.line.total_resistance,
       system.line.total_capacitance, system.load_capacitance);
@@ -67,13 +63,11 @@ double default_horizon(const tline::GateLineLoad& system) {
   return 8.0 * std::max(elmore, tof);
 }
 
-}  // namespace
-
 double simulate_gate_line_delay(const tline::GateLineLoad& system, int segments,
                                 double t_stop, double dt, double threshold) {
   const Circuit circuit = build_gate_line_load(system, segments);
   TransientOptions options;
-  options.t_stop = (t_stop > 0.0) ? t_stop : default_horizon(system);
+  options.t_stop = (t_stop > 0.0) ? t_stop : default_transient_horizon(system);
   options.dt = dt;
   TransientResult result = run_transient(circuit, options);
   Trace out = result.waveforms.trace("out");
@@ -156,7 +150,7 @@ double simulate_crosstalk_peak(const CoupledLinesSpec& spec,
       build_crosstalk_pair(spec, driver_resistance, load_capacitance);
   const tline::GateLineLoad one{driver_resistance, spec.line, load_capacitance};
   TransientOptions options;
-  options.t_stop = (t_stop > 0.0) ? t_stop : default_horizon(one);
+  options.t_stop = (t_stop > 0.0) ? t_stop : default_transient_horizon(one);
   const TransientResult result = run_transient(circuit, options);
   const Trace victim = result.waveforms.trace("vic.out");
   return std::max(std::fabs(victim.max_value()), std::fabs(victim.min_value()));

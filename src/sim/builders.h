@@ -24,6 +24,11 @@ void add_rlc_ladder(Circuit& circuit, const std::string& prefix, const std::stri
 Circuit build_gate_line_load(const tline::GateLineLoad& system, int segments,
                              double vdd = 1.0, double source_rise = 0.0);
 
+// The automatic simulation horizon simulate_gate_line_delay (and the sweep
+// engine) start from: several times the larger of the Elmore delay and the
+// time of flight.
+double default_transient_horizon(const tline::GateLineLoad& system);
+
 // Convenience: simulate build_gate_line_load and return the 50% delay of
 // "out". `t_stop` = 0 picks a horizon from the system's time scales
 // automatically; `dt` = 0 picks t_stop / 4000.

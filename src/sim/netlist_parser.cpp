@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -134,6 +135,10 @@ ParsedNetlist parse_netlist(const std::string& text) {
   int line_no = 0;
   bool first_content_line = true;
   bool ended = false;
+  // Element names must be unique (case-insensitive, SPICE convention): a
+  // duplicated name is almost always an editing mistake, and K-cards and
+  // diagnostics refer to elements by name.
+  std::set<std::string> seen_names;
 
   while (std::getline(stream, raw)) {
     ++line_no;
@@ -187,54 +192,82 @@ ParsedNetlist parse_netlist(const std::string& text) {
     const std::string& n1 = tokens[1];
     const std::string& n2 = tokens[2];
 
-    switch (kind) {
-      case 'r': {
-        if (tokens.size() != 4) throw ParseError(line_no, "R needs exactly one value");
-        out.circuit.add_resistor(n1, n2, number_or_throw(tokens[3], line_no), name);
-        break;
-      }
-      case 'c': {
-        if (tokens.size() < 4) throw ParseError(line_no, "C needs a value");
-        const double ic = keyword_value(tokens, 4, "ic", line_no).value_or(0.0);
-        out.circuit.add_capacitor(n1, n2, number_or_throw(tokens[3], line_no), ic, name);
-        break;
-      }
-      case 'l': {
-        if (tokens.size() < 4) throw ParseError(line_no, "L needs a value");
-        const double ic = keyword_value(tokens, 4, "ic", line_no).value_or(0.0);
-        out.circuit.add_inductor(n1, n2, number_or_throw(tokens[3], line_no), ic, name);
-        break;
-      }
-      case 'v': {
-        out.circuit.add_voltage_source(n1, n2, parse_source(tokens, 3, line_no), name);
-        break;
-      }
-      case 'i': {
-        out.circuit.add_current_source(n1, n2, parse_source(tokens, 3, line_no), name);
-        break;
-      }
-      case 'k': {
-        // Kname Lxxx Lyyy k — n1/n2 here are the inductor element names.
-        if (tokens.size() != 4) throw ParseError(line_no, "K needs L1 L2 k");
-        try {
-          out.circuit.add_mutual(n1, n2, number_or_throw(tokens[3], line_no), name);
-        } catch (const std::invalid_argument& e) {
-          throw ParseError(line_no, e.what());
+    if (!seen_names.insert(to_lower(name)).second)
+      throw ParseError(line_no, "duplicate element name '" + name + "'");
+
+    // Positive-value guard for passive elements: a zero or negative R/C/L is
+    // always a typo (0 shorts the MNA stamps into a singular or
+    // nonsensical system) and must fail HERE with the line number, not
+    // surface later as a solver error or undefined behavior.
+    const auto positive_value = [&](const std::string& token,
+                                    const char* what) -> double {
+      const double v = number_or_throw(token, line_no);
+      if (!(v > 0.0) || !std::isfinite(v))
+        throw ParseError(line_no, std::string(what) + " must be a positive finite value, got '" +
+                                      token + "'");
+      return v;
+    };
+
+    // Circuit-level structural checks (self-loops, threshold ranges...)
+    // reported with this line's number.
+    const auto rethrow_with_line = [&](const std::invalid_argument& e) {
+      throw ParseError(line_no, e.what());
+    };
+
+    try {
+      switch (kind) {
+        case 'r': {
+          if (tokens.size() != 4)
+            throw ParseError(line_no, "R needs exactly one value");
+          out.circuit.add_resistor(n1, n2, positive_value(tokens[3], "resistance"),
+                                   name);
+          break;
         }
-        break;
+        case 'c': {
+          if (tokens.size() < 4) throw ParseError(line_no, "C needs a value");
+          const double ic = keyword_value(tokens, 4, "ic", line_no).value_or(0.0);
+          out.circuit.add_capacitor(n1, n2, positive_value(tokens[3], "capacitance"),
+                                    ic, name);
+          break;
+        }
+        case 'l': {
+          if (tokens.size() < 4) throw ParseError(line_no, "L needs a value");
+          const double ic = keyword_value(tokens, 4, "ic", line_no).value_or(0.0);
+          out.circuit.add_inductor(n1, n2, positive_value(tokens[3], "inductance"),
+                                   ic, name);
+          break;
+        }
+        case 'v': {
+          out.circuit.add_voltage_source(n1, n2, parse_source(tokens, 3, line_no),
+                                         name);
+          break;
+        }
+        case 'i': {
+          out.circuit.add_current_source(n1, n2, parse_source(tokens, 3, line_no),
+                                         name);
+          break;
+        }
+        case 'k': {
+          // Kname Lxxx Lyyy k — n1/n2 here are the inductor element names.
+          if (tokens.size() != 4) throw ParseError(line_no, "K needs L1 L2 k");
+          out.circuit.add_mutual(n1, n2, number_or_throw(tokens[3], line_no), name);
+          break;
+        }
+        case 'b': {
+          const auto rout = keyword_value(tokens, 3, "rout", line_no);
+          const auto cin = keyword_value(tokens, 3, "cin", line_no);
+          if (!rout || !cin)
+            throw ParseError(line_no, "buffer needs ROUT= and CIN=");
+          const double vdd = keyword_value(tokens, 3, "vdd", line_no).value_or(1.0);
+          const double th = keyword_value(tokens, 3, "th", line_no).value_or(0.5);
+          out.circuit.add_buffer(n1, n2, *rout, *cin, vdd, th, name);
+          break;
+        }
+        default:
+          throw ParseError(line_no, "unhandled element kind");
       }
-      case 'b': {
-        const auto rout = keyword_value(tokens, 3, "rout", line_no);
-        const auto cin = keyword_value(tokens, 3, "cin", line_no);
-        if (!rout || !cin)
-          throw ParseError(line_no, "buffer needs ROUT= and CIN=");
-        const double vdd = keyword_value(tokens, 3, "vdd", line_no).value_or(1.0);
-        const double th = keyword_value(tokens, 3, "th", line_no).value_or(0.5);
-        out.circuit.add_buffer(n1, n2, *rout, *cin, vdd, th, name);
-        break;
-      }
-      default:
-        throw ParseError(line_no, "unhandled element kind");
+    } catch (const std::invalid_argument& e) {
+      rethrow_with_line(e);
     }
   }
 

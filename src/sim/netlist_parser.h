@@ -17,7 +17,11 @@
 //   .end                                                 (optional)
 //
 // Errors are reported as ParseError with the 1-based line number and the
-// offending text.
+// offending text. Beyond syntax, the parser rejects: duplicate element
+// names (case-insensitive), zero/negative/non-finite R, C, L values, and
+// structurally invalid elements (self-looped sources, bad buffer
+// thresholds, unknown K-card inductors) — all as ParseError, never as
+// undefined behavior in a later analysis.
 #pragma once
 
 #include <optional>

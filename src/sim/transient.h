@@ -22,14 +22,40 @@
 // triggering spurious refactorizations.
 #pragma once
 
+#include <memory>
 #include <set>
 #include <vector>
 
+#include "numeric/sparse.h"
 #include "sim/circuit.h"
 #include "sim/mna.h"
 #include "sim/waveform.h"
 
 namespace rlcsim::sim {
+
+// Cross-run sparse-solver state for sweeps: the sparsity patterns and
+// symbolic factorizations of a previous run over a topologically identical
+// circuit. A sweep evaluates thousands of circuits that differ only in
+// element VALUES; handing the same SolverReuse to every run on a thread
+// means the first run pays the symbolic analyses (system + DC) and every
+// later run does numeric-only refactorization along the recorded pivot
+// order. A run whose circuit has a structurally different pattern runs
+// WITHOUT reuse and leaves the recorded state untouched (so which circuit a
+// worker saw first can never change pivot orders) — reuse is an
+// optimization, never a correctness constraint.
+//
+// The donors are only ever copied from (SparseLu copy + refactor), so one
+// SolverReuse may be shared READ-ONLY by concurrent runs as long as no run
+// encounters a mismatching pattern; the sweep engine gives each worker its
+// own instance seeded from one reference run to keep results bit-identical
+// at any thread count.
+struct SolverReuse {
+  numeric::SparsePatternPtr system_pattern;
+  std::shared_ptr<const numeric::RealSparseLu> system_symbolic;
+  numeric::SparsePatternPtr dc_pattern;
+  std::shared_ptr<const numeric::RealSparseLu> dc_symbolic;
+  std::size_t reuse_hits = 0;  // runs that reused a recorded symbolic
+};
 
 struct TransientOptions {
   double t_stop = 0.0;      // required, > 0
@@ -42,6 +68,10 @@ struct TransientOptions {
   // min_dt_fraction * dt before factorizing.
   double min_dt_fraction = 1e-9;  // min event step as a fraction of dt
   SolverKind solver = SolverKind::kAuto;
+  // Optional cross-run symbolic-factorization reuse (sweep hot path). The
+  // pointee must outlive the run; it is read and updated in place. Ignored
+  // on the dense solver path.
+  SolverReuse* reuse = nullptr;
 };
 
 struct TransientResult {

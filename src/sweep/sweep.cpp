@@ -1,0 +1,325 @@
+#include "sweep/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/delay_model.h"
+#include "core/two_pole.h"
+#include "numeric/sparse.h"
+#include "runtime/thread_pool.h"
+#include "sim/ac.h"
+#include "sim/builders.h"
+
+namespace rlcsim::sweep {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+void apply_variable(Variable variable, double value, Scenario& scenario,
+                    const tline::PerUnitLength& per_length) {
+  switch (variable) {
+    case Variable::kLineResistance:
+      scenario.system.line.total_resistance = value;
+      break;
+    case Variable::kLineInductance:
+      scenario.system.line.total_inductance = value;
+      break;
+    case Variable::kLineCapacitance:
+      scenario.system.line.total_capacitance = value;
+      break;
+    case Variable::kLineLength:
+      scenario.system.line = tline::make_line(per_length, value);
+      break;
+    case Variable::kDriverResistance:
+      scenario.system.driver_resistance = value;
+      break;
+    case Variable::kLoadCapacitance:
+      scenario.system.load_capacitance = value;
+      break;
+    case Variable::kRepeaterSize:
+      scenario.design.size = value;
+      break;
+    case Variable::kRepeaterSections:
+      scenario.design.sections = value;
+      break;
+  }
+}
+
+double transient_delay_of(const Scenario& scenario, const EngineOptions& options,
+                          sim::SolverReuse* reuse) {
+  const sim::Circuit circuit =
+      sim::build_gate_line_load(scenario.system, options.segments);
+  sim::TransientOptions transient;
+  transient.t_stop = options.t_stop > 0.0
+                         ? options.t_stop
+                         : sim::default_transient_horizon(scenario.system);
+  transient.dt = options.dt;
+  transient.solver = options.solver;
+  transient.reuse = reuse;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const sim::TransientResult result = sim::run_transient(circuit, transient);
+    const auto crossing = result.waveforms.trace("out").crossing(0.5, 0.0, +1);
+    if (crossing) return *crossing;
+    transient.t_stop *= 4.0;
+    transient.dt = options.dt;
+  }
+  throw std::runtime_error(
+      "SweepEngine: transient response never crossed 50% within the horizon");
+}
+
+double evaluate_point(const Scenario& scenario, Analysis analysis,
+                      const EngineOptions& options, sim::SolverReuse* reuse) {
+  switch (analysis) {
+    case Analysis::kClosedFormDelay:
+      return core::rlc_delay(scenario.system, options.fit);
+    case Analysis::kTwoPoleDelay:
+      return core::TwoPoleModel(scenario.system).threshold_delay(0.5);
+    case Analysis::kTransientDelay:
+      return transient_delay_of(scenario, options, reuse);
+    case Analysis::kAcBandwidth: {
+      const sim::Circuit circuit =
+          sim::build_gate_line_load(scenario.system, options.segments);
+      return sim::bandwidth_3db(circuit, "vsrc", "out", options.ac_f_lo,
+                                options.ac_f_hi);
+    }
+    case Analysis::kRepeaterDelay:
+      return core::total_delay(scenario.system.line, scenario.buffer,
+                               scenario.design, options.fit);
+    case Analysis::kRepeaterOptimum:
+      // Serial per point by design: optimum points are themselves grid
+      // points of an outer parallel sweep, so a nested parallel batch here
+      // would only fight the pool (nested parallel_for degrades to inline).
+      return core::optimize(scenario.system.line, scenario.buffer, options.fit,
+                            /*min_sections=*/1.0)
+          .continuous_delay;
+  }
+  throw std::invalid_argument("SweepEngine: unknown analysis");
+}
+
+}  // namespace
+
+const char* variable_name(Variable variable) {
+  switch (variable) {
+    case Variable::kLineResistance: return "line_resistance";
+    case Variable::kLineInductance: return "line_inductance";
+    case Variable::kLineCapacitance: return "line_capacitance";
+    case Variable::kLineLength: return "line_length";
+    case Variable::kDriverResistance: return "driver_resistance";
+    case Variable::kLoadCapacitance: return "load_capacitance";
+    case Variable::kRepeaterSize: return "repeater_size";
+    case Variable::kRepeaterSections: return "repeater_sections";
+  }
+  return "unknown";
+}
+
+const char* analysis_name(Analysis analysis) {
+  switch (analysis) {
+    case Analysis::kClosedFormDelay: return "closed_form_delay";
+    case Analysis::kTwoPoleDelay: return "two_pole_delay";
+    case Analysis::kTransientDelay: return "transient_delay";
+    case Analysis::kAcBandwidth: return "ac_bandwidth";
+    case Analysis::kRepeaterDelay: return "repeater_delay";
+    case Analysis::kRepeaterOptimum: return "repeater_optimum";
+  }
+  return "unknown";
+}
+
+Axis linspace(Variable variable, double lo, double hi, int points) {
+  if (points < 2) throw std::invalid_argument("sweep::linspace: points must be >= 2");
+  Axis axis{variable, {}};
+  axis.values.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i)
+    axis.values.push_back(lo + (hi - lo) * i / (points - 1));
+  return axis;
+}
+
+Axis logspace(Variable variable, double lo, double hi, int points) {
+  if (points < 2) throw std::invalid_argument("sweep::logspace: points must be >= 2");
+  if (!(lo > 0.0) || !(hi > lo))
+    throw std::invalid_argument("sweep::logspace: need 0 < lo < hi");
+  Axis axis{variable, {}};
+  axis.values.reserve(static_cast<std::size_t>(points));
+  const double llo = std::log(lo), lhi = std::log(hi);
+  for (int i = 0; i < points; ++i)
+    axis.values.push_back(std::exp(llo + (lhi - llo) * i / (points - 1)));
+  return axis;
+}
+
+Axis values(Variable variable, std::vector<double> axis_values) {
+  return Axis{variable, std::move(axis_values)};
+}
+
+std::size_t SweepSpec::size() const {
+  std::size_t n = 1;
+  for (const auto& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+std::vector<std::size_t> SweepSpec::indices(std::size_t flat) const {
+  std::vector<std::size_t> out(axes.size(), 0);
+  for (std::size_t a = axes.size(); a-- > 0;) {
+    const std::size_t len = axes[a].values.size();
+    out[a] = flat % len;
+    flat /= len;
+  }
+  return out;
+}
+
+std::size_t SweepSpec::flat_index(const std::vector<std::size_t>& indices) const {
+  if (indices.size() != axes.size())
+    throw std::invalid_argument("SweepSpec::flat_index: wrong index count");
+  std::size_t flat = 0;
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    if (indices[a] >= axes[a].values.size())
+      throw std::out_of_range("SweepSpec::flat_index: index out of range");
+    flat = flat * axes[a].values.size() + indices[a];
+  }
+  return flat;
+}
+
+Scenario SweepSpec::at(std::size_t flat) const {
+  // Allocation-free row-major decode (this runs once per grid point on the
+  // hot path): the stride of axis a is the product of the axis lengths
+  // after it, and axes still apply in declaration order.
+  Scenario scenario = base;
+  std::size_t stride = size();
+  for (const Axis& axis : axes) {
+    stride /= axis.values.size();
+    const std::size_t idx = (flat / stride) % axis.values.size();
+    apply_variable(axis.variable, axis.values[idx], scenario, per_length);
+  }
+  return scenario;
+}
+
+void SweepSpec::validate() const {
+  for (const auto& axis : axes) {
+    if (axis.values.empty())
+      throw std::invalid_argument(std::string("SweepSpec: axis '") +
+                                  variable_name(axis.variable) + "' has no values");
+    for (double v : axis.values)
+      if (!std::isfinite(v))
+        throw std::invalid_argument(std::string("SweepSpec: axis '") +
+                                    variable_name(axis.variable) +
+                                    "' has a non-finite value");
+    if (axis.variable == Variable::kLineLength &&
+        (!(per_length.capacitance > 0.0) || !(per_length.inductance > 0.0)))
+      throw std::invalid_argument(
+          "SweepSpec: a line_length axis needs positive per_length L and C");
+  }
+}
+
+struct SweepEngine::Impl {
+  EngineOptions options;
+  mutable runtime::ThreadPool pool;
+
+  explicit Impl(EngineOptions opts) : options(opts), pool(opts.threads) {}
+
+  // Shared result epilogue for run()/run_custom(): stats + timing.
+  static void finalize(SweepResult& out, std::size_t points,
+                       const std::vector<sim::SolverReuse>& reuse,
+                       const std::atomic<std::size_t>& symbolic,
+                       std::chrono::steady_clock::time_point started) {
+    out.symbolic_factorizations = symbolic.load();
+    for (const auto& r : reuse) out.solver_reuse_hits += r.reuse_hits;
+    out.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+            .count();
+    out.points_per_second = out.elapsed_seconds > 0.0
+                                ? static_cast<double>(points) / out.elapsed_seconds
+                                : 0.0;
+  }
+};
+
+SweepEngine::SweepEngine(EngineOptions options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+SweepEngine::~SweepEngine() = default;
+
+std::size_t SweepEngine::threads() const { return impl_->pool.size(); }
+
+const EngineOptions& SweepEngine::options() const { return impl_->options; }
+
+SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
+  spec.validate();
+  const std::size_t n = spec.size();
+  const auto started = std::chrono::steady_clock::now();
+
+  SweepResult out;
+  out.threads_used = impl_->pool.size();
+  out.values.assign(n, kNaN);
+  std::atomic<std::size_t> symbolic{0};
+
+  const bool transient = analysis == Analysis::kTransientDelay;
+  std::vector<sim::SolverReuse> reuse(impl_->pool.size());
+  std::size_t first = 0;
+  if (transient && n > 0) {
+    // Reference evaluation on the calling thread: records the shared MNA
+    // pattern and the symbolic (system + DC) factorizations every worker
+    // replays. Seeding all workers from ONE donor is what makes results
+    // bit-identical at every thread count — the recorded pivot order, not
+    // the schedule, determines every numeric factorization.
+    sim::SolverReuse reference;
+    const std::size_t before = numeric::sparse_lu_stats().symbolic;
+    out.values[0] = evaluate_point(spec.at(0), analysis, impl_->options, &reference);
+    symbolic += numeric::sparse_lu_stats().symbolic - before;
+    for (auto& r : reuse) r = reference;
+    first = 1;
+  }
+
+  const EngineOptions& options = impl_->options;
+  impl_->pool.parallel_for(n - first, [&](std::size_t i, std::size_t worker) {
+    const std::size_t flat = i + first;
+    const std::size_t before = numeric::sparse_lu_stats().symbolic;
+    out.values[flat] = evaluate_point(spec.at(flat), analysis, options,
+                                      transient ? &reuse[worker] : nullptr);
+    symbolic.fetch_add(numeric::sparse_lu_stats().symbolic - before);
+  });
+
+  Impl::finalize(out, n, reuse, symbolic, started);
+  return out;
+}
+
+SweepResult SweepEngine::run_custom(
+    std::size_t n,
+    const std::function<double(std::size_t, PointContext&)>& eval) const {
+  const auto started = std::chrono::steady_clock::now();
+  SweepResult out;
+  out.threads_used = impl_->pool.size();
+  out.values.assign(n, kNaN);
+  std::atomic<std::size_t> symbolic{0};
+  std::vector<sim::SolverReuse> reuse(impl_->pool.size());
+
+  impl_->pool.parallel_for(n, [&](std::size_t i, std::size_t worker) {
+    PointContext ctx{&reuse[worker], worker};
+    const std::size_t before = numeric::sparse_lu_stats().symbolic;
+    out.values[i] = eval(i, ctx);
+    symbolic.fetch_add(numeric::sparse_lu_stats().symbolic - before);
+  });
+
+  Impl::finalize(out, n, reuse, symbolic, started);
+  return out;
+}
+
+core::DesignBatchFn SweepEngine::repeater_batch() const {
+  return [this](const tline::LineParams& line, const core::MinBuffer& buffer,
+                const core::DelayFitConstants& fit,
+                const std::vector<core::RepeaterDesign>& candidates,
+                std::vector<double>& delays) {
+    delays.assign(candidates.size(), kNaN);
+    impl_->pool.parallel_for(candidates.size(), [&](std::size_t i, std::size_t) {
+      delays[i] = core::total_delay(line, buffer, candidates[i], fit);
+    });
+  };
+}
+
+core::OptimizedDesign SweepEngine::optimize_repeater(const tline::LineParams& line,
+                                                     const core::MinBuffer& buffer,
+                                                     double min_sections) const {
+  return core::optimize(line, buffer, impl_->options.fit, min_sections,
+                        repeater_batch());
+}
+
+}  // namespace rlcsim::sweep

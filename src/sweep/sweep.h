@@ -1,0 +1,176 @@
+// Parallel design-space sweep engine.
+//
+// The paper's whole argument is that closed-form models (eqs. 6/9, the
+// repeater formulas) let a designer explore (line, driver, load, technology)
+// spaces far too large for dynamic simulation. This subsystem makes both
+// sides of that comparison first-class: declare a scenario grid once, pick
+// an analysis — from the closed-form tpd up to full MNA transient delay —
+// and the engine evaluates every grid point on a work-stealing thread pool
+// (runtime/thread_pool.h).
+//
+// Transient sweeps additionally reuse the sparse solver's symbolic
+// factorization across grid points: every point rebuilds a topologically
+// identical ladder, so the engine evaluates grid point 0 once on the calling
+// thread to record the MNA sparsity pattern plus the symbolic (system + DC)
+// factorizations, then seeds every worker with that reference state
+// (sim::SolverReuse). A 10k-point transient sweep therefore performs ONE
+// symbolic analysis per matrix kind, total, and 10k cheap numeric
+// refactorizations — and because every point replays the same recorded
+// pivot order, sweep results are bit-identical at every thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/repeater.h"
+#include "core/repeater_numeric.h"
+#include "sim/transient.h"
+#include "tline/rlc.h"
+#include "tline/transfer.h"
+
+namespace rlcsim::sweep {
+
+// ------------------------------------------------------------------- grid
+
+// What a sweep axis varies. Line totals and geometry, driver strength, load,
+// and repeater sizing cover the paper's entire design space.
+enum class Variable {
+  kLineResistance,    // Rt, ohm
+  kLineInductance,    // Lt, H
+  kLineCapacitance,   // Ct, F
+  kLineLength,        // m — line totals become per_length * length
+  kDriverResistance,  // Rtr, ohm
+  kLoadCapacitance,   // CL, F
+  kRepeaterSize,      // h
+  kRepeaterSections,  // k
+};
+const char* variable_name(Variable variable);
+
+struct Axis {
+  Variable variable{};
+  std::vector<double> values;
+};
+// Axis builders. linspace/logspace require points >= 2 and (for logspace)
+// 0 < lo < hi; throw std::invalid_argument otherwise.
+Axis linspace(Variable variable, double lo, double hi, int points);
+Axis logspace(Variable variable, double lo, double hi, int points);
+Axis values(Variable variable, std::vector<double> values);
+
+// One fully resolved evaluation point: the canonical gate + line + load
+// system, plus the repeater technology/sizing used by repeater analyses.
+struct Scenario {
+  tline::GateLineLoad system;
+  core::MinBuffer buffer;
+  core::RepeaterDesign design;
+};
+
+// A scenario grid: the cartesian product of `axes` applied to `base`, in
+// row-major order (the LAST axis varies fastest). Axes are applied in
+// declaration order, so a kLineLength axis listed before a kLineResistance
+// axis yields length-derived totals with the resistance overridden.
+struct SweepSpec {
+  Scenario base;
+  tline::PerUnitLength per_length;  // used by kLineLength axes
+  std::vector<Axis> axes;
+
+  std::size_t size() const;  // product of axis lengths (1 when no axes)
+  // flat index <-> per-axis indices (row-major).
+  std::vector<std::size_t> indices(std::size_t flat) const;
+  std::size_t flat_index(const std::vector<std::size_t>& indices) const;
+  // The fully resolved scenario of one grid point.
+  Scenario at(std::size_t flat) const;
+  // Throws std::invalid_argument on empty axes, non-finite axis values, or a
+  // kLineLength axis without positive per_length parasitics.
+  void validate() const;
+};
+
+// -------------------------------------------------------------- analyses
+
+enum class Analysis {
+  kClosedFormDelay,  // eq. (9) 50% delay of scenario.system
+  kTwoPoleDelay,     // moment-matched two-pole threshold delay
+  kTransientDelay,   // MNA transient 50% delay (ladder discretization)
+  kAcBandwidth,      // -3 dB bandwidth of the gate+line+load transfer, Hz
+  kRepeaterDelay,    // eq. (19) total delay at the scenario's (h, k)
+  kRepeaterOptimum,  // numerically optimized RLC-aware total delay
+};
+const char* analysis_name(Analysis analysis);
+
+struct EngineOptions {
+  std::size_t threads = 0;  // 0 -> runtime::default_thread_count()
+  // Transient/AC discretization and horizons. 0 picks per-scenario defaults
+  // (sim::default_transient_horizon; dt = t_stop / 4000).
+  int segments = 60;
+  double t_stop = 0.0;
+  double dt = 0.0;
+  sim::SolverKind solver = sim::SolverKind::kAuto;
+  // AC bandwidth search window, Hz.
+  double ac_f_lo = 1e6;
+  double ac_f_hi = 1e13;
+  core::DelayFitConstants fit = core::kPaperFit;
+};
+
+struct SweepResult {
+  std::vector<double> values;  // one metric per grid point (s, or Hz for AC)
+  std::size_t threads_used = 0;
+  // Sparse symbolic factorizations performed across all threads (transient
+  // sweeps: 2 — one system, one DC — however many points and threads).
+  std::size_t symbolic_factorizations = 0;
+  std::size_t solver_reuse_hits = 0;  // runs that replayed a recorded symbolic
+  double elapsed_seconds = 0.0;
+  double points_per_second = 0.0;
+};
+
+// --------------------------------------------------------------- engine
+
+// Thread-safety: one engine may be shared between threads — its pool runs
+// one sweep at a time, so concurrent run()/run_custom()/optimize_repeater()
+// calls are serialized, not interleaved. For parallel INDEPENDENT sweeps,
+// use one engine per caller.
+class SweepEngine {
+ public:
+  explicit SweepEngine(EngineOptions options = {});
+  ~SweepEngine();
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
+  std::size_t threads() const;
+  const EngineOptions& options() const;
+
+  // Evaluates `analysis` at every grid point. Throws what the underlying
+  // analysis throws (first failing grid point wins, deterministically).
+  SweepResult run(const SweepSpec& spec, Analysis analysis) const;
+
+  // Generic parallel map over [0, n): the escape hatch the benches and the
+  // repeater batch evaluator use. `eval(i, ctx)` must depend only on `i`
+  // (ctx.reuse is a per-worker solver cache, ctx.worker the executing worker
+  // slot). Determinism across thread counts then follows unless eval's
+  // VALUES depend on the per-worker reuse state (transient analyses: seed
+  // the reuse yourself or use run(), which does).
+  struct PointContext {
+    sim::SolverReuse* reuse = nullptr;
+    std::size_t worker = 0;
+  };
+  SweepResult run_custom(
+      std::size_t n,
+      const std::function<double(std::size_t index, PointContext& ctx)>& eval) const;
+
+  // A core::DesignBatchFn that evaluates candidate repeater designs across
+  // this engine's pool — plugs the closed-form repeater optimization into
+  // the sweep machinery (core::optimize / core::normalized_optimum).
+  core::DesignBatchFn repeater_batch() const;
+
+  // Convenience: core::optimize with this engine's batch evaluator.
+  core::OptimizedDesign optimize_repeater(const tline::LineParams& line,
+                                          const core::MinBuffer& buffer,
+                                          double min_sections = 1.0) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rlcsim::sweep

@@ -154,4 +154,77 @@ TEST(Parser, PulseWithSpacesInsideParens) {
   EXPECT_NO_THROW(parse_netlist("V1 a 0 PULSE( 0 1 0 10p 10p 1n )\nR1 a 0 1k\n"));
 }
 
+// ---- robustness: malformed input must raise ParseError, never UB ---------
+
+// Expects a ParseError whose message mentions `needle` and carries `line`.
+void expect_parse_error(const std::string& netlist, int line,
+                        const std::string& needle) {
+  try {
+    parse_netlist(netlist);
+    FAIL() << "expected ParseError for: " << netlist;
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), line) << e.what();
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+TEST(ParserErrors, DuplicateElementNames) {
+  expect_parse_error("V1 a 0 DC 1\nR1 a b 1k\nR1 b 0 2k\n", 3, "duplicate");
+  // Case-insensitive, like every other SPICE name.
+  expect_parse_error("V1 a 0 DC 1\nRload a 0 1k\nRLOAD a 0 1k\n", 3, "duplicate");
+  // Across element kinds the first letter differs, so names may collide
+  // only within... no: SPICE names include the letter, C1 and R1 coexist.
+  EXPECT_NO_THROW(parse_netlist("V1 a 0 DC 1\nR1 a 0 1k\nC1 a 0 1p\nL1 a 0 1n\n"));
+}
+
+TEST(ParserErrors, ZeroAndNegativeElementValues) {
+  expect_parse_error("V1 a 0 DC 1\nR1 a 0 0\n", 2, "positive");
+  expect_parse_error("V1 a 0 DC 1\nR1 a 0 -5\n", 2, "positive");
+  expect_parse_error("V1 a 0 DC 1\nC1 a 0 0\n", 2, "positive");
+  expect_parse_error("V1 a 0 DC 1\nC1 a 0 -1p\n", 2, "positive");
+  expect_parse_error("V1 a 0 DC 1\nL1 a 0 0\n", 2, "positive");
+  expect_parse_error("V1 a 0 DC 1\nL1 a 0 -1n\n", 2, "positive");
+  // Overflow to infinity is rejected too, with the offending text echoed.
+  expect_parse_error("V1 a 0 DC 1\nR1 a 0 1e400\n", 2, "1e400");
+}
+
+TEST(ParserErrors, StructuralErrorsCarryLineNumbers) {
+  // Source shorted to itself: caught by the circuit layer, reported with
+  // the netlist line.
+  expect_parse_error("V1 a a DC 1\nR1 a 0 1k\n", 1, "terminals");
+  // Buffer threshold outside (0, 1).
+  expect_parse_error("V1 a 0 DC 1\nB1 a b ROUT=100 CIN=1f TH=1.5\nR1 b 0 1k\n", 2,
+                     "threshold");
+  // K-card referencing an unknown inductor name.
+  expect_parse_error("V1 a 0 DC 1\nL1 a 0 1n\nK1 L1 L9 0.5\n", 3, "L9");
+  // K-card coupling an inductor to itself.
+  expect_parse_error("V1 a 0 DC 1\nL1 a 0 1n\nK1 L1 L1 0.5\n", 3, "itself");
+}
+
+TEST(ParserErrors, MalformedLines) {
+  expect_parse_error("V1 a 0 DC 1\nR1 a 0 1..2\n", 2, "1..2");  // junk suffix
+  expect_parse_error("V1 a 0 DC 1\nR1 a 0 1k extra\n", 2, "value");
+  expect_parse_error("V1 a 0 STEP(0 1\nR1 a 0 1k\n", 1, "malformed");  // unclosed (
+  expect_parse_error("V1 a 0 PULSE(0 1 0 1p 1p 1n 2n 3n)\nR1 a 0 1k\n", 1, "PULSE");
+  expect_parse_error("K1 L1\n", 1, "nodes");  // too few tokens
+}
+
+TEST(Parser, ValidNetlistStillParsesAfterHardening) {
+  // The hardened parser accepts everything the simulator can actually run.
+  const auto parsed = parse_netlist(R"(hardening smoke test
+V1 in 0 STEP(0 1 0 5p)
+R1 in n1 50
+L1 n1 n2 1n IC=0
+C1 n2 0 100f IC=0
+Lx n2 out 2n
+Ky L1 Lx 0.3
+B1 out buf ROUT=200 CIN=2f
+Cb buf 0 10f
+.tran 1p 4n
+)");
+  EXPECT_EQ(parsed.circuit.inductors().size(), 2u);
+  EXPECT_EQ(parsed.circuit.mutuals().size(), 1u);
+  ASSERT_TRUE(parsed.tran);
+}
+
 }  // namespace

@@ -1,0 +1,121 @@
+// Golden-value regression pins against the paper (conf_dac_IsmailF99).
+//
+// Unlike the behavioral tests (test_delay_model etc.), these pin the MODEL
+// OUTPUTS to frozen numeric values: eq. (9) evaluated at the Table 1
+// operating points, the zeta -> 0 / zeta -> inf limits, and the closed-form
+// repeater factors at the paper's anchor T values. The goldens were computed
+// from the implemented closed forms at the time this suite was written and
+// agree with the paper's published anchors; any future refactor that
+// silently drifts the constants or the formula shapes fails here first.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/delay_model.h"
+#include "core/repeater.h"
+#include "tline/rlc.h"
+
+namespace {
+
+using namespace rlcsim;
+
+// Relative-tolerance helper: closed forms should be stable to near machine
+// precision across refactors; 1e-9 leaves room only for reassociation.
+void expect_rel(double value, double golden, double rel = 1e-9) {
+  EXPECT_NEAR(value, golden, std::fabs(golden) * rel)
+      << "value " << value << " vs golden " << golden;
+}
+
+TEST(PaperRegression, FitConstantsArePublishedValues) {
+  EXPECT_DOUBLE_EQ(core::kPaperFit.exp_scale, 2.9);
+  EXPECT_DOUBLE_EQ(core::kPaperFit.exp_power, 1.35);
+  EXPECT_DOUBLE_EQ(core::kPaperFit.linear, 1.48);
+}
+
+TEST(PaperRegression, ScaledDelayGoldens) {
+  // t'pd(zeta) = exp(-2.9 zeta^1.35) + 1.48 zeta, eq. (9) numerator.
+  expect_rel(core::scaled_delay_of(0.25), 1.00999824178858);
+  expect_rel(core::scaled_delay_of(0.50), 1.06057246063504);
+  expect_rel(core::scaled_delay_of(1.00), 1.53502322005641);
+  expect_rel(core::scaled_delay_of(2.00), 2.96061588417577);
+}
+
+TEST(PaperRegression, ZetaGolden) {
+  // eq. (6) at RT = CT = 0.5, Rt = 1 kohm, Lt = 100 nH, Ct = 1 pF.
+  expect_rel(core::zeta_of(0.5, 0.5, 1000.0, 1e-7, 1e-12), 2.25924028528766);
+}
+
+// eq. (9) tpd over the full Table 1 grid (Rtr = 500 ohm, Ct = 1 pF under
+// the paper's stated definitions Rt = Rtr/RT, CL = CT*Ct). Rows: RT in
+// {0.1, 0.5, 1.0} x Lt in {1e-5..1e-8} H; columns: CT in {0.1, 0.5, 1.0}.
+TEST(PaperRegression, Table1ClosedFormDelayGoldens) {
+  const double rts[] = {5000.0, 1000.0, 500.0};
+  const double lts[] = {1e-5, 1e-6, 1e-7, 1e-8};
+  const double cts[] = {0.1, 0.5, 1.0};
+  const double golden[3][4][3] = {
+      {{3.5800585258179e-09, 4.81182218175311e-09, 6.58838210050551e-09},
+       {2.62987222877392e-09, 4.25512663532794e-09, 6.29000386790528e-09},
+       {2.62700000000025e-09, 4.255e-09, 6.29e-09},
+       {2.627e-09, 4.255e-09, 6.29e-09}},
+      {{3.37708717292188e-09, 3.91915354764351e-09, 4.51186962882091e-09},
+       {1.140204069168e-09, 1.48915707034418e-09, 1.97144278090314e-09},
+       {8.51747228054677e-10, 1.29506358352154e-09, 1.85000403686828e-09},
+       {8.51000000000031e-10, 1.295e-09, 1.85e-09}},
+      {{3.3963885502624e-09, 3.94986736209929e-09, 4.54060887715065e-09},
+       {1.07432335681917e-09, 1.30533685468455e-09, 1.60531260748545e-09},
+       {6.34760695499061e-10, 9.26531151535986e-10, 1.2953418172306e-09},
+       {6.29000000492251e-10, 9.25000000000522e-10, 1.295e-09}}};
+
+  for (int r = 0; r < 3; ++r)
+    for (int l = 0; l < 4; ++l)
+      for (int c = 0; c < 3; ++c) {
+        const tline::GateLineLoad sys{500.0, {rts[r], lts[l], 1e-12},
+                                      cts[c] * 1e-12};
+        expect_rel(core::rlc_delay(sys), golden[r][l][c]);
+      }
+}
+
+TEST(PaperRegression, TimeOfFlightLimit) {
+  // zeta -> 0 (R -> 0): tpd -> 1/wn; with CL = 0 that is sqrt(Lt Ct), the
+  // time of flight. Drive zeta down with a tiny line resistance: the scaled
+  // delay is 1 + 1.48 zeta - O(zeta^1.35), so the relative excess is O(zeta).
+  const tline::GateLineLoad sys{0.0, {1e-4, 1e-8, 1e-12}, 0.0};
+  const core::DelayModel model(sys);
+  ASSERT_LT(model.zeta(), 1e-6);
+  expect_rel(model.delay(), model.lc_limit_delay(), 1e-5);
+  expect_rel(model.lc_limit_delay(), std::sqrt(1e-8 * 1e-12), 1e-12);
+}
+
+TEST(PaperRegression, DistributedRcLimit) {
+  // zeta -> inf (L -> 0): tpd -> 0.37 Rt Ct. With RT = CT = 0 the identity
+  // 1.48 zeta / wn = 0.37 Rt Ct is exact once the exponential has
+  // underflowed, so the agreement is to machine precision.
+  const tline::GateLineLoad sys{0.0, {10000.0, 1e-12, 1e-12}, 0.0};
+  const core::DelayModel model(sys);
+  ASSERT_GT(model.zeta(), 50.0);
+  expect_rel(model.delay(), model.rc_limit_delay(), 1e-12);
+  expect_rel(model.rc_limit_delay(), 0.37 * 10000.0 * 1e-12, 1e-12);
+}
+
+TEST(PaperRegression, RepeaterErrorFactorGoldens) {
+  // eqs. (14)/(15): h' = [1 + 0.16 T^3]^-0.24, k' = [1 + 0.18 T^3]^-0.3.
+  expect_rel(core::h_error_factor(1.0), 0.965006153259867);
+  expect_rel(core::k_error_factor(1.0), 0.951558291344048);
+  expect_rel(core::h_error_factor(3.0), 0.669547215505159);
+  expect_rel(core::k_error_factor(3.0), 0.588343168705175);
+  expect_rel(core::h_error_factor(5.0), 0.481578810034352);
+  expect_rel(core::k_error_factor(5.0), 0.387864151236989);
+  // T -> 0 recovers the Bakoglu RC solution.
+  expect_rel(core::h_error_factor(0.0), 1.0, 1e-15);
+  expect_rel(core::k_error_factor(0.0), 1.0, 1e-15);
+}
+
+TEST(PaperRegression, AreaIncreaseGoldensMatchPaperAnchors) {
+  // eq. (18); the paper quotes ~154% at T = 3 and ~435% at T = 5.
+  expect_rel(core::area_increase_percent(3.0), 153.85637640527);
+  expect_rel(core::area_increase_percent(5.0), 435.368715511328);
+  EXPECT_NEAR(core::area_increase_percent(3.0), 154.0, 1.0);
+  EXPECT_NEAR(core::area_increase_percent(5.0), 435.0, 1.0);
+}
+
+}  // namespace

@@ -168,10 +168,35 @@ TEST(SparseLuTest, RefactorReusesSymbolicAnalysis) {
 }
 
 TEST(SparseLuTest, RefactorPatternMismatchThrows) {
-  const RealSparse a(3, random_system(3, 1.0, 1));
-  const RealSparse b(3, random_system(3, 1.0, 2));  // different pattern object
+  // Structurally DIFFERENT patterns are rejected...
+  const std::vector<Triplet<double>> ta{{0, 0, 2.0}, {1, 1, 2.0}, {0, 1, 1.0}};
+  const std::vector<Triplet<double>> tb{{0, 0, 2.0}, {1, 1, 2.0}, {1, 0, 1.0}};
+  const RealSparse a(2, ta);
+  const RealSparse b(2, tb);
   RealSparseLu lu(a);
   EXPECT_THROW(lu.refactor(b), std::invalid_argument);
+}
+
+TEST(SparseLuTest, RefactorAcceptsStructurallyIdenticalPattern) {
+  // ...but a structurally identical pattern in a DIFFERENT object is
+  // accepted — the sweep hot path rebuilds topologically identical circuits
+  // per grid point, each with its own pattern allocation.
+  const auto triplets = random_system(5, 1.0, 1);
+  auto scaled = triplets;
+  for (auto& t : scaled) t.value *= 3.0;
+  const RealSparse a(5, triplets);
+  const RealSparse b(5, scaled);  // same structure, new pattern object
+  ASSERT_NE(a.pattern_ptr(), b.pattern_ptr());
+
+  RealSparseLu lu(a);
+  sparse_lu_stats() = {};
+  lu.refactor(b);
+  EXPECT_EQ(sparse_lu_stats().symbolic, 0u) << "structural match must not re-analyze";
+  const RealLu dense(b.to_dense());
+  std::vector<double> rhs(5, 1.0);
+  const auto xs = lu.solve(rhs);
+  const auto xd = dense.solve(rhs);
+  for (int i = 0; i < 5; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-9);
 }
 
 TEST(SparseLuTest, RefactorFallsBackOnZeroPivot) {
