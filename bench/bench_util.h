@@ -5,11 +5,47 @@
 // output of `for b in build/bench/*; do $b; done` IS the reproduction record.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace benchutil {
+
+// "--threads a,b,c" parser shared by the scaling benches (nonpositive and
+// junk entries are dropped).
+inline std::vector<std::size_t> parse_thread_list(const char* arg) {
+  std::vector<std::size_t> out;
+  std::string text(arg);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item = text.substr(pos, comma - pos);
+    const long n = std::strtol(item.c_str(), nullptr, 10);
+    if (n > 0) out.push_back(static_cast<std::size_t>(n));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// One per-thread-count record of a scaling bench's JSON "runs" array. The
+// two determinism-gated benches (sweep_scaling, crosstalk_scaling) share
+// this format so their CI gates cannot drift apart.
+inline void scaling_run_json(std::size_t threads, double seconds,
+                             double points_per_second, double speedup,
+                             std::size_t symbolic_factorizations,
+                             std::size_t solver_reuse_hits, bool identical,
+                             bool last) {
+  std::printf("    {\"threads\": %zu, \"seconds\": %.3f, "
+              "\"points_per_second\": %.1f, \"speedup_vs_1\": %.2f, "
+              "\"symbolic_factorizations\": %zu, \"solver_reuse_hits\": %zu, "
+              "\"bit_identical_to_first\": %s}%s\n",
+              threads, seconds, points_per_second, speedup,
+              symbolic_factorizations, solver_reuse_hits,
+              identical ? "true" : "false", last ? "" : ",");
+}
 
 inline void title(const std::string& text) {
   std::printf("\n================================================================\n");

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "sweep/sweep.h"
 
 namespace {
@@ -46,21 +47,6 @@ sweep::SweepSpec grid_of(std::size_t target_points) {
   return spec;
 }
 
-std::vector<std::size_t> parse_thread_list(const char* arg) {
-  std::vector<std::size_t> out;
-  std::string text(arg);
-  std::size_t pos = 0;
-  while (pos < text.size()) {
-    const std::size_t comma = text.find(',', pos);
-    const std::string item = text.substr(pos, comma - pos);
-    const long n = std::strtol(item.c_str(), nullptr, 10);
-    if (n > 0) out.push_back(static_cast<std::size_t>(n));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,7 +59,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc) {
       target_points = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      thread_counts = parse_thread_list(argv[++i]);
+      thread_counts = benchutil::parse_thread_list(argv[++i]);
     }
   }
 
@@ -109,15 +95,11 @@ int main(int argc, char** argv) {
       all_identical = all_identical && identical;
     }
 
-    std::printf("    {\"threads\": %zu, \"seconds\": %.3f, "
-                "\"points_per_second\": %.1f, \"speedup_vs_1\": %.2f, "
-                "\"symbolic_factorizations\": %zu, \"solver_reuse_hits\": %zu, "
-                "\"bit_identical_to_first\": %s}%s\n",
-                thread_counts[t], result.elapsed_seconds, result.points_per_second,
-                base_pps > 0.0 ? result.points_per_second / base_pps : 1.0,
-                result.symbolic_factorizations, result.solver_reuse_hits,
-                identical ? "true" : "false",
-                t + 1 < thread_counts.size() ? "," : "");
+    benchutil::scaling_run_json(
+        thread_counts[t], result.elapsed_seconds, result.points_per_second,
+        base_pps > 0.0 ? result.points_per_second / base_pps : 1.0,
+        result.symbolic_factorizations, result.solver_reuse_hits, identical,
+        t + 1 == thread_counts.size());
   }
 
   std::printf("  ],\n");

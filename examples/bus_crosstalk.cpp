@@ -1,0 +1,108 @@
+// Crosstalk on a wide coupled bus — the multi-net extension of the paper's
+// single-line delay story. Shows (1) how the victim's 50% delay spreads
+// between the same-phase and opposite-phase switching corners as coupling
+// grows, (2) the peak noise a quiet victim picks up, and (3) a crosstalk
+// design-space sweep riding the parallel engine.
+#include <cmath>
+#include <cstdio>
+
+#include "core/crosstalk.h"
+#include "numeric/units.h"
+#include "sweep/sweep.h"
+#include "tline/coupled_bus.h"
+
+using namespace rlcsim;
+using namespace rlcsim::units::literals;
+
+int main() {
+  // A 5-bit slice of a wide on-chip bus: each line 200 ohm, 5 nH, 1 pF.
+  const tline::LineParams line{200.0_ohm, 5.0_nH, 1.0_pF};
+  core::CrosstalkOptions opt;
+  opt.driver_resistance = 100.0_ohm;
+  opt.load_capacitance = 50.0_fF;
+  opt.segments = 20;
+
+  const tline::CoupledBus nominal = tline::make_bus(5, line, 0.4, 0.25);
+  std::printf("bus: %s\n", tline::describe(nominal).c_str());
+  std::printf("drivers %s, loads %s, victim = middle line\n\n",
+              units::eng(opt.driver_resistance, "ohm").c_str(),
+              units::eng(opt.load_capacitance, "F").c_str());
+
+  const double isolated =
+      core::analyze_crosstalk(tline::make_bus(5, line, 0.0, 0.0),
+                              core::SwitchingPattern::kSamePhase, opt)
+          .victim_delay_50.value();
+  std::printf("isolated-line 50%% delay (decoupled bus): %s\n\n",
+              units::eng(isolated, "s").c_str());
+
+  std::printf("victim delay vs coupling (Lm/Lt = 0.25):\n");
+  std::printf("%-8s %-12s %-12s %-12s %s\n", "Cc/Ct", "same-phase",
+              "opposite", "spread", "quiet-victim noise");
+  std::printf("-----------------------------------------------------------------\n");
+  for (double cc : {0.1, 0.2, 0.4, 0.6}) {
+    const tline::CoupledBus bus = tline::make_bus(5, line, cc, 0.25);
+    const auto same =
+        core::analyze_crosstalk(bus, core::SwitchingPattern::kSamePhase, opt);
+    const auto opposite = core::analyze_crosstalk(
+        bus, core::SwitchingPattern::kOppositePhase, opt);
+    const auto quiet = core::analyze_crosstalk(
+        bus, core::SwitchingPattern::kQuietVictim, opt);
+    const double ts = same.victim_delay_50.value();
+    const double to = opposite.victim_delay_50.value();
+    std::printf("%-8.2f %-12s %-12s %-12s %6.1f mV\n", cc,
+                units::eng(ts, "s", 3).c_str(), units::eng(to, "s", 3).c_str(),
+                units::eng(to - ts, "s", 3).c_str(), quiet.peak_noise * 1e3);
+  }
+
+  std::printf(
+      "\nThe opposite-phase corner Miller-amplifies Cc while same-phase\n"
+      "bootstraps it away: the SAME wires span a wide delay range depending\n"
+      "on what their neighbors do — which is why bus timing needs coupled\n"
+      "RLC analysis, not per-line models alone.\n\n");
+
+  // Bus width: noise saturates quickly once both neighbors exist.
+  std::printf("quiet-victim noise vs bus width (Cc/Ct = 0.4, Lm/Lt = 0.25):\n");
+  for (int n : {2, 3, 5, 7}) {
+    const tline::CoupledBus bus = tline::make_bus(n, line, 0.4, 0.25);
+    const auto quiet = core::analyze_crosstalk(
+        bus, core::SwitchingPattern::kQuietVictim, opt);
+    std::printf("  %d lines : %6.1f mV\n", n, quiet.peak_noise * 1e3);
+  }
+
+  // The same study as a declarative parallel sweep.
+  sweep::SweepSpec spec;
+  spec.base.system = {opt.driver_resistance, line, opt.load_capacitance};
+  spec.base.xtalk.bus_lines = 3;
+  // Strictly positive coupling keeps one sparsity pattern across the grid,
+  // so the whole sweep replays point 0's two symbolic factorizations.
+  spec.axes = {
+      sweep::linspace(sweep::Variable::kCouplingCapRatio, 0.1, 0.6, 4),
+      sweep::linspace(sweep::Variable::kMutualRatio, 0.05, 0.3, 3),
+      sweep::switching_patterns({core::SwitchingPattern::kSamePhase,
+                                 core::SwitchingPattern::kOppositePhase}),
+  };
+  sweep::EngineOptions eng_opt;
+  eng_opt.segments = opt.segments;
+  const sweep::SweepEngine engine(eng_opt);
+  const auto result = engine.run(spec, sweep::Analysis::kCrosstalkPushout);
+  double worst = 0.0;
+  std::size_t worst_i = 0;
+  for (std::size_t i = 0; i < result.values.size(); ++i) {
+    if (std::isfinite(result.values[i]) && result.values[i] > worst) {
+      worst = result.values[i];
+      worst_i = i;
+    }
+  }
+  const auto worst_point = spec.at(worst_i);
+  std::printf(
+      "\nsweep: %zu-point (Cc/Ct x Lm/Lt x pattern) push-out grid on %zu "
+      "threads,\n%.0f points/sec, %zu symbolic factorizations total\n",
+      result.values.size(), result.threads_used, result.points_per_second,
+      result.symbolic_factorizations);
+  std::printf("worst push-out vs two-pole isolated delay: %s at Cc/Ct=%.2f, "
+              "Lm/Lt=%.2f (%s)\n",
+              units::eng(worst, "s", 3).c_str(), worst_point.xtalk.cc_ratio,
+              worst_point.xtalk.lm_ratio,
+              core::switching_pattern_name(worst_point.xtalk.pattern));
+  return 0;
+}

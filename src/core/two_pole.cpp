@@ -76,6 +76,18 @@ double TwoPoleModel::threshold_delay(double threshold) const {
   } else {
     hi = 3.0 * b1_;
     while (step_response(hi) < threshold && hi < 1e6 * b1_) hi *= 2.0;
+    if (step_response(hi) < threshold) {
+      // Expansion hit the 1e6*b1 cap without bracketing a crossing. This
+      // happens at pathologically extreme damping, where the slow pole's
+      // magnitude cancels to zero in double precision and the computed
+      // response plateaus below the threshold. Brent on an unbracketed
+      // interval would fail deep inside the numeric layer; fail here with
+      // the actual cause instead.
+      throw BracketError(
+          "TwoPoleModel::threshold_delay: step response never reaches the "
+          "threshold within 1e6*b1 (damping factor too extreme for double "
+          "precision)");
+    }
   }
   return numeric::brent([&](double t) { return step_response(t) - threshold; },
                         0.0, hi, {.x_tolerance = 1e-15 * hi + 1e-30});

@@ -16,10 +16,20 @@
 
 #include <complex>
 #include <optional>
+#include <stdexcept>
 
 #include "tline/transfer.h"
 
 namespace rlcsim::core {
+
+// Thrown by TwoPoleModel::threshold_delay when the crossing cannot be
+// bracketed: at pathologically extreme damping the overdamped response
+// degenerates in double precision and never reaches the threshold. A
+// distinct type so callers can treat exactly this corner as "reference
+// unavailable" without masking other root-finder failures.
+struct BracketError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 class TwoPoleModel {
  public:
@@ -41,6 +51,9 @@ class TwoPoleModel {
 
   // First time the step response reaches `threshold` (fraction of the unit
   // final value). Analytic bracketing + Brent; exact to root tolerance.
+  // Throws std::runtime_error when the crossing cannot be bracketed within
+  // 1e6*b1 (pathologically extreme damping, where the overdamped response
+  // degenerates in double precision).
   double threshold_delay(double threshold = 0.5) const;
 
   // Peak overshoot fraction: exp(-pi zeta / sqrt(1 - zeta^2)) when

@@ -137,8 +137,10 @@ std::vector<double> log_frequencies(double f_lo, double f_hi, int points) {
   return out;
 }
 
-double bandwidth_3db(const Circuit& circuit, const std::string& source_name,
-                     const std::string& node, double f_lo, double f_hi) {
+std::optional<double> bandwidth_3db(const Circuit& circuit,
+                                    const std::string& source_name,
+                                    const std::string& node, double f_lo,
+                                    double f_hi) {
   const double dc_mag = std::abs(ac_transfer_at(circuit, source_name, node, f_lo));
   const double target = dc_mag / std::sqrt(2.0);
   const auto below = [&](double f) {
@@ -152,7 +154,7 @@ double bandwidth_3db(const Circuit& circuit, const std::string& source_name,
                             {.x_tolerance = freqs[i] * 1e-9});
     }
   }
-  return 0.0;
+  return std::nullopt;  // never dropped 3 dB inside [f_lo, f_hi]
 }
 
 }  // namespace rlcsim::sim

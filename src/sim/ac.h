@@ -21,6 +21,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -64,9 +65,12 @@ std::complex<double> ac_transfer_at(const Circuit& circuit,
 std::vector<double> log_frequencies(double f_lo, double f_hi, int points);
 
 // -3 dB bandwidth of a low-pass transfer: the lowest frequency where |H|
-// falls below |H(DC)|/sqrt(2), refined by bisection. Returns 0 if it never
-// falls within [f_lo, f_hi].
-double bandwidth_3db(const Circuit& circuit, const std::string& source_name,
-                     const std::string& node, double f_lo, double f_hi);
+// falls below |H(f_lo)|/sqrt(2), refined by Brent's method. Returns
+// std::nullopt when the magnitude never drops 3 dB inside [f_lo, f_hi] —
+// "no crossing" is reported as absent, never as a 0 Hz sentinel.
+std::optional<double> bandwidth_3db(const Circuit& circuit,
+                                    const std::string& source_name,
+                                    const std::string& node, double f_lo,
+                                    double f_hi);
 
 }  // namespace rlcsim::sim

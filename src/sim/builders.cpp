@@ -63,64 +63,43 @@ double default_transient_horizon(const tline::GateLineLoad& system) {
   return 8.0 * std::max(elmore, tof);
 }
 
+DelayRun run_until_crossing(const Circuit& circuit, const std::string& node,
+                            double level, TransientOptions options,
+                            const char* context) {
+  const double dt0 = options.dt;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    TransientResult result = run_transient(circuit, options);
+    const auto crossing = result.waveforms.trace(node).crossing(level, 0.0, +1);
+    if (crossing) return {std::move(result), *crossing};
+    options.t_stop *= 4.0;
+    options.dt = dt0;  // keep caller's dt policy (0 re-derives from t_stop)
+  }
+  throw std::runtime_error(std::string(context) + ": '" + node +
+                           "' never crossed the threshold within the "
+                           "(auto-extended) horizon");
+}
+
 double simulate_gate_line_delay(const tline::GateLineLoad& system, int segments,
                                 double t_stop, double dt, double threshold) {
   const Circuit circuit = build_gate_line_load(system, segments);
   TransientOptions options;
   options.t_stop = (t_stop > 0.0) ? t_stop : default_transient_horizon(system);
   options.dt = dt;
-  TransientResult result = run_transient(circuit, options);
-  Trace out = result.waveforms.trace("out");
-
-  // If the horizon was too short (response hasn't crossed), extend and retry.
-  for (int attempt = 0; attempt < 4; ++attempt) {
-    const auto crossing = out.crossing(threshold * 1.0, 0.0, +1);
-    if (crossing) return *crossing;
-    options.t_stop *= 4.0;
-    options.dt = dt;  // keep caller's dt policy (0 re-derives from t_stop)
-    result = run_transient(circuit, options);
-    out = result.waveforms.trace("out");
-  }
-  throw std::runtime_error(
-      "simulate_gate_line_delay: output never crossed the threshold");
+  return run_until_crossing(circuit, "out", threshold * 1.0, options,
+                            "simulate_gate_line_delay")
+      .crossing;
 }
 
 void add_coupled_lines(Circuit& circuit, const std::string& prefix,
                        const std::string& in_a, const std::string& out_a,
                        const std::string& in_b, const std::string& out_b,
                        const CoupledLinesSpec& spec) {
-  if (spec.segments < 1)
-    throw std::invalid_argument("add_coupled_lines: segments must be >= 1");
-  if (spec.coupling_capacitance < 0.0)
-    throw std::invalid_argument("add_coupled_lines: coupling capacitance must be >= 0");
-  tline::validate(spec.line);
-
-  const std::string pa = prefix + ".a";
-  const std::string pb = prefix + ".b";
-  add_rlc_ladder(circuit, pa, in_a, out_a, spec.line, spec.segments);
-  add_rlc_ladder(circuit, pb, in_b, out_b, spec.line, spec.segments);
-
-  // Line-to-line capacitance between corresponding ladder nodes. The ladder
-  // names its far nodes "<prefix>.nK" (and the last one is `out`).
-  const auto node_of = [&](const std::string& p, const std::string& out, int i) {
-    return (i == spec.segments - 1) ? out : p + ".n" + std::to_string(i);
-  };
-  const double cc_seg = spec.coupling_capacitance / spec.segments;
-  if (cc_seg > 0.0) {
-    for (int i = 0; i < spec.segments; ++i) {
-      circuit.add_capacitor(node_of(pa, out_a, i), node_of(pb, out_b, i), cc_seg,
-                            0.0, prefix + ".cc" + std::to_string(i));
-    }
-  }
-  // Inductive coupling between corresponding segment inductors (named
-  // "<prefix>.<i>.l" by add_rlc_ladder).
-  if (spec.inductive_k > 0.0) {
-    for (int i = 0; i < spec.segments; ++i) {
-      const std::string tag = "." + std::to_string(i) + ".l";
-      circuit.add_mutual(pa + tag, pb + tag, spec.inductive_k,
-                         prefix + ".k" + std::to_string(i));
-    }
-  }
+  // A coupled pair IS a 2-line bus: the per-segment coupling coefficient
+  // equals Lm/Lt, so inductive_k maps to Lm = k * Lt.
+  const tline::CoupledBus bus{2, spec.line, spec.coupling_capacitance,
+                              spec.inductive_k * spec.line.total_inductance};
+  add_coupled_bus(circuit, prefix, {in_a, in_b}, {out_a, out_b}, bus,
+                  spec.segments);
 }
 
 Circuit build_crosstalk_pair(const CoupledLinesSpec& spec, double driver_resistance,
@@ -154,6 +133,82 @@ double simulate_crosstalk_peak(const CoupledLinesSpec& spec,
   const TransientResult result = run_transient(circuit, options);
   const Trace victim = result.waveforms.trace("vic.out");
   return std::max(std::fabs(victim.max_value()), std::fabs(victim.min_value()));
+}
+
+void add_coupled_bus(Circuit& circuit, const std::string& prefix,
+                     const std::vector<std::string>& ins,
+                     const std::vector<std::string>& outs,
+                     const tline::CoupledBus& bus, int segments) {
+  tline::validate(bus);
+  if (segments < 1)
+    throw std::invalid_argument("add_coupled_bus: segments must be >= 1");
+  const std::size_t n = static_cast<std::size_t>(bus.lines);
+  if (ins.size() != n || outs.size() != n)
+    throw std::invalid_argument(
+        "add_coupled_bus: ins/outs must have one node per bus line");
+
+  const auto line_prefix = [&](int i) {
+    return prefix + ".l" + std::to_string(i);
+  };
+  for (int i = 0; i < bus.lines; ++i)
+    add_rlc_ladder(circuit, line_prefix(i), ins[i], outs[i], bus.line, segments);
+
+  // The ladder names its far nodes "<prefix>.n<j>", except the final `out`.
+  const auto node_of = [&](int i, int j) {
+    return (j == segments - 1) ? outs[static_cast<std::size_t>(i)]
+                               : line_prefix(i) + ".n" + std::to_string(j);
+  };
+  const double cc_seg = bus.coupling_capacitance / segments;
+  const double k = bus.lm_ratio();  // (Lm/K) / (Lt/K)
+  for (int i = 0; i + 1 < bus.lines; ++i) {
+    const std::string pair = prefix + ".p" + std::to_string(i);
+    for (int j = 0; j < segments; ++j) {
+      if (cc_seg > 0.0) {
+        circuit.add_capacitor(node_of(i, j), node_of(i + 1, j), cc_seg, 0.0,
+                              pair + ".cc" + std::to_string(j));
+      }
+      if (k > 0.0) {
+        const std::string tag = "." + std::to_string(j) + ".l";
+        circuit.add_mutual(line_prefix(i) + tag, line_prefix(i + 1) + tag, k,
+                           pair + ".k" + std::to_string(j));
+      }
+    }
+  }
+}
+
+Circuit build_coupled_bus(const tline::CoupledBus& bus,
+                          const std::vector<BusDrive>& drives,
+                          double driver_resistance, double load_capacitance,
+                          int segments, double vdd) {
+  if (!(driver_resistance > 0.0))
+    throw std::invalid_argument("build_coupled_bus: driver resistance must be > 0");
+  if (load_capacitance < 0.0)
+    throw std::invalid_argument("build_coupled_bus: load capacitance must be >= 0");
+  if (drives.size() != static_cast<std::size_t>(bus.lines))
+    throw std::invalid_argument("build_coupled_bus: one drive per bus line");
+
+  Circuit circuit;
+  std::vector<std::string> ins, outs;
+  for (int i = 0; i < bus.lines; ++i) {
+    const std::string tag = "line" + std::to_string(i);
+    SourceSpec spec;
+    switch (drives[static_cast<std::size_t>(i)]) {
+      case BusDrive::kQuietLow: spec = DcSpec{0.0}; break;
+      case BusDrive::kQuietHigh: spec = DcSpec{vdd}; break;
+      case BusDrive::kRising: spec = StepSpec{0.0, vdd, 0.0, 0.0}; break;
+      case BusDrive::kFalling: spec = StepSpec{vdd, 0.0, 0.0, 0.0}; break;
+    }
+    circuit.add_voltage_source(tag + ".in", "0", spec, tag + ".v");
+    circuit.add_resistor(tag + ".in", tag + ".drv", driver_resistance,
+                         tag + ".rtr");
+    ins.push_back(tag + ".drv");
+    outs.push_back(tag + ".out");
+    if (load_capacitance > 0.0)
+      circuit.add_capacitor(tag + ".out", "0", load_capacitance, 0.0,
+                            tag + ".cl");
+  }
+  add_coupled_bus(circuit, "bus", ins, outs, bus, segments);
+  return circuit;
 }
 
 Circuit build_repeater_chain(const RepeaterChainSpec& spec) {
@@ -203,21 +258,13 @@ double simulate_repeater_chain_delay(const RepeaterChainSpec& spec, double t_sto
       one.load_capacitance);
   const double tof = std::sqrt(section.total_inductance *
                                (section.total_capacitance + one.load_capacitance));
-  double horizon =
+  TransientOptions options;
+  options.t_stop =
       (t_stop > 0.0) ? t_stop : 10.0 * spec.sections * std::max(elmore, tof);
-
-  for (int attempt = 0; attempt < 4; ++attempt) {
-    TransientOptions options;
-    options.t_stop = horizon;
-    options.dt = dt;
-    const TransientResult result = run_transient(circuit, options);
-    const auto crossing =
-        result.waveforms.trace(last_out).crossing(0.5 * spec.vdd, 0.0, +1);
-    if (crossing) return *crossing;
-    horizon *= 4.0;
-  }
-  throw std::runtime_error(
-      "simulate_repeater_chain_delay: final stage never crossed 50%");
+  options.dt = dt;
+  return run_until_crossing(circuit, last_out, 0.5 * spec.vdd, options,
+                            "simulate_repeater_chain_delay")
+      .crossing;
 }
 
 }  // namespace rlcsim::sim

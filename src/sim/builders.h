@@ -4,9 +4,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "sim/circuit.h"
 #include "sim/transient.h"
+#include "tline/coupled_bus.h"
 #include "tline/rlc.h"
 #include "tline/transfer.h"
 
@@ -29,6 +31,20 @@ Circuit build_gate_line_load(const tline::GateLineLoad& system, int segments,
 // time of flight.
 double default_transient_horizon(const tline::GateLineLoad& system);
 
+// Runs a transient and returns the result together with the first rising
+// crossing of `level` at `node`. If the response has not crossed within
+// options.t_stop, the horizon is extended x4 (up to 4 attempts, resetting
+// dt to the caller's policy each time — 0 re-derives from t_stop); throws
+// std::runtime_error prefixed with `context` if it never crosses. The shared
+// auto-extend policy of every delay-measuring entry point.
+struct DelayRun {
+  TransientResult result;
+  double crossing = 0.0;  // s
+};
+DelayRun run_until_crossing(const Circuit& circuit, const std::string& node,
+                            double level, TransientOptions options,
+                            const char* context);
+
 // Convenience: simulate build_gate_line_load and return the 50% delay of
 // "out". `t_stop` = 0 picks a horizon from the system's time scales
 // automatically; `dt` = 0 picks t_stop / 4000.
@@ -40,7 +56,8 @@ double simulate_gate_line_delay(const tline::GateLineLoad& system, int segments 
 // capacitive and inductive coupling per segment — the crosstalk structure
 // wide parallel buses and clock shields form. `coupling_capacitance` is the
 // TOTAL line-to-line capacitance; `inductive_k` couples corresponding
-// segment inductors.
+// segment inductors. A convenience wrapper over add_coupled_bus with a
+// 2-line tline::CoupledBus (inductive_k == Lm/Lt).
 struct CoupledLinesSpec {
   tline::LineParams line;            // each line's own totals
   double coupling_capacitance = 0.0; // total Cc between the lines, F
@@ -62,6 +79,35 @@ Circuit build_crosstalk_pair(const CoupledLinesSpec& spec, double driver_resista
 double simulate_crosstalk_peak(const CoupledLinesSpec& spec,
                                double driver_resistance, double load_capacitance,
                                double t_stop = 0.0);
+
+// Appends a tline::CoupledBus as N parallel K-segment RLC ladders with
+// nearest-neighbor coupling: Cc/K between corresponding ladder nodes of
+// adjacent lines and mutual inductance Lm/K (coefficient k = Lm/Lt) between
+// corresponding segment inductors. Line i runs from ins[i] to outs[i];
+// internal elements are named "<prefix>.l<i>...". All coupling stamps land
+// in the MNA C-triplet set over the shared G/C pattern (sim/mna.h), so the
+// sparse symbolic-reuse path applies to buses exactly as to single lines.
+void add_coupled_bus(Circuit& circuit, const std::string& prefix,
+                     const std::vector<std::string>& ins,
+                     const std::vector<std::string>& outs,
+                     const tline::CoupledBus& bus, int segments);
+
+// What each bus line's driver does during a bus transition.
+enum class BusDrive {
+  kQuietLow,   // held at 0 V through the driver (noise victim)
+  kQuietHigh,  // held at vdd through the driver
+  kRising,     // steps 0 -> vdd at t = 0
+  kFalling,    // steps vdd -> 0 at t = 0 (pre-switch DC level is vdd)
+};
+
+// Bus crosstalk testbench: every line driven per `drives` behind
+// `driver_resistance`, loaded with `load_capacitance`. drives.size() must
+// equal bus.lines. Nodes: "line<i>.in" (ideal source), "line<i>.drv",
+// "line<i>.out" (far end), i in [0, bus.lines).
+Circuit build_coupled_bus(const tline::CoupledBus& bus,
+                          const std::vector<BusDrive>& drives,
+                          double driver_resistance, double load_capacitance,
+                          int segments, double vdd = 1.0);
 
 // Repeater chain per Fig. 3: k equal line sections, each driven by a buffer
 // h times the minimum size (output resistance r0/h, input capacitance h*c0).

@@ -45,6 +45,19 @@ void apply_variable(Variable variable, double value, Scenario& scenario,
     case Variable::kRepeaterSections:
       scenario.design.sections = value;
       break;
+    case Variable::kBusLines:
+      scenario.xtalk.bus_lines = static_cast<int>(value);
+      break;
+    case Variable::kCouplingCapRatio:
+      scenario.xtalk.cc_ratio = value;
+      break;
+    case Variable::kMutualRatio:
+      scenario.xtalk.lm_ratio = value;
+      break;
+    case Variable::kSwitchingPattern:
+      scenario.xtalk.pattern =
+          static_cast<core::SwitchingPattern>(static_cast<int>(value));
+      break;
   }
 }
 
@@ -59,15 +72,9 @@ double transient_delay_of(const Scenario& scenario, const EngineOptions& options
   transient.dt = options.dt;
   transient.solver = options.solver;
   transient.reuse = reuse;
-  for (int attempt = 0; attempt < 4; ++attempt) {
-    const sim::TransientResult result = sim::run_transient(circuit, transient);
-    const auto crossing = result.waveforms.trace("out").crossing(0.5, 0.0, +1);
-    if (crossing) return *crossing;
-    transient.t_stop *= 4.0;
-    transient.dt = options.dt;
-  }
-  throw std::runtime_error(
-      "SweepEngine: transient response never crossed 50% within the horizon");
+  return sim::run_until_crossing(circuit, "out", 0.5, transient,
+                                 "SweepEngine transient_delay")
+      .crossing;
 }
 
 double evaluate_point(const Scenario& scenario, Analysis analysis,
@@ -82,8 +89,11 @@ double evaluate_point(const Scenario& scenario, Analysis analysis,
     case Analysis::kAcBandwidth: {
       const sim::Circuit circuit =
           sim::build_gate_line_load(scenario.system, options.segments);
+      // "No -3 dB crossing inside the scan window" is recorded as absent
+      // (NaN, the grid's uncomputed value), never as a 0 Hz sentinel.
       return sim::bandwidth_3db(circuit, "vsrc", "out", options.ac_f_lo,
-                                options.ac_f_hi);
+                                options.ac_f_hi)
+          .value_or(kNaN);
     }
     case Analysis::kRepeaterDelay:
       return core::total_delay(scenario.system.line, scenario.buffer,
@@ -95,8 +105,39 @@ double evaluate_point(const Scenario& scenario, Analysis analysis,
       return core::optimize(scenario.system.line, scenario.buffer, options.fit,
                             /*min_sections=*/1.0)
           .continuous_delay;
+    case Analysis::kCrosstalkDelay:
+    case Analysis::kCrosstalkNoise:
+    case Analysis::kCrosstalkPushout: {
+      const CrosstalkScenario& x = scenario.xtalk;
+      const tline::CoupledBus bus =
+          tline::make_bus(x.bus_lines, scenario.system.line, x.cc_ratio,
+                          x.lm_ratio);
+      core::CrosstalkOptions xt;
+      xt.driver_resistance = scenario.system.driver_resistance;
+      xt.load_capacitance = scenario.system.load_capacitance;
+      xt.segments = options.segments;
+      xt.t_stop = options.t_stop;
+      xt.dt = options.dt;
+      xt.solver = options.solver;
+      xt.reuse = reuse;
+      const core::CrosstalkMetrics m = core::analyze_crosstalk(bus, x.pattern, xt);
+      if (analysis == Analysis::kCrosstalkNoise) return m.peak_noise;
+      // Quiet-victim delays are absent, recorded as NaN (never 0).
+      return analysis == Analysis::kCrosstalkDelay
+                 ? m.victim_delay_50.value_or(kNaN)
+                 : m.delay_pushout.value_or(kNaN);
+    }
   }
   throw std::invalid_argument("SweepEngine: unknown analysis");
+}
+
+// Analyses whose hot path is the MNA transient engine — these get the
+// recorded-symbolic reuse seeding in run().
+bool is_transient_analysis(Analysis analysis) {
+  return analysis == Analysis::kTransientDelay ||
+         analysis == Analysis::kCrosstalkDelay ||
+         analysis == Analysis::kCrosstalkNoise ||
+         analysis == Analysis::kCrosstalkPushout;
 }
 
 }  // namespace
@@ -111,6 +152,10 @@ const char* variable_name(Variable variable) {
     case Variable::kLoadCapacitance: return "load_capacitance";
     case Variable::kRepeaterSize: return "repeater_size";
     case Variable::kRepeaterSections: return "repeater_sections";
+    case Variable::kBusLines: return "bus_lines";
+    case Variable::kCouplingCapRatio: return "coupling_cap_ratio";
+    case Variable::kMutualRatio: return "mutual_ratio";
+    case Variable::kSwitchingPattern: return "switching_pattern";
   }
   return "unknown";
 }
@@ -123,6 +168,9 @@ const char* analysis_name(Analysis analysis) {
     case Analysis::kAcBandwidth: return "ac_bandwidth";
     case Analysis::kRepeaterDelay: return "repeater_delay";
     case Analysis::kRepeaterOptimum: return "repeater_optimum";
+    case Analysis::kCrosstalkDelay: return "crosstalk_delay";
+    case Analysis::kCrosstalkNoise: return "crosstalk_noise";
+    case Analysis::kCrosstalkPushout: return "crosstalk_pushout";
   }
   return "unknown";
 }
@@ -150,6 +198,14 @@ Axis logspace(Variable variable, double lo, double hi, int points) {
 
 Axis values(Variable variable, std::vector<double> axis_values) {
   return Axis{variable, std::move(axis_values)};
+}
+
+Axis switching_patterns(std::vector<core::SwitchingPattern> patterns) {
+  Axis axis{Variable::kSwitchingPattern, {}};
+  axis.values.reserve(patterns.size());
+  for (core::SwitchingPattern p : patterns)
+    axis.values.push_back(static_cast<double>(static_cast<int>(p)));
+  return axis;
 }
 
 std::size_t SweepSpec::size() const {
@@ -208,6 +264,31 @@ void SweepSpec::validate() const {
         (!(per_length.capacitance > 0.0) || !(per_length.inductance > 0.0)))
       throw std::invalid_argument(
           "SweepSpec: a line_length axis needs positive per_length L and C");
+    // The crosstalk axes carry enum/count values through the double grid;
+    // reject anything that would not round-trip.
+    if (axis.variable == Variable::kBusLines)
+      for (double v : axis.values)
+        if (v < 2.0 || v != std::floor(v))
+          throw std::invalid_argument(
+              "SweepSpec: bus_lines values must be integers >= 2");
+    if (axis.variable == Variable::kSwitchingPattern)
+      for (double v : axis.values)
+        if (v != std::floor(v) || v < 0.0 || v > 2.0)
+          throw std::invalid_argument(
+              "SweepSpec: switching_pattern values must be 0, 1, or 2 "
+              "(core::SwitchingPattern)");
+    if (axis.variable == Variable::kCouplingCapRatio)
+      for (double v : axis.values)
+        if (v < 0.0)
+          throw std::invalid_argument(
+              "SweepSpec: coupling_cap_ratio values must be >= 0");
+    if (axis.variable == Variable::kMutualRatio)
+      for (double v : axis.values)
+        if (v < 0.0 || v >= 1.0)
+          throw std::invalid_argument(
+              "SweepSpec: mutual_ratio values must be in [0, 1) (the "
+              "width-dependent bound tline::max_lm_ratio is enforced when "
+              "each point builds its bus)");
   }
 }
 
@@ -252,7 +333,7 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
   out.values.assign(n, kNaN);
   std::atomic<std::size_t> symbolic{0};
 
-  const bool transient = analysis == Analysis::kTransientDelay;
+  const bool transient = is_transient_analysis(analysis);
   std::vector<sim::SolverReuse> reuse(impl_->pool.size());
   std::size_t first = 0;
   if (transient && n > 0) {

@@ -25,9 +25,11 @@
 #include <string>
 #include <vector>
 
+#include "core/crosstalk.h"
 #include "core/repeater.h"
 #include "core/repeater_numeric.h"
 #include "sim/transient.h"
+#include "tline/coupled_bus.h"
 #include "tline/rlc.h"
 #include "tline/transfer.h"
 
@@ -36,7 +38,8 @@ namespace rlcsim::sweep {
 // ------------------------------------------------------------------- grid
 
 // What a sweep axis varies. Line totals and geometry, driver strength, load,
-// and repeater sizing cover the paper's entire design space.
+// repeater sizing, and the coupled-bus crosstalk knobs cover the paper's
+// design space plus the multi-net scenario family on top of it.
 enum class Variable {
   kLineResistance,    // Rt, ohm
   kLineInductance,    // Lt, H
@@ -46,6 +49,12 @@ enum class Variable {
   kLoadCapacitance,   // CL, F
   kRepeaterSize,      // h
   kRepeaterSections,  // k
+  kBusLines,          // crosstalk bus width N (integral, >= 2)
+  kCouplingCapRatio,  // Cc/Ct of the crosstalk bus (>= 0)
+  kMutualRatio,       // Lm/Lt of the crosstalk bus: in [0, 1) up front; the
+                      // width-dependent positive-definiteness bound
+                      // (tline::max_lm_ratio) is enforced per grid point
+  kSwitchingPattern,  // core::SwitchingPattern as 0/1/2 (integral)
 };
 const char* variable_name(Variable variable);
 
@@ -58,13 +67,28 @@ struct Axis {
 Axis linspace(Variable variable, double lo, double hi, int points);
 Axis logspace(Variable variable, double lo, double hi, int points);
 Axis values(Variable variable, std::vector<double> values);
+// A kSwitchingPattern axis from the enum itself (values encode as 0/1/2).
+Axis switching_patterns(std::vector<core::SwitchingPattern> patterns);
+
+// Crosstalk half of a scenario: the bus the crosstalk analyses evaluate is
+// built per point as make_bus(bus_lines, system.line, cc_ratio, lm_ratio) —
+// the ratios always track the point's resolved line totals, whatever order
+// line and coupling axes are declared in. Driver/load come from `system`.
+struct CrosstalkScenario {
+  int bus_lines = 3;
+  double cc_ratio = 0.0;  // Cc / Ct
+  double lm_ratio = 0.0;  // Lm / Lt
+  core::SwitchingPattern pattern = core::SwitchingPattern::kOppositePhase;
+};
 
 // One fully resolved evaluation point: the canonical gate + line + load
-// system, plus the repeater technology/sizing used by repeater analyses.
+// system, the repeater technology/sizing used by repeater analyses, and the
+// coupled-bus setup used by crosstalk analyses.
 struct Scenario {
   tline::GateLineLoad system;
   core::MinBuffer buffer;
   core::RepeaterDesign design;
+  CrosstalkScenario xtalk;
 };
 
 // A scenario grid: the cartesian product of `axes` applied to `base`, in
@@ -94,8 +118,14 @@ enum class Analysis {
   kTwoPoleDelay,     // moment-matched two-pole threshold delay
   kTransientDelay,   // MNA transient 50% delay (ladder discretization)
   kAcBandwidth,      // -3 dB bandwidth of the gate+line+load transfer, Hz
+                     // (NaN when |H| never drops 3 dB inside the window)
   kRepeaterDelay,    // eq. (19) total delay at the scenario's (h, k)
   kRepeaterOptimum,  // numerically optimized RLC-aware total delay
+  kCrosstalkDelay,   // bus victim 50% delay under the scenario's pattern, s
+                     // (NaN for kQuietVictim — a quiet victim never switches)
+  kCrosstalkNoise,   // peak victim excursion outside its drive envelope, V
+  kCrosstalkPushout, // victim delay minus the two-pole isolated delay, s
+                     // (NaN for kQuietVictim)
 };
 const char* analysis_name(Analysis analysis);
 

@@ -1,0 +1,70 @@
+#include "tline/coupled_bus.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+#include "numeric/units.h"
+
+namespace rlcsim::tline {
+
+double CoupledBus::cc_ratio() const {
+  return coupling_capacitance / line.total_capacitance;
+}
+
+double CoupledBus::lm_ratio() const {
+  return mutual_inductance / line.total_inductance;
+}
+
+CoupledBus make_bus(int lines, const LineParams& line, double cc_ratio,
+                    double lm_ratio) {
+  const CoupledBus bus{lines, line, cc_ratio * line.total_capacitance,
+                       lm_ratio * line.total_inductance};
+  validate(bus);
+  return bus;
+}
+
+double max_lm_ratio(int lines) {
+  if (lines < 2)
+    throw std::invalid_argument("max_lm_ratio: lines must be >= 2");
+  // The per-segment inductance matrix is tridiagonal Toeplitz, L*(I + k*T)
+  // with T carrying 1 on the first off-diagonals. Its eigenvalues are
+  // 1 + 2k cos(j*pi/(N+1)), so positive definiteness requires
+  // k < 1/(2 cos(pi/(N+1))) — exactly 1 for N = 2, tightening toward 1/2 as
+  // the bus widens.
+  return 1.0 /
+         (2.0 * std::cos(std::numbers::pi / static_cast<double>(lines + 1)));
+}
+
+void validate(const CoupledBus& bus) {
+  validate(bus.line);
+  if (bus.lines < 2)
+    throw std::invalid_argument("CoupledBus: lines must be >= 2");
+  if (!std::isfinite(bus.coupling_capacitance) || bus.coupling_capacitance < 0.0)
+    throw std::invalid_argument(
+        "CoupledBus: coupling_capacitance must be finite and >= 0");
+  if (!std::isfinite(bus.mutual_inductance) || bus.mutual_inductance < 0.0)
+    throw std::invalid_argument(
+        "CoupledBus: mutual_inductance must be finite and >= 0");
+  const double k_max = max_lm_ratio(bus.lines);
+  if (bus.mutual_inductance >= k_max * bus.line.total_inductance)
+    throw std::invalid_argument(
+        "CoupledBus: mutual_inductance must satisfy Lm/Lt < 1/(2 cos(pi/(N+1)))"
+        " = " +
+        std::to_string(k_max) +
+        " for " + std::to_string(bus.lines) +
+        " lines — beyond it the nearest-neighbor inductance matrix loses "
+        "positive definiteness and the bus is unphysical/unstable");
+}
+
+std::string describe(const CoupledBus& bus) {
+  using rlcsim::units::eng;
+  return std::to_string(bus.lines) + " lines, each " + describe(bus.line) +
+         "; Cc=" + eng(bus.coupling_capacitance, "F") +
+         " (Cc/Ct=" + eng(bus.cc_ratio(), "") +
+         "), Lm=" + eng(bus.mutual_inductance, "H") +
+         " (Lm/Lt=" + eng(bus.lm_ratio(), "") + ")";
+}
+
+}  // namespace rlcsim::tline

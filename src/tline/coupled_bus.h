@@ -1,0 +1,57 @@
+// Coupled multi-line bus parasitics.
+//
+// The paper quantifies inductance effects on a SINGLE RLC line; every real
+// wide bus is N of those lines coupled to their neighbors capacitively
+// (line-to-line Cc) and inductively (mutual Lm). This type carries the
+// totals of that structure in the same spirit as LineParams: each line's own
+// totals plus the per-ADJACENT-PAIR coupling totals. Nearest-neighbor
+// coupling is the dominant term on planar buses and keeps the model
+// parameter count flat in N.
+//
+// The dimensionless knobs the crosstalk literature (and the sweep engine's
+// crosstalk axes) work in are the ratios
+//   cc_ratio = Cc / Ct   (coupling-to-ground capacitance ratio)
+//   lm_ratio = Lm / Lt   (mutual-to-self inductance ratio, the coupling
+//                         coefficient k of corresponding segment inductors)
+#pragma once
+
+#include <string>
+
+#include "tline/rlc.h"
+
+namespace rlcsim::tline {
+
+// N parallel identical RLC lines with nearest-neighbor coupling.
+struct CoupledBus {
+  int lines = 2;                      // N >= 2
+  LineParams line;                    // each line's own totals
+  double coupling_capacitance = 0.0;  // total Cc between each adjacent pair, F
+  double mutual_inductance = 0.0;     // total Lm between each adjacent pair, H
+
+  double cc_ratio() const;  // Cc / Ct
+  double lm_ratio() const;  // Lm / Lt == per-segment coupling coefficient k
+  // The middle line — the worst-case victim (aggressors on both sides for
+  // any N >= 3; for N == 2 it is line 0).
+  int victim_index() const { return (lines - 1) / 2; }
+};
+
+// Builds a bus from a line and the dimensionless coupling ratios.
+CoupledBus make_bus(int lines, const LineParams& line, double cc_ratio,
+                    double lm_ratio);
+
+// Largest admissible Lm/Lt for an N-line bus: the per-segment nearest-
+// neighbor inductance matrix (tridiagonal Toeplitz, eigenvalues
+// 1 + 2k cos(j*pi/(N+1))) stays positive definite iff
+// k < 1/(2 cos(pi/(N+1))) — exactly 1 for N = 2, tightening toward 1/2 as
+// the bus widens.
+double max_lm_ratio(int lines);
+
+// Throws std::invalid_argument (naming the offending field) unless the line
+// validates (L > 0), lines >= 2, Cc >= 0 and finite, and
+// 0 <= Lm < max_lm_ratio(lines) * Lt.
+void validate(const CoupledBus& bus);
+
+// Human-readable one-line summary, e.g. for example programs.
+std::string describe(const CoupledBus& bus);
+
+}  // namespace rlcsim::tline

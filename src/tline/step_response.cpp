@@ -89,21 +89,30 @@ StepMetrics measure_step(const std::vector<double>& time,
 
   const auto t10 = cross(0.1);
   const auto t90 = cross(0.9);
-  metrics.rise_10_90 = (t10 && t90) ? (*t90 - *t10) : 0.0;
+  if (t10 && t90) metrics.rise_10_90 = *t90 - *t10;
 
   double peak = value.front();
   for (double x : value) peak = std::max(peak, x);
   metrics.overshoot = std::max(0.0, peak / final_value - 1.0);
 
-  // Settling: last sample where |v - final| exceeds 2%.
+  // Settling: the first re-entry into the 2% band after the LAST violation
+  // (the last out-of-band sample itself is one sample too early).
   const double band = 0.02 * std::fabs(final_value);
-  std::optional<double> last_violation;
+  std::optional<std::size_t> last_violation;
   for (std::size_t i = 0; i < time.size(); ++i)
-    if (std::fabs(value[i] - final_value) > band) last_violation = time[i];
-  if (!last_violation)
+    if (std::fabs(value[i] - final_value) > band) last_violation = i;
+  if (!last_violation) {
     metrics.settle_2pct = time.front();
-  else if (*last_violation < time.back())
-    metrics.settle_2pct = *last_violation;
+  } else if (*last_violation + 1 < time.size()) {
+    // Interpolate the band-edge crossing between the last out-of-band sample
+    // and the in-band sample that follows it.
+    const std::size_t i = *last_violation;
+    const double edge =
+        value[i] > final_value ? final_value + band : final_value - band;
+    const double dv = value[i + 1] - value[i];
+    const double frac = dv == 0.0 ? 1.0 : (edge - value[i]) / dv;
+    metrics.settle_2pct = time[i] + frac * (time[i + 1] - time[i]);
+  }
   // else: still outside the band at the end of the record -> unsettled (nullopt).
   return metrics;
 }

@@ -40,11 +40,15 @@ double threshold_delay(const GateLineLoad& system, double threshold = 0.5,
 
 // Measurements on an arbitrary sampled waveform (shared with the simulator's
 // waveforms through sim/waveform.h, which re-exports richer variants).
+// Optional fields are absent — never 0 — when the record does not contain
+// the event: rise_10_90 when the waveform never reaches the 10% or 90%
+// level, settle_2pct when the record ends outside the 2% band.
 struct StepMetrics {
   double delay_50 = 0.0;               // first 50% crossing, s
-  double rise_10_90 = 0.0;             // 10% -> 90% rise time, s
+  std::optional<double> rise_10_90;    // 10% -> 90% rise time, if reached
   double overshoot = 0.0;              // max(v) - 1, clamped at 0
-  std::optional<double> settle_2pct;   // last time |v-1| > 2%, if settled
+  std::optional<double> settle_2pct;   // first re-entry into the 2% band
+                                       // after the last violation, if settled
 };
 StepMetrics measure_step(const std::vector<double>& time,
                          const std::vector<double>& value, double final_value = 1.0);

@@ -127,10 +127,11 @@ TEST(Crosstalk, BuilderStructure) {
   EXPECT_EQ(c.inductors().size(), 16u);
   EXPECT_EQ(c.mutuals().size(), 8u);
   EXPECT_NO_THROW(c.validate());
-  // Total coupling capacitance preserved.
+  // Total coupling capacitance preserved (pair elements are named
+  // "<prefix>.p<pair>.cc<segment>" by add_coupled_bus).
   double cc = 0.0;
   for (const auto& cap : c.capacitors())
-    if (cap.name.rfind("xt.cc", 0) == 0) cc += cap.capacitance;
+    if (cap.name.rfind("xt.p0.cc", 0) == 0) cc += cap.capacitance;
   EXPECT_NEAR(cc, 0.2e-12, 1e-20);
 }
 

@@ -1,0 +1,400 @@
+// Coupled multi-line bus (CoupledBus) + crosstalk analysis tests, plus the
+// sentinel-metric regression tests: bandwidth_3db and measure_step must
+// report "not in record" as ABSENT, never as a fabricated 0, and the
+// two-pole threshold query must fail loudly instead of handing the root
+// finder an unbracketed interval.
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/crosstalk.h"
+#include "core/two_pole.h"
+#include "sim/ac.h"
+#include "sim/builders.h"
+#include "sim/transient.h"
+#include "sweep/sweep.h"
+#include "tline/coupled_bus.h"
+#include "tline/step_response.h"
+
+namespace {
+
+using namespace rlcsim;
+
+// Each line: moderately damped wide wire so delays are well-defined.
+const tline::LineParams kLine{200.0, 5e-9, 1e-12};
+constexpr double kRdrv = 100.0;
+constexpr double kCload = 50e-15;
+
+core::CrosstalkOptions options_for(int segments) {
+  core::CrosstalkOptions opt;
+  opt.driver_resistance = kRdrv;
+  opt.load_capacitance = kCload;
+  opt.segments = segments;
+  return opt;
+}
+
+// ---------------------------------------------------------------------------
+// CoupledBus model
+// ---------------------------------------------------------------------------
+
+TEST(CoupledBus, MakeBusDerivesTotalsFromRatios) {
+  const tline::CoupledBus bus = tline::make_bus(4, kLine, 0.5, 0.3);
+  EXPECT_EQ(bus.lines, 4);
+  EXPECT_DOUBLE_EQ(bus.coupling_capacitance, 0.5 * kLine.total_capacitance);
+  EXPECT_DOUBLE_EQ(bus.mutual_inductance, 0.3 * kLine.total_inductance);
+  EXPECT_DOUBLE_EQ(bus.cc_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(bus.lm_ratio(), 0.3);
+  EXPECT_EQ(bus.victim_index(), 1);
+  EXPECT_EQ(tline::make_bus(2, kLine, 0.0, 0.0).victim_index(), 0);
+  EXPECT_EQ(tline::make_bus(5, kLine, 0.0, 0.0).victim_index(), 2);
+  EXPECT_FALSE(tline::describe(bus).empty());
+}
+
+TEST(CoupledBus, PositiveDefinitenessBoundTightensWithWidth) {
+  // k < 1/(2 cos(pi/(N+1))): 1 for a pair, -> 1/2 for wide buses.
+  EXPECT_NEAR(tline::max_lm_ratio(2), 1.0, 1e-12);
+  EXPECT_NEAR(tline::max_lm_ratio(3), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(tline::max_lm_ratio(5), 1.0 / std::sqrt(3.0), 1e-12);
+  // k = 0.8 is a valid pair but an indefinite (unstable) 5-line bus; the
+  // N-dependent bound must reject it up front instead of letting the
+  // transient silently diverge.
+  EXPECT_NO_THROW(tline::make_bus(2, kLine, 0.1, 0.8));
+  EXPECT_THROW(tline::make_bus(5, kLine, 0.1, 0.8), std::invalid_argument);
+}
+
+TEST(CoupledBus, ValidationRejectsBadFields) {
+  EXPECT_THROW(tline::make_bus(1, kLine, 0.1, 0.1), std::invalid_argument);
+  EXPECT_THROW(tline::make_bus(3, kLine, -0.1, 0.1), std::invalid_argument);
+  EXPECT_THROW(tline::make_bus(3, kLine, 0.1, -0.1), std::invalid_argument);
+  // k >= 1 would make the segment inductance matrix singular/indefinite.
+  EXPECT_THROW(tline::make_bus(3, kLine, 0.1, 1.0), std::invalid_argument);
+  tline::CoupledBus nan_bus{3, kLine, std::nan(""), 0.0};
+  EXPECT_THROW(tline::validate(nan_bus), std::invalid_argument);
+  // The line itself is validated too (RC-only lines are rejected).
+  EXPECT_THROW(tline::make_bus(3, {100.0, 0.0, 1e-12}, 0.1, 0.0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// MNA builder
+// ---------------------------------------------------------------------------
+
+TEST(CoupledBusBuilder, StampsLaddersAndNearestNeighborCoupling) {
+  const tline::CoupledBus bus = tline::make_bus(3, kLine, 0.3, 0.2);
+  const int segments = 6;
+  const sim::Circuit c = sim::build_coupled_bus(
+      bus, {sim::BusDrive::kRising, sim::BusDrive::kQuietLow,
+            sim::BusDrive::kFalling},
+      kRdrv, kCload, segments);
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.inductors().size(), 3u * segments);
+  // Nearest-neighbor only: 2 adjacent pairs x segments mutuals.
+  EXPECT_EQ(c.mutuals().size(), 2u * segments);
+  for (const auto& m : c.mutuals()) EXPECT_DOUBLE_EQ(m.coupling, 0.2);
+  // Each adjacent pair's line-to-line capacitance sums to the total Cc.
+  for (const char* pair : {"bus.p0.cc", "bus.p1.cc"}) {
+    double cc = 0.0;
+    for (const auto& cap : c.capacitors())
+      if (cap.name.rfind(pair, 0) == 0) cc += cap.capacitance;
+    EXPECT_NEAR(cc, bus.coupling_capacitance, 1e-24) << pair;
+  }
+}
+
+TEST(CoupledBusBuilder, Validation) {
+  const tline::CoupledBus bus = tline::make_bus(2, kLine, 0.2, 0.1);
+  sim::Circuit c;
+  EXPECT_THROW(sim::add_coupled_bus(c, "b", {"a"}, {"x", "y"}, bus, 4),
+               std::invalid_argument);
+  EXPECT_THROW(sim::add_coupled_bus(c, "b", {"a", "b"}, {"x", "y"}, bus, 0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      sim::build_coupled_bus(bus, {sim::BusDrive::kRising}, kRdrv, kCload, 4),
+      std::invalid_argument);
+  EXPECT_THROW(sim::build_coupled_bus(
+                   bus, {sim::BusDrive::kRising, sim::BusDrive::kRising}, 0.0,
+                   kCload, 4),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: 2-line K-segment coupled transient, sparse vs dense <= 1e-9
+// ---------------------------------------------------------------------------
+
+TEST(CoupledBusCrossValidate, SparseMatchesDenseOracle) {
+  const tline::CoupledBus bus = tline::make_bus(2, kLine, 0.4, 0.3);
+  const sim::Circuit c = sim::build_coupled_bus(
+      bus, {sim::BusDrive::kRising, sim::BusDrive::kQuietLow}, kRdrv, kCload,
+      30);
+
+  sim::TransientOptions opt;
+  opt.t_stop = 4e-9;
+  const auto run_with = [&](sim::SolverKind solver) {
+    opt.solver = solver;
+    return sim::run_transient(c, opt);
+  };
+  const auto dense = run_with(sim::SolverKind::kDense);
+  const auto sparse = run_with(sim::SolverKind::kSparse);
+  EXPECT_FALSE(dense.used_sparse_solver);
+  EXPECT_TRUE(sparse.used_sparse_solver);
+
+  for (const char* node : {"line0.out", "line1.out", "line0.drv", "line1.drv"}) {
+    const sim::Trace dense_trace = dense.waveforms.trace(node);
+    const sim::Trace sparse_trace = sparse.waveforms.trace(node);
+    const auto& vd = dense_trace.value();
+    const auto& vs = sparse_trace.value();
+    ASSERT_EQ(vd.size(), vs.size());
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < vd.size(); ++i)
+      max_err = std::max(max_err, std::fabs(vd[i] - vs[i]));
+    EXPECT_LE(max_err, 1e-9) << node;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: zero-coupling bus reproduces the isolated-line 50% delay
+// ---------------------------------------------------------------------------
+
+TEST(Crosstalk, ZeroCouplingBusMatchesIsolatedLineDelay) {
+  const int segments = 24;
+  const tline::CoupledBus bus = tline::make_bus(3, kLine, 0.0, 0.0);
+  const auto metrics = core::analyze_crosstalk(
+      bus, core::SwitchingPattern::kSamePhase, options_for(segments));
+  ASSERT_TRUE(metrics.victim_delay_50.has_value());
+
+  const tline::GateLineLoad isolated{kRdrv, kLine, kCload};
+  const double reference = sim::simulate_gate_line_delay(isolated, segments);
+  EXPECT_NEAR(*metrics.victim_delay_50, reference, 1e-6 * reference);
+
+  // Push-out bookkeeping is exactly victim minus the two-pole reference.
+  ASSERT_TRUE(metrics.delay_pushout.has_value());
+  ASSERT_TRUE(metrics.isolated_delay_two_pole.has_value());
+  EXPECT_DOUBLE_EQ(*metrics.delay_pushout,
+                   *metrics.victim_delay_50 - *metrics.isolated_delay_two_pole);
+
+  // And a quiet victim between decoupled neighbors hears nothing.
+  const auto quiet = core::analyze_crosstalk(
+      bus, core::SwitchingPattern::kQuietVictim, options_for(segments));
+  EXPECT_FALSE(quiet.victim_delay_50.has_value());
+  EXPECT_FALSE(quiet.delay_pushout.has_value());
+  EXPECT_LT(quiet.peak_noise, 1e-9);
+}
+
+TEST(Crosstalk, MillerEffectOrdersThePatternCorners) {
+  const tline::CoupledBus bus = tline::make_bus(3, kLine, 0.5, 0.0);
+  const auto opt = options_for(16);
+  const auto same =
+      core::analyze_crosstalk(bus, core::SwitchingPattern::kSamePhase, opt);
+  const auto opposite =
+      core::analyze_crosstalk(bus, core::SwitchingPattern::kOppositePhase, opt);
+  ASSERT_TRUE(same.victim_delay_50 && opposite.victim_delay_50);
+  // Opposite-phase neighbors Miller-amplify Cc; same-phase bootstraps it away.
+  EXPECT_GT(*opposite.victim_delay_50, *same.victim_delay_50);
+  EXPECT_GT(*opposite.delay_pushout, *same.delay_pushout);
+}
+
+TEST(Crosstalk, QuietVictimNoiseGrowsWithCoupling) {
+  const auto opt = options_for(16);
+  const auto noise_at = [&](double cc_ratio) {
+    const tline::CoupledBus bus = tline::make_bus(3, kLine, cc_ratio, 0.0);
+    return core::analyze_crosstalk(bus, core::SwitchingPattern::kQuietVictim, opt)
+        .peak_noise;
+  };
+  const double weak = noise_at(0.1);
+  const double strong = noise_at(0.5);
+  EXPECT_GT(weak, 1e-3);
+  EXPECT_GT(strong, weak);
+  EXPECT_LT(strong, 1.0);  // bounded by the supply
+}
+
+// ---------------------------------------------------------------------------
+// Sweep integration: crosstalk axes ride the pool, bit-identical
+// ---------------------------------------------------------------------------
+
+sweep::SweepSpec crosstalk_spec() {
+  sweep::SweepSpec spec;
+  spec.base.system = {kRdrv, kLine, kCload};
+  spec.base.xtalk.bus_lines = 3;
+  spec.axes = {
+      sweep::linspace(sweep::Variable::kCouplingCapRatio, 0.0, 0.6, 3),
+      sweep::values(sweep::Variable::kMutualRatio, {0.0, 0.2}),
+      sweep::switching_patterns({core::SwitchingPattern::kSamePhase,
+                                 core::SwitchingPattern::kOppositePhase,
+                                 core::SwitchingPattern::kQuietVictim}),
+  };
+  return spec;
+}
+
+TEST(CrosstalkSweep, BitIdenticalAcrossThreadCounts) {
+  const sweep::SweepSpec spec = crosstalk_spec();
+  const auto run_with = [&](std::size_t threads) {
+    sweep::EngineOptions options;
+    options.threads = threads;
+    options.segments = 12;
+    const sweep::SweepEngine engine(options);
+    return engine.run(spec, sweep::Analysis::kCrosstalkDelay);
+  };
+  const auto one = run_with(1);
+  const auto four = run_with(4);
+  ASSERT_EQ(one.values.size(), spec.size());
+  ASSERT_EQ(four.values.size(), one.values.size());
+  // Bitwise comparison: quiet-victim points are NaN (absent), and NaN !=
+  // NaN would hide a genuine mismatch elsewhere.
+  EXPECT_EQ(std::memcmp(one.values.data(), four.values.data(),
+                        one.values.size() * sizeof(double)),
+            0);
+
+  // Quiet-victim points are absent (NaN), switching points are real delays.
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const auto pattern = spec.at(i).xtalk.pattern;
+    if (pattern == core::SwitchingPattern::kQuietVictim)
+      EXPECT_TRUE(std::isnan(one.values[i])) << i;
+    else
+      EXPECT_GT(one.values[i], 0.0) << i;
+  }
+}
+
+TEST(CrosstalkSweep, NoiseAnalysisAndReuse) {
+  // Strictly positive coupling everywhere: a zero Cc or Lm value would drop
+  // those stamps from the sparsity pattern and fork the grid into several
+  // topologies (each paying its own symbolic analysis). With one topology
+  // the whole grid replays point 0's recorded pair.
+  sweep::SweepSpec spec;
+  spec.base.system = {kRdrv, kLine, kCload};
+  spec.base.xtalk.bus_lines = 3;
+  spec.axes = {
+      sweep::linspace(sweep::Variable::kCouplingCapRatio, 0.2, 0.6, 3),
+      sweep::values(sweep::Variable::kMutualRatio, {0.1, 0.2}),
+      sweep::switching_patterns({core::SwitchingPattern::kSamePhase,
+                                 core::SwitchingPattern::kOppositePhase,
+                                 core::SwitchingPattern::kQuietVictim}),
+  };
+  sweep::EngineOptions options;
+  options.threads = 2;
+  options.segments = 12;
+  const sweep::SweepEngine engine(options);
+  const auto result = engine.run(spec, sweep::Analysis::kCrosstalkNoise);
+  // Noise is defined for every pattern; no NaN anywhere.
+  for (double v : result.values) EXPECT_TRUE(std::isfinite(v));
+  // One topology: 2 symbolic factorizations (system + DC) total, recorded at
+  // point 0 and replayed by every worker.
+  EXPECT_EQ(result.symbolic_factorizations, 2u);
+  EXPECT_GT(result.solver_reuse_hits, 0u);
+}
+
+TEST(CrosstalkSweep, AxisValidation) {
+  sweep::SweepSpec spec = crosstalk_spec();
+  spec.axes.push_back(sweep::values(sweep::Variable::kBusLines, {2.5}));
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.axes.back() = sweep::values(sweep::Variable::kBusLines, {1.0});
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.axes.back() = sweep::values(sweep::Variable::kSwitchingPattern, {3.0});
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.axes.back() = sweep::values(sweep::Variable::kMutualRatio, {-0.2});
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.axes.back() = sweep::values(sweep::Variable::kBusLines, {2.0, 4.0});
+  EXPECT_NO_THROW(spec.validate());
+}
+
+// ---------------------------------------------------------------------------
+// Regression: bandwidth_3db reports "no crossing" as absent, not 0 Hz
+// ---------------------------------------------------------------------------
+
+TEST(BandwidthRegression, NoCrossingInWindowIsAbsent) {
+  // Single-pole RC with f3db ~ 159 MHz; scan far below the corner.
+  sim::Circuit c;
+  c.add_voltage_source("in", "0", sim::DcSpec{0.0}, "vin");
+  c.add_resistor("in", "out", 1000.0);
+  c.add_capacitor("out", "0", 1e-12);
+  const auto below_corner = sim::bandwidth_3db(c, "vin", "out", 1e3, 1e6);
+  EXPECT_FALSE(below_corner.has_value());
+  // The same circuit scanned across the corner still finds it.
+  const auto across = sim::bandwidth_3db(c, "vin", "out", 1e3, 1e12);
+  ASSERT_TRUE(across.has_value());
+  EXPECT_GT(*across, 0.0);
+}
+
+TEST(BandwidthRegression, SweepRecordsAbsenceAsNaN) {
+  sweep::SweepSpec spec;
+  spec.base.system = {kRdrv, kLine, kCload};
+  spec.axes = {sweep::linspace(sweep::Variable::kDriverResistance, 100.0,
+                               200.0, 2)};
+  sweep::EngineOptions options;
+  options.threads = 1;
+  options.segments = 12;
+  options.ac_f_lo = 1e3;
+  options.ac_f_hi = 1e5;  // far below any corner of this system
+  const sweep::SweepEngine engine(options);
+  const auto result = engine.run(spec, sweep::Analysis::kAcBandwidth);
+  for (double v : result.values) EXPECT_TRUE(std::isnan(v));  // absent, not 0
+}
+
+// ---------------------------------------------------------------------------
+// Regression: measure_step on truncated records fabricates nothing
+// ---------------------------------------------------------------------------
+
+TEST(MeasureStepRegression, TruncatedBelow90HasNoRiseTime) {
+  // Reaches 50% but never 90%: delay defined, rise time absent (was 0.0).
+  std::vector<double> t, v;
+  for (int i = 0; i <= 100; ++i) {
+    t.push_back(0.01 * i);
+    v.push_back(0.6 * i / 100.0);
+  }
+  const auto m = tline::measure_step(t, v);
+  EXPECT_GT(m.delay_50, 0.0);
+  EXPECT_FALSE(m.rise_10_90.has_value());
+  EXPECT_FALSE(m.settle_2pct.has_value());
+}
+
+TEST(MeasureStepRegression, CompleteRecordHasRiseTime) {
+  std::vector<double> t, v;
+  for (int i = 0; i <= 4000; ++i) {
+    t.push_back(i * 0.005);
+    v.push_back(1.0 - std::exp(-t.back()));
+  }
+  const auto m = tline::measure_step(t, v);
+  ASSERT_TRUE(m.rise_10_90.has_value());
+  EXPECT_NEAR(*m.rise_10_90, std::log(9.0), 1e-3);
+}
+
+TEST(MeasureStepRegression, SettleIsFirstReentryAfterLastViolation) {
+  // Overshoot to 1.5 at t=1, back inside the 2% band between t=1 and t=2.
+  // The old code reported t=1 (the last out-of-band SAMPLE); the settle time
+  // is the interpolated band re-entry at v = 1.02.
+  const std::vector<double> t{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> v{0.0, 1.5, 0.99, 1.0};
+  const auto m = tline::measure_step(t, v);
+  ASSERT_TRUE(m.settle_2pct.has_value());
+  const double expected = 1.0 + (1.02 - 1.5) / (0.99 - 1.5);  // ~1.9412
+  EXPECT_NEAR(*m.settle_2pct, expected, 1e-12);
+  EXPECT_GT(*m.settle_2pct, 1.0);  // strictly after the last violation
+}
+
+TEST(MeasureStepRegression, ViolationOnFinalSampleIsUnsettled) {
+  const std::vector<double> t{0.0, 1.0, 2.0};
+  const std::vector<double> v{0.0, 1.0, 1.5};  // leaves the band at the end
+  const auto m = tline::measure_step(t, v);
+  EXPECT_FALSE(m.settle_2pct.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Regression: extreme-damping two-pole threshold query fails loudly
+// ---------------------------------------------------------------------------
+
+TEST(TwoPoleRegression, ExtremeDampingThrowsInsteadOfUnbracketedBrent) {
+  // zeta = 0.5e20: the slow pole cancels to exactly 0 in double precision,
+  // the computed step response plateaus at 0, and no bracket exists. This
+  // must surface as a clear runtime_error, not a numeric-layer failure.
+  const core::TwoPoleModel degenerate(1.0, 1e-40);
+  EXPECT_GT(degenerate.damping(), 1e19);
+  EXPECT_THROW(degenerate.threshold_delay(0.5), core::BracketError);
+  // BracketError IS a runtime_error, so generic handlers still catch it.
+  EXPECT_THROW(degenerate.threshold_delay(0.5), std::runtime_error);
+
+  // Large-but-representable damping still works: response ~ 1 - e^{-t/b1}.
+  const core::TwoPoleModel large(1.0, 1e-8);
+  EXPECT_NEAR(large.threshold_delay(0.5), std::log(2.0), 1e-2);
+}
+
+}  // namespace

@@ -75,7 +75,8 @@ TEST(MeasureStep, SyntheticFirstOrder) {
   }
   const StepMetrics m = measure_step(t, v);
   EXPECT_NEAR(m.delay_50, std::log(2.0), 1e-4);
-  EXPECT_NEAR(m.rise_10_90, std::log(9.0), 1e-3);
+  ASSERT_TRUE(m.rise_10_90.has_value());
+  EXPECT_NEAR(*m.rise_10_90, std::log(9.0), 1e-3);
   EXPECT_DOUBLE_EQ(m.overshoot, 0.0);
   ASSERT_TRUE(m.settle_2pct.has_value());
   EXPECT_NEAR(*m.settle_2pct, -std::log(0.02), 0.01);
