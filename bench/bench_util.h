@@ -5,25 +5,38 @@
 // output of `for b in build/bench/*; do $b; done` IS the reproduction record.
 #pragma once
 
+#include <cerrno>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace benchutil {
 
-// "--threads a,b,c" parser shared by the scaling benches (nonpositive and
-// junk entries are dropped).
+// "--threads a,b,c" parser shared by the scaling benches. Every entry must
+// be a positive integer: junk, nonpositive, or empty entries throw
+// std::invalid_argument naming the offender — a typo'd thread list must not
+// silently shrink to the valid subset (or to nothing, which would quietly
+// skip the whole scaling study). Benches catch this in main() and exit 2.
 inline std::vector<std::size_t> parse_thread_list(const char* arg) {
   std::vector<std::size_t> out;
   std::string text(arg);
   std::size_t pos = 0;
-  while (pos < text.size()) {
+  for (;;) {
     const std::size_t comma = text.find(',', pos);
-    const std::string item = text.substr(pos, comma - pos);
-    const long n = std::strtol(item.c_str(), nullptr, 10);
-    if (n > 0) out.push_back(static_cast<std::size_t>(n));
+    const std::string item = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    errno = 0;
+    char* end = nullptr;
+    const long n = std::strtol(item.c_str(), &end, 10);
+    if (item.empty() || end == item.c_str() || *end != '\0' ||
+        errno == ERANGE || n <= 0 || n > 65536)
+      throw std::invalid_argument("--threads: expected a comma list of "
+                                  "positive integers (<= 65536), got \"" +
+                                  item + "\" in \"" + text + "\"");
+    out.push_back(static_cast<std::size_t>(n));
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }

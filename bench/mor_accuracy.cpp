@@ -1,0 +1,267 @@
+// MOR accuracy-vs-speedup frontier: reduced-order (mor/) delay and noise
+// against the full MNA transient reference, on the paper's Table-1 grid and
+// on a 5-line coupled bus. Emits one JSON document; the EXIT STATUS is the
+// accuracy/speedup/determinism gate, so CI fails when the frontier regresses.
+//
+// What is measured:
+//  * Single line — the 36-cell Table-1 grid (Rt in {5000,1000,500} ohm from
+//    RT in {0.1,0.5,1.0}, Lt in {1e-5..1e-8} H, CL in {0.1,0.5,1.0} pF;
+//    Ct = 1 pF, Rtr = 500 ohm): 50% delay of mor::reduced_gate_delay at
+//    q in {2,4,6,8} vs the MNA transient on the SAME 60-segment ladder.
+//  * 5-line bus — victim 50% delay (same-/opposite-phase) and quiet-victim
+//    peak noise of core::analyze_crosstalk_reduced vs analyze_crosstalk.
+//  * Cost — single-thread wall time per point, full vs reduced, plus the
+//    linear-solve count proxy (transient steps vs 2q moment solves).
+//  * Determinism — a kReducedDelay sweep run at 1 and 3 threads must be
+//    bit-identical (the mor::ConductanceReuse seeding contract).
+//
+// Honest-frontier note: the q >= 4 models sit well inside 1% on the damped
+// 2/3 of the grid (zeta >= 0.5) and the mean |error| stays near 1% overall,
+// but the wave-dominated corner (zeta ~ 0.04-0.4: Lt = 1e-5 rows, where the
+// 50% crossing IS a reflected wavefront) bottoms out at a few percent even
+// with transport-delay extraction — a known limit of low-order rational
+// approximation, and still sharper than the paper's own 5% claim for its
+// two-pole-class model on the same grid. The gates below encode exactly
+// that frontier (worst + mean per order) so a regression in EITHER regime
+// fails the bench.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/crosstalk.h"
+#include "mor/response.h"
+#include "sim/builders.h"
+#include "sweep/sweep.h"
+
+using namespace rlcsim;
+
+namespace {
+
+constexpr int kSegments = 60;
+constexpr int kBusSegments = 20;
+const std::vector<int> kOrders{2, 4, 6, 8};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ErrorStats {
+  double worst = 0.0;
+  double sum = 0.0;
+  int count = 0;
+  void add(double reduced, double reference) {
+    const double err = std::fabs(benchutil::pct(reduced, reference));
+    worst = std::max(worst, err);
+    sum += err;
+    ++count;
+  }
+  double mean() const { return count > 0 ? sum / count : 0.0; }
+};
+
+bool gate(const char* name, double value, double limit, bool* pass) {
+  const bool ok = value <= limit;
+  if (!ok) *pass = false;
+  std::printf("    {\"gate\": \"%s\", \"value\": %.3f, \"limit\": %.3f, "
+              "\"pass\": %s}",
+              name, value, limit, ok ? "true" : "false");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+
+  bool pass = true;
+  std::printf("{\n");
+  std::printf("  \"bench\": \"mor_accuracy\",\n");
+  std::printf("  \"segments\": %d,\n", kSegments);
+
+  // ---------------------------------------------------- single-line grid
+  const std::vector<double> rts{5000.0, 1000.0, 500.0};
+  const std::vector<double> lts{1e-5, 1e-6, 1e-7, 1e-8};
+  const std::vector<double> cls{0.1e-12, 0.5e-12, 1e-12};
+
+  std::vector<ErrorStats> stats(kOrders.size());
+  double full_seconds = 0.0, reduced_seconds = 0.0;
+  std::size_t full_points = 0, reduced_points = 0;
+  std::size_t transient_solves = 0;
+
+  mor::ConductanceReuse grid_reuse;  // one symbolic G factorization, reused
+  for (double rt : rts) {
+    for (double lt : lts) {
+      for (double cl : cls) {
+        const tline::GateLineLoad system{500.0, {rt, lt, 1e-12}, cl};
+        double t0 = now_seconds();
+        const sim::Circuit circuit = sim::build_gate_line_load(system, kSegments);
+        sim::TransientOptions transient;
+        transient.t_stop = sim::default_transient_horizon(system);
+        const sim::DelayRun run = sim::run_until_crossing(
+            circuit, "out", 0.5, transient, "mor_accuracy");
+        const double reference = run.crossing;
+        transient_solves += run.result.steps_taken;
+        full_seconds += now_seconds() - t0;
+        ++full_points;
+
+        for (std::size_t qi = 0; qi < kOrders.size(); ++qi) {
+          t0 = now_seconds();
+          const double reduced = mor::reduced_gate_delay(
+              system, kSegments, kOrders[qi], 0.5, &grid_reuse);
+          reduced_seconds += now_seconds() - t0;
+          ++reduced_points;
+          stats[qi].add(reduced, reference);
+        }
+      }
+    }
+  }
+
+  const double full_per_point = full_seconds / static_cast<double>(full_points);
+  const double reduced_per_point =
+      reduced_seconds / static_cast<double>(reduced_points);
+  const double speedup = full_per_point / reduced_per_point;
+  const double solves_per_transient =
+      static_cast<double>(transient_solves) / static_cast<double>(full_points);
+
+  std::printf("  \"single_line\": {\n");
+  std::printf("    \"cells\": %zu,\n", full_points);
+  std::printf("    \"orders\": [\n");
+  for (std::size_t qi = 0; qi < kOrders.size(); ++qi)
+    std::printf("      {\"q\": %d, \"worst_pct\": %.3f, \"mean_pct\": %.3f}%s\n",
+                kOrders[qi], stats[qi].worst, stats[qi].mean(),
+                qi + 1 < kOrders.size() ? "," : "");
+  std::printf("    ],\n");
+  std::printf("    \"full_ms_per_point\": %.3f,\n", full_per_point * 1e3);
+  std::printf("    \"reduced_ms_per_point\": %.3f,\n", reduced_per_point * 1e3);
+  std::printf("    \"wall_time_speedup\": %.1f,\n", speedup);
+  std::printf("    \"linear_solves_full\": %.0f,\n", solves_per_transient);
+  std::printf("    \"linear_solves_reduced_q8\": %d\n", 2 * 8);
+  std::printf("  },\n");
+
+  // ------------------------------------------------------------ 5-line bus
+  const tline::LineParams bus_line{200.0, 5e-9, 1e-12};
+  const tline::CoupledBus bus = tline::make_bus(5, bus_line, 0.4, 0.25);
+  core::CrosstalkOptions xt;
+  xt.driver_resistance = 100.0;
+  xt.load_capacitance = 50e-15;
+  xt.segments = kBusSegments;
+
+  double bus_full_seconds = 0.0, bus_reduced_seconds = 0.0;
+  double bus_worst_delay_q4up = 0.0, bus_worst_noise_q4up = 0.0;
+  std::printf("  \"bus\": {\n");
+  std::printf("    \"lines\": %d,\n    \"segments\": %d,\n", bus.lines,
+              kBusSegments);
+  std::printf("    \"patterns\": [\n");
+  const core::SwitchingPattern patterns[] = {
+      core::SwitchingPattern::kSamePhase, core::SwitchingPattern::kOppositePhase,
+      core::SwitchingPattern::kQuietVictim};
+  for (std::size_t p = 0; p < 3; ++p) {
+    double t0 = now_seconds();
+    const core::CrosstalkMetrics full =
+        core::analyze_crosstalk(bus, patterns[p], xt);
+    bus_full_seconds += now_seconds() - t0;
+    std::printf("      {\"pattern\": \"%s\", \"orders\": [",
+                core::switching_pattern_name(patterns[p]));
+    for (std::size_t qi = 0; qi < kOrders.size(); ++qi) {
+      t0 = now_seconds();
+      const core::CrosstalkMetrics reduced =
+          core::analyze_crosstalk_reduced(bus, patterns[p], xt, kOrders[qi]);
+      bus_reduced_seconds += now_seconds() - t0;
+      double delay_err = 0.0, noise_err = 0.0;
+      if (full.victim_delay_50 && reduced.victim_delay_50) {
+        delay_err =
+            benchutil::pct(*reduced.victim_delay_50, *full.victim_delay_50);
+        if (kOrders[qi] >= 4)
+          bus_worst_delay_q4up =
+              std::max(bus_worst_delay_q4up, std::fabs(delay_err));
+      }
+      if (full.peak_noise > 1e-6) {
+        noise_err = benchutil::pct(reduced.peak_noise, full.peak_noise);
+        if (kOrders[qi] >= 4 && patterns[p] == core::SwitchingPattern::kQuietVictim)
+          bus_worst_noise_q4up =
+              std::max(bus_worst_noise_q4up, std::fabs(noise_err));
+      }
+      std::printf("{\"q\": %d, \"delay_err_pct\": %.3f, \"noise_err_pct\": "
+                  "%.3f}%s",
+                  kOrders[qi], delay_err, noise_err,
+                  qi + 1 < kOrders.size() ? ", " : "");
+    }
+    std::printf("]}%s\n", p + 1 < 3 ? "," : "");
+  }
+  const double bus_speedup =
+      (bus_full_seconds / 3.0) /
+      (bus_reduced_seconds / (3.0 * static_cast<double>(kOrders.size())));
+  std::printf("    ],\n");
+  std::printf("    \"wall_time_speedup\": %.1f\n", bus_speedup);
+  std::printf("  },\n");
+
+  // -------------------------------------------- reduced-sweep determinism
+  // A kReducedDelay sweep must be bit-identical at any thread count: every
+  // worker replays the ONE recorded G symbolic factorization.
+  sweep::SweepSpec spec;
+  spec.base.system = {100.0, bus_line, 50e-15};
+  spec.base.xtalk.bus_lines = 3;
+  spec.base.xtalk.reduction_order = 4;
+  const int grid_side = fast ? 2 : 4;
+  spec.axes = {
+      sweep::linspace(sweep::Variable::kCouplingCapRatio, 0.1, 0.6, grid_side),
+      sweep::linspace(sweep::Variable::kMutualRatio, 0.05, 0.3, grid_side),
+      sweep::switching_patterns({core::SwitchingPattern::kSamePhase,
+                                 core::SwitchingPattern::kOppositePhase}),
+  };
+  std::vector<double> reference_values;
+  bool identical = true;
+  std::size_t symbolic_one_thread = 0;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    sweep::EngineOptions options;
+    options.threads = threads;
+    options.segments = kBusSegments;
+    const sweep::SweepEngine engine(options);
+    const sweep::SweepResult result =
+        engine.run(spec, sweep::Analysis::kReducedDelay);
+    if (threads == 1) {
+      reference_values = result.values;
+      symbolic_one_thread = result.symbolic_factorizations;
+    } else {
+      identical = result.values == reference_values;  // exact, bit-for-bit
+    }
+  }
+  std::printf("  \"reduced_sweep\": {\"points\": %zu, "
+              "\"symbolic_factorizations\": %zu, "
+              "\"bit_identical_1_vs_3_threads\": %s},\n",
+              spec.size(), symbolic_one_thread, identical ? "true" : "false");
+  if (!identical) pass = false;
+
+  // ------------------------------------------------------------------ gates
+  std::printf("  \"gates\": [\n");
+  gate("q4_worst_pct", stats[1].worst, 5.0, &pass);
+  std::printf(",\n");
+  gate("q4_mean_pct", stats[1].mean(), 1.2, &pass);
+  std::printf(",\n");
+  gate("q6_worst_pct", stats[2].worst, 5.5, &pass);
+  std::printf(",\n");
+  gate("q6_mean_pct", stats[2].mean(), 1.0, &pass);
+  std::printf(",\n");
+  gate("q8_worst_pct", stats[3].worst, 3.5, &pass);
+  std::printf(",\n");
+  gate("q8_mean_pct", stats[3].mean(), 0.8, &pass);
+  std::printf(",\n");
+  gate("bus_delay_q4up_worst_pct", bus_worst_delay_q4up, 3.0, &pass);
+  std::printf(",\n");
+  gate("bus_noise_q4up_worst_pct", bus_worst_noise_q4up, 10.0, &pass);
+  std::printf(",\n");
+  // Wall-clock gate: >= 10x fewer seconds per sweep point, reduced vs full.
+  // The measured margin is large (the solve-count proxy alone is ~250x), so
+  // machine noise cannot flake this.
+  gate("min_speedup_x", 10.0 / std::max(speedup, 1e-9), 1.0, &pass);
+  std::printf("\n  ],\n");
+  std::printf("  \"pass\": %s\n}\n", pass ? "true" : "false");
+  return pass ? 0 : 1;
+}

@@ -59,7 +59,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc) {
       target_points = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      thread_counts = benchutil::parse_thread_list(argv[++i]);
+      try {
+        thread_counts = benchutil::parse_thread_list(argv[++i]);
+      } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "sweep_scaling: %s\n", error.what());
+        return 2;
+      }
     }
   }
 

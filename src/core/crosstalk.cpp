@@ -3,20 +3,28 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <variant>
 #include <vector>
 
 #include "core/two_pole.h"
+#include "mor/reduce.h"
+#include "mor/response.h"
 #include "sim/builders.h"
 
 namespace rlcsim::core {
 namespace {
 
 std::vector<sim::BusDrive> drives_for(const tline::CoupledBus& bus,
-                                      SwitchingPattern pattern) {
+                                      SwitchingPattern pattern,
+                                      int shield_every) {
   std::vector<sim::BusDrive> drives;
   drives.reserve(static_cast<std::size_t>(bus.lines));
   const int victim = bus.victim_index();
   for (int i = 0; i < bus.lines; ++i) {
+    if (is_shield_line(i, victim, shield_every)) {
+      drives.push_back(sim::BusDrive::kShieldGrounded);
+      continue;
+    }
     switch (pattern) {
       case SwitchingPattern::kQuietVictim:
         drives.push_back(i == victim ? sim::BusDrive::kQuietLow
@@ -34,7 +42,60 @@ std::vector<sim::BusDrive> drives_for(const tline::CoupledBus& bus,
   return drives;
 }
 
+// Initial level, swing, and rise of one driver, read from the BUILT
+// circuit's actual source spec — the single source of truth shared with the
+// transient path, so the two analyses of the identical circuit can never
+// desynchronize if build_coupled_bus's drive table changes.
+struct DriveSignal {
+  double initial = 0.0;  // level just before t = 0
+  double swing = 0.0;    // switching amplitude at t = 0
+  double rise = 0.0;     // linear ramp duration (0 = ideal step)
+};
+DriveSignal drive_signal(const sim::SourceSpec& spec) {
+  if (const auto* dc = std::get_if<sim::DcSpec>(&spec))
+    return {dc->value, 0.0, 0.0};
+  if (const auto* step = std::get_if<sim::StepSpec>(&spec)) {
+    if (step->delay != 0.0)
+      throw std::invalid_argument(
+          "analyze_crosstalk_reduced: delayed step drives are not supported");
+    return {step->v0, step->v1 - step->v0, step->rise};
+  }
+  throw std::invalid_argument(
+      "analyze_crosstalk_reduced: only DC and step drives are supported");
+}
+
+// The push-out reference shared by the transient and reduced paths:
+// absent ONLY in the documented degenerate-damping corner where the
+// two-pole bracket does not exist in double precision (any other
+// root-finder failure still propagates), so the two paths can never drift
+// in what "reference unavailable" means.
+std::optional<double> isolated_two_pole_delay(const tline::GateLineLoad& isolated) {
+  try {
+    return TwoPoleModel(isolated).threshold_delay(0.5);
+  } catch (const BracketError&) {
+    return std::nullopt;
+  }
+}
+
+void validate_options(const tline::CoupledBus& bus,
+                      const CrosstalkOptions& options, const char* context) {
+  tline::validate(bus);
+  if (!(options.driver_resistance > 0.0))
+    throw std::invalid_argument(std::string(context) +
+                                ": driver_resistance must be > 0");
+  if (!(options.vdd > 0.0))
+    throw std::invalid_argument(std::string(context) + ": vdd must be > 0");
+  if (options.shield_every < 0)
+    throw std::invalid_argument(std::string(context) +
+                                ": shield_every must be >= 0");
+}
+
 }  // namespace
+
+bool is_shield_line(int line, int victim, int shield_every) {
+  if (shield_every < 1 || line == victim) return false;
+  return std::abs(line - victim) % shield_every == 0;
+}
 
 const char* switching_pattern_name(SwitchingPattern pattern) {
   switch (pattern) {
@@ -48,20 +109,18 @@ const char* switching_pattern_name(SwitchingPattern pattern) {
 CrosstalkMetrics analyze_crosstalk(const tline::CoupledBus& bus,
                                    SwitchingPattern pattern,
                                    const CrosstalkOptions& options) {
-  tline::validate(bus);
-  if (!(options.driver_resistance > 0.0))
-    throw std::invalid_argument("analyze_crosstalk: driver_resistance must be > 0");
-  if (!(options.vdd > 0.0))
-    throw std::invalid_argument("analyze_crosstalk: vdd must be > 0");
+  validate_options(bus, options, "analyze_crosstalk");
 
-  const tline::GateLineLoad isolated{options.driver_resistance, bus.line,
+  const int victim_line = bus.victim_index();
+  const tline::GateLineLoad isolated{options.driver_resistance,
+                                     bus.line_at(victim_line),
                                      options.load_capacitance};
-  const sim::Circuit circuit =
-      sim::build_coupled_bus(bus, drives_for(bus, pattern),
-                             options.driver_resistance, options.load_capacitance,
-                             options.segments, options.vdd);
+  const sim::Circuit circuit = sim::build_coupled_bus(
+      bus, drives_for(bus, pattern, options.shield_every),
+      options.driver_resistance, options.load_capacitance, options.segments,
+      options.vdd);
   const std::string victim_node =
-      "line" + std::to_string(bus.victim_index()) + ".out";
+      "line" + std::to_string(victim_line) + ".out";
   const bool victim_switches = pattern != SwitchingPattern::kQuietVictim;
 
   sim::TransientOptions transient;
@@ -75,17 +134,9 @@ CrosstalkMetrics analyze_crosstalk(const tline::CoupledBus& bus,
   CrosstalkMetrics metrics;
   sim::Trace victim;
   if (victim_switches) {
-    // The push-out reference. Computed only when a push-out exists, and a
-    // degenerate two-pole bracket (pathologically extreme damping) leaves
-    // the reference absent rather than aborting a perfectly measurable
-    // victim delay.
-    try {
-      metrics.isolated_delay_two_pole =
-          TwoPoleModel(isolated).threshold_delay(0.5);
-    } catch (const BracketError&) {
-      // Only the documented degenerate-damping corner; any other root-finder
-      // failure still propagates.
-    }
+    // The push-out reference; computed only when a push-out exists, absent
+    // (not fatal) in the degenerate-damping corner.
+    metrics.isolated_delay_two_pole = isolated_two_pole_delay(isolated);
     // The Miller-degraded corner can be much slower than the isolated
     // estimate the horizon comes from; run_until_crossing auto-extends.
     sim::DelayRun run = sim::run_until_crossing(
@@ -105,6 +156,111 @@ CrosstalkMetrics analyze_crosstalk(const tline::CoupledBus& bus,
   const double hi = victim_switches ? options.vdd : 0.0;
   metrics.peak_noise =
       std::max({0.0, lo - victim.min_value(), victim.max_value() - hi});
+  return metrics;
+}
+
+CrosstalkMetrics analyze_crosstalk_reduced(const tline::CoupledBus& bus,
+                                           SwitchingPattern pattern,
+                                           const CrosstalkOptions& options,
+                                           int order,
+                                           mor::ConductanceReuse* reuse) {
+  validate_options(bus, options, "analyze_crosstalk_reduced");
+  if (order < 1)
+    throw std::invalid_argument("analyze_crosstalk_reduced: order must be >= 1");
+
+  const int victim_line = bus.victim_index();
+  const std::vector<sim::BusDrive> drives =
+      drives_for(bus, pattern, options.shield_every);
+  const sim::Circuit circuit = sim::build_coupled_bus(
+      bus, drives, options.driver_resistance, options.load_capacitance,
+      options.segments, options.vdd);
+  const std::string victim_node =
+      "line" + std::to_string(victim_line) + ".out";
+  const bool victim_switches = pattern != SwitchingPattern::kQuietVictim;
+
+  const sim::MnaAssembler mna(circuit);
+  const mor::LinearSystem linear = mor::make_linear_system(mna, {victim_node});
+  const mor::MomentGenerator generator(linear, reuse);
+
+  // Transport-delay candidate bound for every transfer: the victim line's
+  // own time of flight (the selection in reduce_transfer adapts downward).
+  const double max_delay = bus.line_at(victim_line).time_of_flight();
+
+  // Superposition around the t = 0- DC point: every source contributes its
+  // pre-switch level times its DC transfer (that sum is the victim's initial
+  // level), then its swing times its reduced step/ramp response.
+  // build_coupled_bus adds exactly one voltage source per line, in line
+  // order, so input column i is line i's driver; each signal is decoded
+  // from that source's OWN spec, never re-derived from the drive enum.
+  double initial_dc = 0.0;
+  struct Contribution {
+    mor::PoleResidueModel model;
+    double swing = 0.0;
+    double rise = 0.0;
+  };
+  std::vector<Contribution> contributions;
+  for (int i = 0; i < bus.lines; ++i) {
+    const DriveSignal signal = drive_signal(
+        circuit.voltage_sources()[static_cast<std::size_t>(i)].spec);
+    const double swing = signal.swing;
+    const double level0 = signal.initial;
+    if (swing != 0.0) {
+      // A driver at distance d from the victim couples through d
+      // nearest-neighbor hops, so its transfer rises like s^d (its first d
+      // moments are exactly zero — G alone does not couple the lines) and
+      // no rational with fewer than d+1 poles can represent it. Those far
+      // transfers are also the smallest contributions, so raising their
+      // order to the representability floor keeps "q-th order" honest where
+      // it matters (the victim's own transfer and its neighbors').
+      const int distance = std::abs(i - victim_line);
+      const int transfer_order = std::max(order, distance + 1);
+      const std::vector<double> moments = generator.transfer_moments(
+          linear.outputs[0], linear.inputs[static_cast<std::size_t>(i)],
+          2 * transfer_order);
+      initial_dc += level0 * moments[0];
+      contributions.push_back(
+          {mor::reduce_transfer(moments, transfer_order, max_delay), swing,
+           signal.rise});
+    } else if (level0 != 0.0) {
+      // Non-switching source held at a nonzero level: only its DC transfer
+      // contributes (one solve, no reduction).
+      const std::vector<double> m0 =
+          generator.solve(linear.inputs[static_cast<std::size_t>(i)]);
+      double dc = 0.0;
+      for (std::size_t n = 0; n < m0.size(); ++n)
+        dc += linear.outputs[0][n] * m0[n];
+      initial_dc += level0 * dc;
+    }
+  }
+
+  CrosstalkMetrics metrics;
+  mor::AnalyticResponse shifted(initial_dc);
+  for (const auto& c : contributions) {
+    if (c.rise > 0.0)
+      shifted.add_ramp(c.model, c.swing, c.rise);
+    else
+      shifted.add_step(c.model, c.swing);
+  }
+
+  // One measurement pass serves both delay and noise (rise metrics are not
+  // part of CrosstalkMetrics, so their scans are skipped).
+  const double hi = victim_switches ? options.vdd : 0.0;
+  const mor::ResponseMetrics measured =
+      shifted.measure(0.0, hi, /*want_rise=*/false);
+  metrics.peak_noise = measured.peak_noise;
+  if (victim_switches) {
+    if (!measured.delay_50)
+      throw std::runtime_error(
+          "analyze_crosstalk_reduced: '" + victim_node +
+          "' never crossed the threshold within the (auto-extended) window");
+    metrics.victim_delay_50 = *measured.delay_50;
+    metrics.isolated_delay_two_pole = isolated_two_pole_delay(
+        {options.driver_resistance, bus.line_at(victim_line),
+         options.load_capacitance});
+    if (metrics.isolated_delay_two_pole)
+      metrics.delay_pushout =
+          *measured.delay_50 - *metrics.isolated_delay_two_pole;
+  }
   return metrics;
 }
 

@@ -18,6 +18,7 @@
 
 #include <optional>
 
+#include "mor/moments.h"
 #include "sim/mna.h"
 #include "sim/transient.h"
 #include "tline/coupled_bus.h"
@@ -37,6 +38,14 @@ struct CrosstalkOptions {
   double load_capacitance = 0.0;   // per line, >= 0
   int segments = 40;               // ladder segments per line
   double vdd = 1.0;
+  // Shield insertion: 0 = no shields; s >= 1 grounds (through the driver,
+  // both ends — sim::BusDrive::kShieldGrounded) every line whose distance
+  // from the victim is a positive multiple of s. s = 1 is the fully
+  // shielded bus (every neighbor grounded: with nearest-neighbor coupling
+  // the victim sees NO switching aggressor, only the shields' fixed ground
+  // load); larger s leaves the victim's neighbors switching and grounds
+  // lines further out. Shield lines never switch, whatever the pattern.
+  int shield_every = 0;
   // Transient discretization; 0 picks per-scenario defaults
   // (sim::default_transient_horizon of the isolated line; dt = t_stop/4000).
   double t_stop = 0.0;
@@ -45,6 +54,10 @@ struct CrosstalkOptions {
   // Optional cross-run symbolic-factorization reuse (sweep hot path).
   sim::SolverReuse* reuse = nullptr;
 };
+
+// True iff `line` is a shield under the victim-anchored shield_every rule
+// above (the victim itself is never a shield).
+bool is_shield_line(int line, int victim, int shield_every);
 
 // All metrics come from ONE transient of the given pattern. Optional fields
 // are absent — never 0 — when the pattern (or numerics) does not define them.
@@ -72,5 +85,24 @@ struct CrosstalkMetrics {
 CrosstalkMetrics analyze_crosstalk(const tline::CoupledBus& bus,
                                    SwitchingPattern pattern,
                                    const CrosstalkOptions& options);
+
+// Reduced-order ANALYTIC variant of analyze_crosstalk: builds the identical
+// bus circuit, AWE-reduces every (victim, switching driver) transfer to
+// `order` poles over ONE sparse factorization of G (mor/), superposes the
+// closed-form step responses by linearity, and measures the same metrics on
+// the formula — no time stepping. order = 2 is the ROADMAP's
+// Miller-corrected two-pole victim-delay model: the victim's own two-pole
+// dynamics plus two-pole coupling terms whose signs encode the switching
+// pattern (the Miller effect on Cc falls out of the cross moments).
+//
+// `reuse` shares the symbolic factorization of G across sweep points
+// (mor::ConductanceReuse; same contract as sim::SolverReuse). Throws like
+// analyze_crosstalk; additionally std::runtime_error if no stable reduced
+// model exists.
+CrosstalkMetrics analyze_crosstalk_reduced(const tline::CoupledBus& bus,
+                                           SwitchingPattern pattern,
+                                           const CrosstalkOptions& options,
+                                           int order = 4,
+                                           mor::ConductanceReuse* reuse = nullptr);
 
 }  // namespace rlcsim::core

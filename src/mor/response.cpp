@@ -1,0 +1,223 @@
+#include "mor/response.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/optimize.h"
+#include "numeric/roots.h"
+#include "sim/builders.h"
+
+namespace rlcsim::mor {
+namespace {
+
+using Complex = std::complex<double>;
+
+// Extremum refinement inside a bracketing interval via the shared 1-D
+// minimizer (`sign` = +1 maximizes by minimizing -f). The objective is a
+// smooth exponential sum, so Brent's parabolic steps converge fast.
+double refine_extremum(const std::function<double(double)>& f, double lo,
+                       double hi, int sign) {
+  numeric::MinimizeOptions options;
+  options.x_tolerance = 1e-14 * std::max(std::fabs(hi), 1e-300);
+  return numeric::brent_min(
+             [&](double x) { return sign > 0 ? -f(x) : f(x); }, lo, hi,
+             options)
+      .x;
+}
+
+}  // namespace
+
+AnalyticResponse::AnalyticResponse(double dc_offset) : dc_offset_(dc_offset) {}
+
+void AnalyticResponse::add_step(const PoleResidueModel& h, double delta) {
+  add_ramp(h, delta, 0.0);
+}
+
+void AnalyticResponse::add_ramp(const PoleResidueModel& h, double delta,
+                                double rise) {
+  if (rise < 0.0 || !std::isfinite(rise))
+    throw std::invalid_argument("AnalyticResponse: rise must be >= 0");
+  Contribution c;
+  c.delta = delta;
+  c.rise = rise;
+  c.dc = h.dc_gain;
+  c.delay = h.delay;
+  c.terms.reserve(h.poles.size());
+  for (std::size_t i = 0; i < h.poles.size(); ++i) {
+    const Complex p = h.poles[i];
+    const Complex coefficient =
+        rise > 0.0 ? h.residues[i] / (p * p) : h.residues[i] / p;
+    c.terms.emplace_back(p, coefficient);
+    if (p.real() < 0.0)
+      slowest_tau_ = std::max(slowest_tau_, 1.0 / -p.real());
+    max_omega_ = std::max(max_omega_, std::fabs(p.imag()));
+  }
+  max_rise_ = std::max(max_rise_, rise);
+  max_delay_ = std::max(max_delay_, h.delay);
+  contributions_.push_back(std::move(c));
+}
+
+double AnalyticResponse::contribution_value(const Contribution& c,
+                                            double t) const {
+  const double ts = t - c.delay;  // response is exactly 0 before the delay
+  if (ts <= 0.0) return 0.0;
+  if (c.rise == 0.0) {
+    Complex sum = 0.0;
+    for (const auto& [p, a] : c.terms) sum += a * std::exp(p * ts);
+    return c.delta * (c.dc + sum.real());
+  }
+  // Ramp: (z(ts) - z(ts - rise)) / rise with z the step-response integral.
+  const auto z = [&](double tau) {
+    if (tau <= 0.0) return 0.0;
+    Complex sum = 0.0;
+    for (const auto& [p, a] : c.terms) sum += a * (std::exp(p * tau) - 1.0);
+    return c.dc * tau + sum.real();
+  };
+  return c.delta * (z(ts) - z(ts - c.rise)) / c.rise;
+}
+
+double AnalyticResponse::value(double t) const {
+  double v = dc_offset_;
+  for (const auto& c : contributions_) v += contribution_value(c, t);
+  return v;
+}
+
+double AnalyticResponse::final_value() const {
+  double v = dc_offset_;
+  for (const auto& c : contributions_) v += c.delta * c.dc;
+  return v;
+}
+
+double AnalyticResponse::slowest_time_constant() const { return slowest_tau_; }
+
+double AnalyticResponse::suggested_horizon() const {
+  const double tau = slowest_tau_ > 0.0 ? slowest_tau_ : 1e-12;
+  return 12.0 * tau + 2.0 * max_rise_ + max_delay_;
+}
+
+std::optional<double> AnalyticResponse::first_crossing(double level,
+                                                       int direction,
+                                                       double t_from) const {
+  double window = suggested_horizon();
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    // Enough samples to bracket every half-oscillation in the window, with a
+    // floor for smooth responses and a cap against pathological requests.
+    std::size_t samples = 2048;
+    if (max_omega_ > 0.0) {
+      const double oscillations = window * max_omega_ / (2.0 * 3.14159265358979323846);
+      samples = std::clamp<std::size_t>(
+          static_cast<std::size_t>(32.0 * oscillations), samples, 1u << 18);
+    }
+    double prev_t = t_from;
+    double prev_v = value(prev_t);
+    for (std::size_t i = 1; i <= samples; ++i) {
+      const double t = t_from + window * static_cast<double>(i) /
+                                    static_cast<double>(samples);
+      const double v = value(t);
+      const bool rising = prev_v < level && v >= level;
+      const bool falling = prev_v > level && v <= level;
+      if ((direction >= 0 && rising) || (direction <= 0 && falling)) {
+        // Absolute x tolerance scaled to the time window: the default
+        // 1e-12 is meant for O(1) roots and would stop 3 decades early on
+        // nanosecond-scale crossings.
+        numeric::RootOptions tolerance;
+        tolerance.x_tolerance = 1e-14 * window;
+        return numeric::brent([&](double x) { return value(x) - level; },
+                              prev_t, t, tolerance);
+      }
+      prev_t = t;
+      prev_v = v;
+    }
+    window *= 4.0;
+  }
+  return std::nullopt;
+}
+
+ResponseMetrics AnalyticResponse::measure(double drive_lo, double drive_hi,
+                                          bool want_rise) const {
+  ResponseMetrics metrics;
+  const double swing = drive_hi - drive_lo;
+  const int direction = swing > 0.0 ? +1 : -1;
+  if (swing != 0.0) {
+    metrics.delay_50 = first_crossing(drive_lo + 0.5 * swing, direction);
+    if (want_rise) {
+      const auto t10 = first_crossing(drive_lo + 0.1 * swing, direction);
+      if (t10) {
+        const auto t90 =
+            first_crossing(drive_lo + 0.9 * swing, direction, *t10);
+        if (t90) metrics.rise_10_90 = *t90 - *t10;
+      }
+    }
+  }
+
+  // Global extrema: scan the settled window, refine the best brackets.
+  const double horizon = suggested_horizon();
+  std::size_t samples = 4096;
+  if (max_omega_ > 0.0) {
+    const double oscillations =
+        horizon * max_omega_ / (2.0 * 3.14159265358979323846);
+    samples = std::clamp<std::size_t>(
+        static_cast<std::size_t>(32.0 * oscillations), samples, 1u << 18);
+  }
+  double max_v = value(0.0), min_v = max_v;
+  std::size_t max_i = 0, min_i = 0;
+  for (std::size_t i = 1; i <= samples; ++i) {
+    const double t =
+        horizon * static_cast<double>(i) / static_cast<double>(samples);
+    const double v = value(t);
+    if (v > max_v) {
+      max_v = v;
+      max_i = i;
+    }
+    if (v < min_v) {
+      min_v = v;
+      min_i = i;
+    }
+  }
+  const auto refine = [&](std::size_t i, int sign, double coarse) {
+    if (i == 0 || i == samples) return coarse;
+    const double dt = horizon / static_cast<double>(samples);
+    const double t = refine_extremum([&](double x) { return value(x); },
+                                     static_cast<double>(i - 1) * dt,
+                                     static_cast<double>(i + 1) * dt, sign);
+    return sign > 0 ? std::max(coarse, value(t)) : std::min(coarse, value(t));
+  };
+  metrics.peak_value = refine(max_i, +1, max_v);
+  metrics.min_value = refine(min_i, -1, min_v);
+
+  const double envelope_lo = std::min(drive_lo, drive_hi);
+  const double envelope_hi = std::max(drive_lo, drive_hi);
+  metrics.peak_noise = std::max(
+      {0.0, envelope_lo - metrics.min_value, metrics.peak_value - envelope_hi});
+  if (swing != 0.0) {
+    const double past_final = direction > 0 ? metrics.peak_value - drive_hi
+                                            : drive_hi - metrics.min_value;
+    metrics.overshoot = std::max(0.0, past_final / std::fabs(swing));
+  }
+  return metrics;
+}
+
+double reduced_gate_delay(const tline::GateLineLoad& system, int segments,
+                          int order, double threshold,
+                          ConductanceReuse* reuse) {
+  const sim::Circuit circuit = sim::build_gate_line_load(system, segments);
+  const sim::MnaAssembler mna(circuit);
+  const LinearSystem linear = make_linear_system(mna, {"out"});
+  const MomentGenerator generator(linear, reuse);
+  const std::vector<double> moments = generator.transfer_moments(
+      linear.outputs[0], linear.inputs[0], 2 * order);
+  const PoleResidueModel model =
+      reduce_transfer(moments, order, system.line.time_of_flight());
+
+  AnalyticResponse response;
+  response.add_step(model, 1.0);
+  const auto crossing = response.first_crossing(threshold, +1);
+  if (!crossing)
+    throw std::runtime_error(
+        "reduced_gate_delay: reduced response never crossed the threshold "
+        "within the (auto-extended) window");
+  return *crossing;
+}
+
+}  // namespace rlcsim::mor

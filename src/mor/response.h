@@ -1,0 +1,107 @@
+// Closed-form time responses and waveform metrics of pole-residue models.
+//
+// Once a circuit is reduced to poles and residues (mor/reduce.h), every
+// waveform this library measures becomes an explicit exponential sum:
+//
+//   step:  y(t) = H(0) + sum Re( (r/p) e^{pt} )
+//   ramp:  y(t) = (z(t) - z(t - rise)) / rise,
+//          z(t) = H(0) t + sum Re( (r/p^2)(e^{pt} - 1) )
+//
+// so 50% delay, 10-90% rise, overshoot and peak noise are root- and
+// peak-finding problems ON A FORMULA — no time stepping, no LU solves, no
+// waveform storage. An AnalyticResponse superposes any number of weighted
+// contributions (one per switching driver of a bus) plus a DC offset, which
+// is exactly how the coupled-bus victim waveform decomposes by linearity.
+//
+// Crossing searches mirror sim::run_until_crossing semantics: a scan window
+// derived from the model's own time constants, auto-extended x4 up to 4
+// attempts, then sub-sample refinement (Brent) — but each probe evaluates
+// the closed form directly.
+#pragma once
+
+#include <complex>
+#include <optional>
+#include <vector>
+
+#include "mor/moments.h"
+#include "mor/reduce.h"
+#include "tline/transfer.h"
+
+namespace rlcsim::mor {
+
+// Waveform metrics of one analytic response against its drive envelope
+// [drive_lo, drive_hi] (initial -> final drive level). Optional fields are
+// absent — never 0 — when the response does not define them.
+struct ResponseMetrics {
+  std::optional<double> delay_50;    // first crossing of the 50% level, s
+  std::optional<double> rise_10_90;  // 10% -> 90% transition time, s
+  double overshoot = 0.0;   // peak excursion past the final level / |swing|
+  double peak_noise = 0.0;  // excursion outside the drive envelope, volts
+  double peak_value = 0.0;  // global max over the measured window
+  double min_value = 0.0;   // global min over the measured window
+};
+
+// A superposition of closed-form step/ramp responses: the victim waveform of
+// an N-driver bus is dc_offset + sum_j delta_j * response_j(t).
+class AnalyticResponse {
+ public:
+  explicit AnalyticResponse(double dc_offset = 0.0);
+
+  // Adds `delta` times the unit-step response of `h` (the driver steps by
+  // delta volts at t = 0).
+  void add_step(const PoleResidueModel& h, double delta);
+  // Same but the driver ramps linearly over `rise` seconds (> 0).
+  void add_ramp(const PoleResidueModel& h, double delta, double rise);
+
+  double value(double t) const;
+  double initial_value() const { return value(0.0); }
+  double final_value() const;
+
+  // Slowest decay constant max 1/|Re p| over all stable poles (0 if none).
+  double slowest_time_constant() const;
+  // Default scan window: the response has settled well within it.
+  double suggested_horizon() const;
+
+  // First crossing of `level` at/after t_from in the given direction
+  // (+1 rising, -1 falling, 0 either), with the auto-extending window.
+  // absent = never crosses (run_until_crossing throws here; callers choose).
+  std::optional<double> first_crossing(double level, int direction = +1,
+                                       double t_from = 0.0) const;
+
+  // All metrics against the drive envelope [drive_lo -> drive_hi]
+  // (drive_lo = initial drive level, drive_hi = final). delay_50/rise are
+  // absent when the envelope has no swing (a quiet victim). `want_rise`
+  // skips the two 10%/90% crossing scans for callers that only consume
+  // delay and peaks (the reduced-crosstalk hot path).
+  ResponseMetrics measure(double drive_lo, double drive_hi,
+                          bool want_rise = true) const;
+
+ private:
+  struct Contribution {
+    double delta = 0.0;
+    double rise = 0.0;   // 0 = ideal step
+    double dc = 0.0;     // model DC gain
+    double delay = 0.0;  // model transport delay (response is 0 before it)
+    // (pole, residue/pole) for steps; (pole, residue/pole^2) for ramps.
+    std::vector<std::pair<std::complex<double>, std::complex<double>>> terms;
+  };
+  double contribution_value(const Contribution& c, double t) const;
+
+  double dc_offset_ = 0.0;
+  std::vector<Contribution> contributions_;
+  double max_rise_ = 0.0;
+  double max_delay_ = 0.0;
+  double slowest_tau_ = 0.0;
+  double max_omega_ = 0.0;  // largest |Im p|: sets the scan resolution
+};
+
+// Convenience single-line entry point: the analytic counterpart of
+// sim::simulate_gate_line_delay. Builds the same N-segment ladder circuit,
+// AWE-reduces the source->out transfer to `order` poles, and returns the
+// first crossing of `threshold` (x 1 V step). Throws std::runtime_error if
+// the reduced response never crosses.
+double reduced_gate_delay(const tline::GateLineLoad& system, int segments,
+                          int order, double threshold = 0.5,
+                          ConductanceReuse* reuse = nullptr);
+
+}  // namespace rlcsim::mor

@@ -1,10 +1,13 @@
 #include "runtime/thread_pool.h"
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,10 +26,22 @@ thread_local WorkerIdentity tls_identity;
 }  // namespace
 
 std::size_t default_thread_count() {
-  if (const char* env = std::getenv("RLCSIM_THREADS")) {
+  const char* env = std::getenv("RLCSIM_THREADS");
+  // Unset or empty means "no override"; anything else must be a positive
+  // integer. A typo'd value silently falling back to hardware_concurrency
+  // is exactly the failure mode a thread-count knob must not have, so junk
+  // is an error, not a default.
+  if (env && *env != '\0') {
+    errno = 0;
     char* end = nullptr;
-    const unsigned long parsed = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && parsed > 0) return parsed;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || parsed <= 0 ||
+        parsed > 65536)
+      throw std::invalid_argument(
+          std::string("RLCSIM_THREADS must be a positive integer (<= 65536), "
+                      "got \"") +
+          env + "\"");
+    return static_cast<std::size_t>(parsed);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;

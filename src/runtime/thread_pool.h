@@ -23,8 +23,11 @@
 namespace rlcsim::runtime {
 
 // Worker count the pool uses when constructed with `threads == 0`:
-// the RLCSIM_THREADS environment variable when set to a positive integer,
-// otherwise std::thread::hardware_concurrency(), never less than 1.
+// the RLCSIM_THREADS environment variable when set (unset/empty = no
+// override), otherwise std::thread::hardware_concurrency(), never less
+// than 1. A set-but-invalid RLCSIM_THREADS (non-numeric, zero, negative,
+// or absurdly large) throws std::invalid_argument naming the bad value —
+// a typo'd thread count must not silently become "all cores".
 std::size_t default_thread_count();
 
 class ThreadPool {

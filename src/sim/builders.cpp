@@ -151,17 +151,22 @@ void add_coupled_bus(Circuit& circuit, const std::string& prefix,
     return prefix + ".l" + std::to_string(i);
   };
   for (int i = 0; i < bus.lines; ++i)
-    add_rlc_ladder(circuit, line_prefix(i), ins[i], outs[i], bus.line, segments);
+    add_rlc_ladder(circuit, line_prefix(i), ins[i], outs[i], bus.line_at(i),
+                   segments);
 
   // The ladder names its far nodes "<prefix>.n<j>", except the final `out`.
   const auto node_of = [&](int i, int j) {
     return (j == segments - 1) ? outs[static_cast<std::size_t>(i)]
                                : line_prefix(i) + ".n" + std::to_string(j);
   };
-  const double cc_seg = bus.coupling_capacitance / segments;
-  const double k = bus.lm_ratio();  // (Lm/K) / (Lt/K)
   for (int i = 0; i + 1 < bus.lines; ++i) {
     const std::string pair = prefix + ".p" + std::to_string(i);
+    const double cc_seg = bus.pair_cc(i) / segments;
+    // Per-segment coupling coefficient of the pair: (Lm/K)/sqrt(Li/K * Lj/K)
+    // — the 1/K cancels, so k is segment-count independent.
+    const double k = bus.pair_lm(i) /
+                     std::sqrt(bus.line_at(i).total_inductance *
+                               bus.line_at(i + 1).total_inductance);
     for (int j = 0; j < segments; ++j) {
       if (cc_seg > 0.0) {
         circuit.add_capacitor(node_of(i, j), node_of(i + 1, j), cc_seg, 0.0,
@@ -191,21 +196,28 @@ Circuit build_coupled_bus(const tline::CoupledBus& bus,
   std::vector<std::string> ins, outs;
   for (int i = 0; i < bus.lines; ++i) {
     const std::string tag = "line" + std::to_string(i);
+    const BusDrive drive = drives[static_cast<std::size_t>(i)];
     SourceSpec spec;
-    switch (drives[static_cast<std::size_t>(i)]) {
+    switch (drive) {
       case BusDrive::kQuietLow: spec = DcSpec{0.0}; break;
       case BusDrive::kQuietHigh: spec = DcSpec{vdd}; break;
       case BusDrive::kRising: spec = StepSpec{0.0, vdd, 0.0, 0.0}; break;
       case BusDrive::kFalling: spec = StepSpec{vdd, 0.0, 0.0, 0.0}; break;
+      case BusDrive::kShieldGrounded: spec = DcSpec{0.0}; break;
     }
     circuit.add_voltage_source(tag + ".in", "0", spec, tag + ".v");
     circuit.add_resistor(tag + ".in", tag + ".drv", driver_resistance,
                          tag + ".rtr");
     ins.push_back(tag + ".drv");
     outs.push_back(tag + ".out");
-    if (load_capacitance > 0.0)
+    if (drive == BusDrive::kShieldGrounded) {
+      // Dual-ended grounding: a shield has no receiver; its far end ties to
+      // ground through the same resistance instead of loading a gate.
+      circuit.add_resistor(tag + ".out", "0", driver_resistance, tag + ".tie");
+    } else if (load_capacitance > 0.0) {
       circuit.add_capacitor(tag + ".out", "0", load_capacitance, 0.0,
                             tag + ".cl");
+    }
   }
   add_coupled_bus(circuit, "bus", ins, outs, bus, segments);
   return circuit;

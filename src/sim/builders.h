@@ -83,7 +83,8 @@ double simulate_crosstalk_peak(const CoupledLinesSpec& spec,
 // Appends a tline::CoupledBus as N parallel K-segment RLC ladders with
 // nearest-neighbor coupling: Cc/K between corresponding ladder nodes of
 // adjacent lines and mutual inductance Lm/K (coefficient k = Lm/Lt) between
-// corresponding segment inductors. Line i runs from ins[i] to outs[i];
+// corresponding segment inductors. Heterogeneous buses use each line's own
+// totals and each pair's own Cc/Lm. Line i runs from ins[i] to outs[i];
 // internal elements are named "<prefix>.l<i>...". All coupling stamps land
 // in the MNA C-triplet set over the shared G/C pattern (sim/mna.h), so the
 // sparse symbolic-reuse path applies to buses exactly as to single lines.
@@ -98,6 +99,13 @@ enum class BusDrive {
   kQuietHigh,  // held at vdd through the driver
   kRising,     // steps 0 -> vdd at t = 0
   kFalling,    // steps vdd -> 0 at t = 0 (pre-switch DC level is vdd)
+  kShieldGrounded,  // a shield track: tied to ground through the driver
+                    // resistance at the NEAR end and through an equal tie
+                    // resistance at the FAR end (dual-ended grounding, the
+                    // standard shield practice), and no receiver load. The
+                    // far-end tie lands on a matrix position the load cap
+                    // already occupies, so shield placement sweeps keep ONE
+                    // sparsity pattern and stay on the symbolic-reuse path.
 };
 
 // Bus crosstalk testbench: every line driven per `drives` behind

@@ -140,6 +140,52 @@ void MnaAssembler::system_values(std::complex<double> scale,
     out[static_cast<std::size_t>(c_slots_[k])] += scale * c_triplets_[k].value;
 }
 
+void MnaAssembler::conductance_values(std::vector<double>& out) const {
+  out.assign(static_cast<std::size_t>(pattern_->nnz()), 0.0);
+  for (std::size_t k = 0; k < g_triplets_.size(); ++k)
+    out[static_cast<std::size_t>(g_slots_[k])] += g_triplets_[k].value;
+}
+
+void MnaAssembler::susceptance_values(std::vector<double>& out) const {
+  out.assign(static_cast<std::size_t>(pattern_->nnz()), 0.0);
+  for (std::size_t k = 0; k < c_triplets_.size(); ++k)
+    out[static_cast<std::size_t>(c_slots_[k])] += c_triplets_[k].value;
+}
+
+std::vector<double> MnaAssembler::vsource_vector(std::size_t vsource_index) const {
+  if (vsource_index >= circuit_.voltage_sources().size())
+    throw std::invalid_argument("vsource_vector: index out of range");
+  std::vector<double> b(n_unknowns_, 0.0);
+  b[vsource_branch(vsource_index)] = 1.0;
+  return b;
+}
+
+std::vector<double> MnaAssembler::isource_vector(std::size_t isource_index) const {
+  if (isource_index >= circuit_.current_sources().size())
+    throw std::invalid_argument("isource_vector: index out of range");
+  std::vector<double> b(n_unknowns_, 0.0);
+  const auto& source = circuit_.current_sources()[isource_index];
+  stamp_current(b, source.to, source.from, 1.0);
+  return b;
+}
+
+std::vector<double> MnaAssembler::buffer_vector(std::size_t buffer_index) const {
+  if (buffer_index >= circuit_.buffers().size())
+    throw std::invalid_argument("buffer_vector: index out of range");
+  std::vector<double> b(n_unknowns_, 0.0);
+  const auto& buffer = circuit_.buffers()[buffer_index];
+  stamp_current(b, buffer.output, kGround, 1.0 / buffer.output_resistance);
+  return b;
+}
+
+std::vector<double> MnaAssembler::node_selector(NodeId node) const {
+  if (node == kGround || node < 0 || static_cast<std::size_t>(node) >= n_nodes_)
+    throw std::invalid_argument("node_selector: not a non-ground circuit node");
+  std::vector<double> l(n_unknowns_, 0.0);
+  l[static_cast<std::size_t>(node)] = 1.0;
+  return l;
+}
+
 double MnaAssembler::transient_scale(double dt, Integrator method) {
   if (!(dt > 0.0)) throw std::invalid_argument("transient_matrix: dt must be > 0");
   return (method == Integrator::kTrapezoidal ? 2.0 : 1.0) / dt;

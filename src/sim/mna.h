@@ -85,6 +85,39 @@ class MnaAssembler {
   // Companion-model transient scale factor/dt for the C block.
   static double transient_scale(double dt, Integrator method);
 
+  // ---- port/observable extraction (model-order reduction seam) -----------
+  //
+  // The s-domain view the mor/ layer reduces:
+  //
+  //   (G + sC) x(s) = B u(s),   y(s) = L^T x(s)
+  //
+  // where the columns of B are the unit-amplitude incidence vectors of the
+  // circuit's sources (scale by the actual source swing to reproduce the
+  // assembled RHS contribution) and the columns of L are node selectors.
+  // G and C are exposed separately over the SAME system_pattern() the
+  // transient/AC hot paths use, so a reduction shares their sparsity work.
+
+  // CSR values of G alone (scale-independent stamps) over system_pattern().
+  void conductance_values(std::vector<double>& out) const;
+  // CSR values of C alone (the stamps system_values() multiplies by scale).
+  void susceptance_values(std::vector<double>& out) const;
+
+  // Unit-amplitude input incidence vector (size unknown_count()) of one
+  // voltage source: 1 at its branch row.
+  std::vector<double> vsource_vector(std::size_t vsource_index) const;
+  // ... of one current source: +1 into `to`, -1 out of `from`.
+  std::vector<double> isource_vector(std::size_t isource_index) const;
+  // ... of one buffer's Norton output stage: 1/Rout at the output node (the
+  // buffer drive enters the RHS as v_drive / Rout).
+  std::vector<double> buffer_vector(std::size_t buffer_index) const;
+
+  // Output selector e_node (size unknown_count()). Throws for kGround or an
+  // out-of-range node.
+  std::vector<double> node_selector(NodeId node) const;
+
+  // The circuit this assembler stamped (node-name lookups for port APIs).
+  const Circuit& circuit() const { return circuit_; }
+
   // ---- DC operating point ------------------------------------------------
 
   // DC matrix at time t: capacitors removed, inductors shorted (their branch

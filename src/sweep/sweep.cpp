@@ -58,6 +58,12 @@ void apply_variable(Variable variable, double value, Scenario& scenario,
       scenario.xtalk.pattern =
           static_cast<core::SwitchingPattern>(static_cast<int>(value));
       break;
+    case Variable::kShieldEvery:
+      scenario.xtalk.shield_every = static_cast<int>(value);
+      break;
+    case Variable::kReductionOrder:
+      scenario.xtalk.reduction_order = static_cast<int>(value);
+      break;
   }
 }
 
@@ -78,7 +84,8 @@ double transient_delay_of(const Scenario& scenario, const EngineOptions& options
 }
 
 double evaluate_point(const Scenario& scenario, Analysis analysis,
-                      const EngineOptions& options, sim::SolverReuse* reuse) {
+                      const EngineOptions& options, sim::SolverReuse* reuse,
+                      mor::ConductanceReuse* mor_reuse) {
   switch (analysis) {
     case Analysis::kClosedFormDelay:
       return core::rlc_delay(scenario.system, options.fit);
@@ -107,7 +114,9 @@ double evaluate_point(const Scenario& scenario, Analysis analysis,
           .continuous_delay;
     case Analysis::kCrosstalkDelay:
     case Analysis::kCrosstalkNoise:
-    case Analysis::kCrosstalkPushout: {
+    case Analysis::kCrosstalkPushout:
+    case Analysis::kReducedDelay:
+    case Analysis::kReducedNoise: {
       const CrosstalkScenario& x = scenario.xtalk;
       const tline::CoupledBus bus =
           tline::make_bus(x.bus_lines, scenario.system.line, x.cc_ratio,
@@ -116,10 +125,19 @@ double evaluate_point(const Scenario& scenario, Analysis analysis,
       xt.driver_resistance = scenario.system.driver_resistance;
       xt.load_capacitance = scenario.system.load_capacitance;
       xt.segments = options.segments;
+      xt.shield_every = x.shield_every;
       xt.t_stop = options.t_stop;
       xt.dt = options.dt;
       xt.solver = options.solver;
       xt.reuse = reuse;
+      if (analysis == Analysis::kReducedDelay ||
+          analysis == Analysis::kReducedNoise) {
+        const core::CrosstalkMetrics m = core::analyze_crosstalk_reduced(
+            bus, x.pattern, xt, x.reduction_order, mor_reuse);
+        return analysis == Analysis::kReducedNoise
+                   ? m.peak_noise
+                   : m.victim_delay_50.value_or(kNaN);
+      }
       const core::CrosstalkMetrics m = core::analyze_crosstalk(bus, x.pattern, xt);
       if (analysis == Analysis::kCrosstalkNoise) return m.peak_noise;
       // Quiet-victim delays are absent, recorded as NaN (never 0).
@@ -140,6 +158,13 @@ bool is_transient_analysis(Analysis analysis) {
          analysis == Analysis::kCrosstalkPushout;
 }
 
+// Analyses whose hot path is the mor/ moment engine — these get the
+// recorded G-symbolic (mor::ConductanceReuse) seeding in run().
+bool is_reduced_analysis(Analysis analysis) {
+  return analysis == Analysis::kReducedDelay ||
+         analysis == Analysis::kReducedNoise;
+}
+
 }  // namespace
 
 const char* variable_name(Variable variable) {
@@ -156,6 +181,8 @@ const char* variable_name(Variable variable) {
     case Variable::kCouplingCapRatio: return "coupling_cap_ratio";
     case Variable::kMutualRatio: return "mutual_ratio";
     case Variable::kSwitchingPattern: return "switching_pattern";
+    case Variable::kShieldEvery: return "shield_every";
+    case Variable::kReductionOrder: return "reduction_order";
   }
   return "unknown";
 }
@@ -171,6 +198,8 @@ const char* analysis_name(Analysis analysis) {
     case Analysis::kCrosstalkDelay: return "crosstalk_delay";
     case Analysis::kCrosstalkNoise: return "crosstalk_noise";
     case Analysis::kCrosstalkPushout: return "crosstalk_pushout";
+    case Analysis::kReducedDelay: return "reduced_delay";
+    case Analysis::kReducedNoise: return "reduced_noise";
   }
   return "unknown";
 }
@@ -289,6 +318,16 @@ void SweepSpec::validate() const {
               "SweepSpec: mutual_ratio values must be in [0, 1) (the "
               "width-dependent bound tline::max_lm_ratio is enforced when "
               "each point builds its bus)");
+    if (axis.variable == Variable::kShieldEvery)
+      for (double v : axis.values)
+        if (v < 0.0 || v != std::floor(v))
+          throw std::invalid_argument(
+              "SweepSpec: shield_every values must be integers >= 0");
+    if (axis.variable == Variable::kReductionOrder)
+      for (double v : axis.values)
+        if (v < 1.0 || v != std::floor(v))
+          throw std::invalid_argument(
+              "SweepSpec: reduction_order values must be integers >= 1");
   }
 }
 
@@ -301,10 +340,12 @@ struct SweepEngine::Impl {
   // Shared result epilogue for run()/run_custom(): stats + timing.
   static void finalize(SweepResult& out, std::size_t points,
                        const std::vector<sim::SolverReuse>& reuse,
+                       const std::vector<mor::ConductanceReuse>& mor_reuse,
                        const std::atomic<std::size_t>& symbolic,
                        std::chrono::steady_clock::time_point started) {
     out.symbolic_factorizations = symbolic.load();
     for (const auto& r : reuse) out.solver_reuse_hits += r.reuse_hits;
+    for (const auto& r : mor_reuse) out.solver_reuse_hits += r.reuse_hits;
     out.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
             .count();
@@ -333,20 +374,28 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
   out.values.assign(n, kNaN);
   std::atomic<std::size_t> symbolic{0};
 
-  const bool transient = is_transient_analysis(analysis);
+  // Transient analyses replay a recorded (system + DC) symbolic pair;
+  // reduced analyses replay a recorded G symbolic. Both seeding paths share
+  // the same reference-evaluation scheme.
+  const bool seeded =
+      is_transient_analysis(analysis) || is_reduced_analysis(analysis);
   std::vector<sim::SolverReuse> reuse(impl_->pool.size());
+  std::vector<mor::ConductanceReuse> mor_reuse(impl_->pool.size());
   std::size_t first = 0;
-  if (transient && n > 0) {
+  if (seeded && n > 0) {
     // Reference evaluation on the calling thread: records the shared MNA
-    // pattern and the symbolic (system + DC) factorizations every worker
-    // replays. Seeding all workers from ONE donor is what makes results
-    // bit-identical at every thread count — the recorded pivot order, not
-    // the schedule, determines every numeric factorization.
+    // pattern and the symbolic factorizations every worker replays. Seeding
+    // all workers from ONE donor is what makes results bit-identical at
+    // every thread count — the recorded pivot order, not the schedule,
+    // determines every numeric factorization.
     sim::SolverReuse reference;
+    mor::ConductanceReuse mor_reference;
     const std::size_t before = numeric::sparse_lu_stats().symbolic;
-    out.values[0] = evaluate_point(spec.at(0), analysis, impl_->options, &reference);
+    out.values[0] = evaluate_point(spec.at(0), analysis, impl_->options,
+                                   &reference, &mor_reference);
     symbolic += numeric::sparse_lu_stats().symbolic - before;
     for (auto& r : reuse) r = reference;
+    for (auto& r : mor_reuse) r = mor_reference;
     first = 1;
   }
 
@@ -355,11 +404,12 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
     const std::size_t flat = i + first;
     const std::size_t before = numeric::sparse_lu_stats().symbolic;
     out.values[flat] = evaluate_point(spec.at(flat), analysis, options,
-                                      transient ? &reuse[worker] : nullptr);
+                                      seeded ? &reuse[worker] : nullptr,
+                                      seeded ? &mor_reuse[worker] : nullptr);
     symbolic.fetch_add(numeric::sparse_lu_stats().symbolic - before);
   });
 
-  Impl::finalize(out, n, reuse, symbolic, started);
+  Impl::finalize(out, n, reuse, mor_reuse, symbolic, started);
   return out;
 }
 
@@ -372,15 +422,16 @@ SweepResult SweepEngine::run_custom(
   out.values.assign(n, kNaN);
   std::atomic<std::size_t> symbolic{0};
   std::vector<sim::SolverReuse> reuse(impl_->pool.size());
+  std::vector<mor::ConductanceReuse> mor_reuse(impl_->pool.size());
 
   impl_->pool.parallel_for(n, [&](std::size_t i, std::size_t worker) {
-    PointContext ctx{&reuse[worker], worker};
+    PointContext ctx{&reuse[worker], &mor_reuse[worker], worker};
     const std::size_t before = numeric::sparse_lu_stats().symbolic;
     out.values[i] = eval(i, ctx);
     symbolic.fetch_add(numeric::sparse_lu_stats().symbolic - before);
   });
 
-  Impl::finalize(out, n, reuse, symbolic, started);
+  Impl::finalize(out, n, reuse, mor_reuse, symbolic, started);
   return out;
 }
 

@@ -28,6 +28,7 @@
 #include "core/crosstalk.h"
 #include "core/repeater.h"
 #include "core/repeater_numeric.h"
+#include "mor/moments.h"
 #include "sim/transient.h"
 #include "tline/coupled_bus.h"
 #include "tline/rlc.h"
@@ -55,6 +56,9 @@ enum class Variable {
                       // width-dependent positive-definiteness bound
                       // (tline::max_lm_ratio) is enforced per grid point
   kSwitchingPattern,  // core::SwitchingPattern as 0/1/2 (integral)
+  kShieldEvery,       // crosstalk shield insertion period (integral, >= 0;
+                      // see core::CrosstalkOptions::shield_every)
+  kReductionOrder,    // MOR order q of the reduced analyses (integral, >= 1)
 };
 const char* variable_name(Variable variable);
 
@@ -79,6 +83,8 @@ struct CrosstalkScenario {
   double cc_ratio = 0.0;  // Cc / Ct
   double lm_ratio = 0.0;  // Lm / Lt
   core::SwitchingPattern pattern = core::SwitchingPattern::kOppositePhase;
+  int shield_every = 0;     // victim-anchored shield insertion (0 = none)
+  int reduction_order = 4;  // MOR order q of the reduced analyses
 };
 
 // One fully resolved evaluation point: the canonical gate + line + load
@@ -126,6 +132,12 @@ enum class Analysis {
   kCrosstalkNoise,   // peak victim excursion outside its drive envelope, V
   kCrosstalkPushout, // victim delay minus the two-pole isolated delay, s
                      // (NaN for kQuietVictim)
+  kReducedDelay,     // reduced-order ANALYTIC victim 50% delay of the same
+                     // bus/pattern (core::analyze_crosstalk_reduced at the
+                     // scenario's reduction_order) — the paper's "analytic
+                     // vs dynamic simulation" game at arbitrary order q;
+                     // NaN for kQuietVictim
+  kReducedNoise,     // reduced-order analytic peak victim noise, V
 };
 const char* analysis_name(Analysis analysis);
 
@@ -147,7 +159,8 @@ struct SweepResult {
   std::vector<double> values;  // one metric per grid point (s, or Hz for AC)
   std::size_t threads_used = 0;
   // Sparse symbolic factorizations performed across all threads (transient
-  // sweeps: 2 — one system, one DC — however many points and threads).
+  // sweeps: 2 — one system, one DC; reduced sweeps: 1 — the G factorization
+  // — however many points and threads).
   std::size_t symbolic_factorizations = 0;
   std::size_t solver_reuse_hits = 0;  // runs that replayed a recorded symbolic
   double elapsed_seconds = 0.0;
@@ -182,6 +195,7 @@ class SweepEngine {
   // the reuse yourself or use run(), which does).
   struct PointContext {
     sim::SolverReuse* reuse = nullptr;
+    mor::ConductanceReuse* mor_reuse = nullptr;  // for reduced-order points
     std::size_t worker = 0;
   };
   SweepResult run_custom(

@@ -1,5 +1,6 @@
 #include "tech/extraction.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -28,20 +29,55 @@ double extract_resistance(const WireGeometry& wire, const Materials& materials) 
 }
 
 double extract_capacitance(const WireGeometry& wire, const Materials& materials) {
+  return extract_ground_capacitance(wire, materials) +
+         2.0 * extract_coupling_capacitance(wire, materials);
+}
+
+double extract_coupling_capacitance(const WireGeometry& wire,
+                                    const Materials& materials) {
+  check_wire(wire);
+  if (wire.spacing <= 0.0) return 0.0;
+  // One sidewall of the Sakurai–Tamaru extension:
+  // eps [0.03 w/h + 0.83 t/h - 0.07 (t/h)^0.222] (h/s)^1.34.
+  const double eps = kEps0 * materials.relative_permittivity;
+  const double w_h = wire.width / wire.height;
+  const double t_h = wire.thickness / wire.height;
+  const double s_h = wire.spacing / wire.height;
+  // Outside the fit's calibration domain (very thin, narrow wires) the
+  // polynomial goes negative; physical coupling cannot, so clamp at 0
+  // rather than exporting a negative Cc the bus validation would reject
+  // with a misleading message.
+  const double side = std::max(
+      0.0, 0.03 * w_h + 0.83 * t_h - 0.07 * std::pow(t_h, 0.222));
+  return eps * side * std::pow(s_h, -1.34);
+}
+
+double extract_ground_capacitance(const WireGeometry& wire,
+                                  const Materials& materials) {
   check_wire(wire);
   const double eps = kEps0 * materials.relative_permittivity;
   const double w_h = wire.width / wire.height;
   const double t_h = wire.thickness / wire.height;
   // Sakurai–Tamaru single-line fit: plate + fringe.
-  double c = eps * (1.15 * w_h + 2.80 * std::pow(t_h, 0.222));
-  if (wire.spacing > 0.0) {
-    // Coupling to two same-layer neighbors (Sakurai–Tamaru extension):
-    // each sidewall adds eps [0.03 w/h + 0.83 t/h - 0.07 (t/h)^0.222] (h/s)^1.34.
-    const double s_h = wire.spacing / wire.height;
-    const double side = 0.03 * w_h + 0.83 * t_h - 0.07 * std::pow(t_h, 0.222);
-    c += 2.0 * eps * side * std::pow(s_h, -1.34);
-  }
-  return c;
+  return eps * (1.15 * w_h + 2.80 * std::pow(t_h, 0.222));
+}
+
+double partial_mutual_inductance_per_length(double center_distance,
+                                            double length) {
+  if (!(center_distance > 0.0))
+    throw std::invalid_argument(
+        "partial_mutual_inductance_per_length: center_distance must be > 0");
+  if (!(length > center_distance))
+    throw std::invalid_argument(
+        "partial_mutual_inductance_per_length: length must exceed the "
+        "center distance (the formula is a long-wire expansion)");
+  // Rosa/Grover parallel-filament formula (total), divided by length:
+  //   M = mu0/(2 pi) l [ ln(2l/d) - 1 + d/l ].
+  const double total =
+      kMu0 / (2.0 * std::numbers::pi) * length *
+      (std::log(2.0 * length / center_distance) - 1.0 +
+       center_distance / length);
+  return total / length;
 }
 
 double extract_loop_inductance(const WireGeometry& wire, const Materials& materials) {
@@ -71,6 +107,20 @@ double partial_self_inductance_per_length(const WireGeometry& wire, double lengt
       (std::log(2.0 * length / perimeter_scale) + 0.5 +
        0.2235 * perimeter_scale / length);
   return total / length;
+}
+
+double extract_loop_mutual_inductance(double center_distance, double height) {
+  if (!(center_distance > 0.0))
+    throw std::invalid_argument(
+        "extract_loop_mutual_inductance: center_distance must be > 0");
+  if (!(height > 0.0))
+    throw std::invalid_argument(
+        "extract_loop_mutual_inductance: height must be > 0");
+  // Image-pair formula: each wire and its image in the return plane form a
+  // loop; the mutual between two such loops d apart is
+  // mu0/(4 pi) ln(1 + (2h/d)^2) per length.
+  const double ratio = 2.0 * height / center_distance;
+  return kMu0 / (4.0 * std::numbers::pi) * std::log(1.0 + ratio * ratio);
 }
 
 tline::PerUnitLength extract(const WireGeometry& wire, const Materials& materials) {

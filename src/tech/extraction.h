@@ -28,6 +28,37 @@ double extract_resistance(const WireGeometry& wire, const Materials& materials);
 // F / m, Sakurai–Tamaru (plus coupling when spacing > 0).
 double extract_capacitance(const WireGeometry& wire, const Materials& materials);
 
+// F / m of line-to-line coupling to ONE same-layer neighbor at wire.spacing
+// — the sidewall term of the Sakurai–Tamaru extension (extract_capacitance
+// counts it twice, once per neighbor). 0 when spacing == 0 (isolated).
+// The coupled-bus seam: per-pair Cc for tline::make_bus.
+double extract_coupling_capacitance(const WireGeometry& wire,
+                                    const Materials& materials);
+
+// F / m to ground alone: extract_capacitance minus both sidewall coupling
+// terms. When building a CoupledBus the coupling is stamped separately per
+// pair, so each line's own capacitance must exclude it (counting Cc in both
+// places would double the lateral load).
+double extract_ground_capacitance(const WireGeometry& wire,
+                                  const Materials& materials);
+
+// H / m: partial mutual inductance between two parallel wires of `length`
+// whose centers sit `center_distance` apart (Rosa/Grover parallel-filament
+// formula, per-length average) — the free-wire quantity, WITHOUT a return
+// plane. Pairs with partial_self_inductance_per_length.
+double partial_mutual_inductance_per_length(double center_distance,
+                                            double length);
+
+// H / m: LOOP mutual inductance between two parallel microstrip wires whose
+// centers are `center_distance` apart over a return plane `height` below —
+// the image-pair formula M/l = mu0/(4 pi) ln(1 + (2h/d)^2). This is the
+// quantity consistent with extract_loop_inductance (both currents return in
+// the plane), so it is the per-pair Lm seam for tline::make_bus: its k =
+// M/L stays well below the nearest-neighbor positive-definiteness bounds,
+// unlike the free-wire partial mutual (k ~ 0.8, which a nearest-neighbor
+// chain truncation cannot represent).
+double extract_loop_mutual_inductance(double center_distance, double height);
+
 // H / m for a wire with its current return in the plane `height` below.
 double extract_loop_inductance(const WireGeometry& wire, const Materials& materials);
 

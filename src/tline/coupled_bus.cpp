@@ -9,6 +9,26 @@
 
 namespace rlcsim::tline {
 
+const LineParams& CoupledBus::line_at(int i) const {
+  if (i < 0 || i >= lines)
+    throw std::invalid_argument("CoupledBus::line_at: index out of range");
+  return heterogeneous() ? line_params[static_cast<std::size_t>(i)] : line;
+}
+
+double CoupledBus::pair_cc(int j) const {
+  if (j < 0 || j + 1 >= lines)
+    throw std::invalid_argument("CoupledBus::pair_cc: index out of range");
+  return heterogeneous() ? pair_capacitance[static_cast<std::size_t>(j)]
+                         : coupling_capacitance;
+}
+
+double CoupledBus::pair_lm(int j) const {
+  if (j < 0 || j + 1 >= lines)
+    throw std::invalid_argument("CoupledBus::pair_lm: index out of range");
+  return heterogeneous() ? pair_inductance[static_cast<std::size_t>(j)]
+                         : mutual_inductance;
+}
+
 double CoupledBus::cc_ratio() const {
   return coupling_capacitance / line.total_capacitance;
 }
@@ -19,8 +39,30 @@ double CoupledBus::lm_ratio() const {
 
 CoupledBus make_bus(int lines, const LineParams& line, double cc_ratio,
                     double lm_ratio) {
-  const CoupledBus bus{lines, line, cc_ratio * line.total_capacitance,
-                       lm_ratio * line.total_inductance};
+  const CoupledBus bus{lines,
+                       line,
+                       cc_ratio * line.total_capacitance,
+                       lm_ratio * line.total_inductance,
+                       {},
+                       {},
+                       {}};
+  validate(bus);
+  return bus;
+}
+
+CoupledBus make_bus(const std::vector<LineParams>& lines,
+                    const std::vector<double>& pair_cc,
+                    const std::vector<double>& pair_lm) {
+  if (lines.size() < 2)
+    throw std::invalid_argument("make_bus: need at least 2 lines");
+  CoupledBus bus;
+  bus.lines = static_cast<int>(lines.size());
+  bus.line = lines.front();  // scalar mirrors for uniform-only readers
+  bus.coupling_capacitance = pair_cc.empty() ? 0.0 : pair_cc.front();
+  bus.mutual_inductance = pair_lm.empty() ? 0.0 : pair_lm.front();
+  bus.line_params = lines;
+  bus.pair_capacitance = pair_cc;
+  bus.pair_inductance = pair_lm;
   validate(bus);
   return bus;
 }
@@ -37,10 +79,57 @@ double max_lm_ratio(int lines) {
          (2.0 * std::cos(std::numbers::pi / static_cast<double>(lines + 1)));
 }
 
+bool mutual_chain_positive_definite(const std::vector<double>& self,
+                                    const std::vector<double>& mutual) {
+  if (self.empty() || mutual.size() + 1 != self.size())
+    throw std::invalid_argument(
+        "mutual_chain_positive_definite: need N self and N-1 mutual entries");
+  // LDLt of the tridiagonal matrix: d_0 = L_0, d_i = L_i - M_{i-1}^2 / d_{i-1};
+  // positive definite iff every pivot d_i > 0 (exact for tridiagonal).
+  double d = self[0];
+  if (!(d > 0.0)) return false;
+  for (std::size_t i = 1; i < self.size(); ++i) {
+    d = self[i] - mutual[i - 1] * mutual[i - 1] / d;
+    if (!(d > 0.0)) return false;
+  }
+  return true;
+}
+
 void validate(const CoupledBus& bus) {
-  validate(bus.line);
   if (bus.lines < 2)
     throw std::invalid_argument("CoupledBus: lines must be >= 2");
+
+  if (bus.heterogeneous()) {
+    if (bus.line_params.size() != static_cast<std::size_t>(bus.lines))
+      throw std::invalid_argument(
+          "CoupledBus: line_params must have one entry per line");
+    if (bus.pair_capacitance.size() != static_cast<std::size_t>(bus.lines - 1) ||
+        bus.pair_inductance.size() != static_cast<std::size_t>(bus.lines - 1))
+      throw std::invalid_argument(
+          "CoupledBus: pair_capacitance/pair_inductance must have lines-1 "
+          "entries");
+    for (const LineParams& line : bus.line_params) validate(line);
+    std::vector<double> self;
+    self.reserve(bus.line_params.size());
+    for (const LineParams& line : bus.line_params)
+      self.push_back(line.total_inductance);
+    for (double cc : bus.pair_capacitance)
+      if (!std::isfinite(cc) || cc < 0.0)
+        throw std::invalid_argument(
+            "CoupledBus: pair_capacitance entries must be finite and >= 0");
+    for (double lm : bus.pair_inductance)
+      if (!std::isfinite(lm) || lm < 0.0)
+        throw std::invalid_argument(
+            "CoupledBus: pair_inductance entries must be finite and >= 0");
+    if (!mutual_chain_positive_definite(self, bus.pair_inductance))
+      throw std::invalid_argument(
+          "CoupledBus: the per-segment inductance matrix (per-line L on the "
+          "diagonal, per-pair Lm off it) is not positive definite — the bus "
+          "is unphysical/unstable. Reduce the mutual inductances.");
+    return;
+  }
+
+  validate(bus.line);
   if (!std::isfinite(bus.coupling_capacitance) || bus.coupling_capacitance < 0.0)
     throw std::invalid_argument(
         "CoupledBus: coupling_capacitance must be finite and >= 0");
@@ -60,6 +149,16 @@ void validate(const CoupledBus& bus) {
 
 std::string describe(const CoupledBus& bus) {
   using rlcsim::units::eng;
+  if (bus.heterogeneous()) {
+    double cc_min = bus.pair_capacitance.front(), cc_max = cc_min;
+    for (double cc : bus.pair_capacitance) {
+      cc_min = std::min(cc_min, cc);
+      cc_max = std::max(cc_max, cc);
+    }
+    return std::to_string(bus.lines) + " heterogeneous lines (line0 " +
+           describe(bus.line_params.front()) + "); Cc per pair " +
+           eng(cc_min, "F") + ".." + eng(cc_max, "F");
+  }
   return std::to_string(bus.lines) + " lines, each " + describe(bus.line) +
          "; Cc=" + eng(bus.coupling_capacitance, "F") +
          " (Cc/Ct=" + eng(bus.cc_ratio(), "") +

@@ -8,6 +8,14 @@
 // coupling is the dominant term on planar buses and keeps the model
 // parameter count flat in N.
 //
+// Two flavors share the type:
+//  * UNIFORM — every line has the same totals and every adjacent pair the
+//    same Cc/Lm (the `line` / `coupling_capacitance` / `mutual_inductance`
+//    fields; the per-line/per-pair vectors stay empty);
+//  * HETEROGENEOUS — per-line totals and per-pair couplings straight from
+//    the extraction layer (different widths/spacings per track). The scalar
+//    fields then mirror line 0 / pair 0 so uniform-only readers stay valid.
+//
 // The dimensionless knobs the crosstalk literature (and the sweep engine's
 // crosstalk axes) work in are the ratios
 //   cc_ratio = Cc / Ct   (coupling-to-ground capacitance ratio)
@@ -16,39 +24,71 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "tline/rlc.h"
 
 namespace rlcsim::tline {
 
-// N parallel identical RLC lines with nearest-neighbor coupling.
+// N parallel RLC lines with nearest-neighbor coupling.
 struct CoupledBus {
   int lines = 2;                      // N >= 2
-  LineParams line;                    // each line's own totals
-  double coupling_capacitance = 0.0;  // total Cc between each adjacent pair, F
-  double mutual_inductance = 0.0;     // total Lm between each adjacent pair, H
+  LineParams line;                    // uniform totals (line 0 when hetero)
+  double coupling_capacitance = 0.0;  // uniform Cc per adjacent pair, F
+  double mutual_inductance = 0.0;     // uniform Lm per adjacent pair, H
 
-  double cc_ratio() const;  // Cc / Ct
+  // Heterogeneous extension; empty = uniform. When non-empty their sizes
+  // must be `lines`, `lines - 1`, `lines - 1` (see validate()).
+  std::vector<LineParams> line_params;     // per-line totals
+  std::vector<double> pair_capacitance;    // per-adjacent-pair Cc, F
+  std::vector<double> pair_inductance;     // per-adjacent-pair Lm, H
+
+  bool heterogeneous() const { return !line_params.empty(); }
+  // Per-line / per-pair accessors valid for BOTH flavors (pair j couples
+  // lines j and j+1).
+  const LineParams& line_at(int i) const;
+  double pair_cc(int j) const;
+  double pair_lm(int j) const;
+
+  double cc_ratio() const;  // Cc / Ct (uniform fields)
   double lm_ratio() const;  // Lm / Lt == per-segment coupling coefficient k
   // The middle line — the worst-case victim (aggressors on both sides for
   // any N >= 3; for N == 2 it is line 0).
   int victim_index() const { return (lines - 1) / 2; }
 };
 
-// Builds a bus from a line and the dimensionless coupling ratios.
+// Builds a uniform bus from a line and the dimensionless coupling ratios.
 CoupledBus make_bus(int lines, const LineParams& line, double cc_ratio,
                     double lm_ratio);
 
-// Largest admissible Lm/Lt for an N-line bus: the per-segment nearest-
-// neighbor inductance matrix (tridiagonal Toeplitz, eigenvalues
+// Builds a heterogeneous bus from per-line totals and per-pair coupling
+// totals (pair j couples lines j and j+1): lines.size() >= 2,
+// pair_cc/pair_lm sizes == lines.size() - 1. The extraction-layer seam:
+// per-track widths/spacings land here. Validates before returning.
+CoupledBus make_bus(const std::vector<LineParams>& lines,
+                    const std::vector<double>& pair_cc,
+                    const std::vector<double>& pair_lm);
+
+// Largest admissible Lm/Lt for a UNIFORM N-line bus: the per-segment
+// nearest-neighbor inductance matrix (tridiagonal Toeplitz, eigenvalues
 // 1 + 2k cos(j*pi/(N+1))) stays positive definite iff
 // k < 1/(2 cos(pi/(N+1))) — exactly 1 for N = 2, tightening toward 1/2 as
 // the bus widens.
 double max_lm_ratio(int lines);
 
-// Throws std::invalid_argument (naming the offending field) unless the line
-// validates (L > 0), lines >= 2, Cc >= 0 and finite, and
-// 0 <= Lm < max_lm_ratio(lines) * Lt.
+// True iff the ACTUAL per-segment inductance matrix — tridiagonal with the
+// given self inductances on the diagonal and mutuals off it — is positive
+// definite (LDLt recurrence, exact for tridiagonal). The heterogeneous
+// generalization of the max_lm_ratio bound; the uniform bound is the
+// special case of equal entries.
+bool mutual_chain_positive_definite(const std::vector<double>& self,
+                                    const std::vector<double>& mutual);
+
+// Throws std::invalid_argument (naming the offending field) unless every
+// line validates (L > 0), lines >= 2, every Cc >= 0 and finite, and the
+// per-segment inductance matrix is positive definite: the uniform
+// max_lm_ratio(lines) bound, or the general tridiagonal LDLt test for
+// heterogeneous buses. Also rejects size-mismatched heterogeneous vectors.
 void validate(const CoupledBus& bus);
 
 // Human-readable one-line summary, e.g. for example programs.

@@ -209,6 +209,144 @@ TEST(Crosstalk, QuietVictimNoiseGrowsWithCoupling) {
 }
 
 // ---------------------------------------------------------------------------
+// Shield insertion
+// ---------------------------------------------------------------------------
+
+TEST(Shields, VictimAnchoredPlacementRule) {
+  // shield_every = s grounds every line whose distance from the victim is a
+  // positive multiple of s; the victim itself never is one.
+  EXPECT_FALSE(core::is_shield_line(2, 2, 1));
+  EXPECT_TRUE(core::is_shield_line(1, 2, 1));
+  EXPECT_TRUE(core::is_shield_line(4, 2, 1));
+  EXPECT_FALSE(core::is_shield_line(1, 2, 2));
+  EXPECT_TRUE(core::is_shield_line(0, 2, 2));
+  EXPECT_TRUE(core::is_shield_line(4, 2, 2));
+  EXPECT_FALSE(core::is_shield_line(3, 2, 0));  // 0 = no shields
+}
+
+TEST(Shields, FullShieldingKillsNoiseAndDelaySpread) {
+  const tline::CoupledBus bus = tline::make_bus(5, kLine, 0.4, 0.25);
+  auto opt = options_for(16);
+
+  const auto unshielded_quiet =
+      core::analyze_crosstalk(bus, core::SwitchingPattern::kQuietVictim, opt);
+  opt.shield_every = 1;  // every neighbor grounded
+  const auto shielded_quiet =
+      core::analyze_crosstalk(bus, core::SwitchingPattern::kQuietVictim, opt);
+  // Nearest-neighbor coupling + grounded neighbors = no aggressor path.
+  EXPECT_GT(unshielded_quiet.peak_noise, 0.05);
+  EXPECT_LT(shielded_quiet.peak_noise, 1e-6);
+
+  const auto same =
+      core::analyze_crosstalk(bus, core::SwitchingPattern::kSamePhase, opt);
+  const auto opposite =
+      core::analyze_crosstalk(bus, core::SwitchingPattern::kOppositePhase, opt);
+  ASSERT_TRUE(same.victim_delay_50 && opposite.victim_delay_50);
+  // The switching pattern no longer matters...
+  EXPECT_NEAR(*same.victim_delay_50, *opposite.victim_delay_50,
+              1e-6 * *same.victim_delay_50);
+  // ...but the shields' fixed ground load costs delay vs the bootstrapped
+  // same-phase corner of the unshielded bus.
+  opt.shield_every = 0;
+  const auto free_same =
+      core::analyze_crosstalk(bus, core::SwitchingPattern::kSamePhase, opt);
+  EXPECT_GT(*same.victim_delay_50, *free_same.victim_delay_50);
+}
+
+TEST(Shields, ReducedPathAgreesWithTransient) {
+  const tline::CoupledBus bus = tline::make_bus(5, kLine, 0.4, 0.25);
+  auto opt = options_for(16);
+  opt.shield_every = 2;
+  const auto full =
+      core::analyze_crosstalk(bus, core::SwitchingPattern::kOppositePhase, opt);
+  const auto reduced = core::analyze_crosstalk_reduced(
+      bus, core::SwitchingPattern::kOppositePhase, opt, 4);
+  ASSERT_TRUE(full.victim_delay_50 && reduced.victim_delay_50);
+  EXPECT_NEAR(*reduced.victim_delay_50, *full.victim_delay_50,
+              0.03 * *full.victim_delay_50);
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous buses
+// ---------------------------------------------------------------------------
+
+TEST(HeterogeneousBus, UniformVectorsMatchUniformBus) {
+  const tline::CoupledBus uniform = tline::make_bus(3, kLine, 0.3, 0.2);
+  const tline::CoupledBus hetero = tline::make_bus(
+      {kLine, kLine, kLine},
+      {uniform.coupling_capacitance, uniform.coupling_capacitance},
+      {uniform.mutual_inductance, uniform.mutual_inductance});
+  ASSERT_TRUE(hetero.heterogeneous());
+  const auto opt = options_for(12);
+  const auto a =
+      core::analyze_crosstalk(uniform, core::SwitchingPattern::kOppositePhase, opt);
+  const auto b =
+      core::analyze_crosstalk(hetero, core::SwitchingPattern::kOppositePhase, opt);
+  ASSERT_TRUE(a.victim_delay_50 && b.victim_delay_50);
+  // Same electrical network, bit-identical assembly path.
+  EXPECT_DOUBLE_EQ(*a.victim_delay_50, *b.victim_delay_50);
+  EXPECT_DOUBLE_EQ(a.peak_noise, b.peak_noise);
+}
+
+TEST(HeterogeneousBus, PerLineAccessorsAndValidation) {
+  tline::LineParams wide = kLine;
+  wide.total_resistance = 100.0;
+  const tline::CoupledBus bus =
+      tline::make_bus({kLine, wide, kLine}, {0.2e-12, 0.4e-12}, {1e-9, 2e-9});
+  EXPECT_DOUBLE_EQ(bus.line_at(1).total_resistance, 100.0);
+  EXPECT_DOUBLE_EQ(bus.pair_cc(1), 0.4e-12);
+  EXPECT_DOUBLE_EQ(bus.pair_lm(0), 1e-9);
+  // Scalar mirrors track line 0 / pair 0.
+  EXPECT_DOUBLE_EQ(bus.line.total_resistance, kLine.total_resistance);
+  EXPECT_DOUBLE_EQ(bus.coupling_capacitance, 0.2e-12);
+
+  // Size mismatches are named errors.
+  EXPECT_THROW(tline::make_bus({kLine, kLine}, {0.1e-12, 0.1e-12}, {1e-9}),
+               std::invalid_argument);
+  EXPECT_THROW(tline::make_bus({kLine}, {}, {}), std::invalid_argument);
+}
+
+TEST(HeterogeneousBus, TridiagonalBoundGeneralizesMaxLmRatio) {
+  // The LDLt test on equal entries must agree with the closed-form uniform
+  // bound 1/(2 cos(pi/(N+1))).
+  const double k_max = tline::max_lm_ratio(5);
+  const std::vector<double> self(5, 1.0);
+  EXPECT_TRUE(tline::mutual_chain_positive_definite(
+      self, std::vector<double>(4, 0.99 * k_max)));
+  EXPECT_FALSE(tline::mutual_chain_positive_definite(
+      self, std::vector<double>(4, 1.01 * k_max)));
+
+  // A heterogeneous chain that every PAIRWISE bound accepts but the chain
+  // rejects: k = 0.8 per pair is fine for N = 2 yet indefinite at N = 5.
+  const std::vector<double> lines(5, kLine.total_inductance);
+  const std::vector<double> strong(4, 0.8 * kLine.total_inductance);
+  EXPECT_FALSE(tline::mutual_chain_positive_definite(lines, strong));
+  EXPECT_THROW(
+      tline::make_bus(std::vector<tline::LineParams>(5, kLine),
+                      std::vector<double>(4, 0.1e-12), strong),
+      std::invalid_argument);
+}
+
+TEST(HeterogeneousBus, AsymmetricCouplingShiftsTheVictim) {
+  // Strong coupling on one side only: the victim hears that neighbor more.
+  const auto opt = options_for(12);
+  const tline::CoupledBus left_heavy = tline::make_bus(
+      {kLine, kLine, kLine}, {0.5e-12, 0.05e-12}, {1e-9, 0.1e-9});
+  const tline::CoupledBus balanced = tline::make_bus(
+      {kLine, kLine, kLine}, {0.275e-12, 0.275e-12}, {0.55e-9, 0.55e-9});
+  const auto heavy = core::analyze_crosstalk(
+      left_heavy, core::SwitchingPattern::kOppositePhase, opt);
+  const auto even = core::analyze_crosstalk(
+      balanced, core::SwitchingPattern::kOppositePhase, opt);
+  ASSERT_TRUE(heavy.victim_delay_50 && even.victim_delay_50);
+  // Both are valid slow corners; they must differ (the coupling topology
+  // matters, not just the totals) and stay the same order of magnitude.
+  EXPECT_NE(*heavy.victim_delay_50, *even.victim_delay_50);
+  EXPECT_NEAR(*heavy.victim_delay_50, *even.victim_delay_50,
+              0.5 * *even.victim_delay_50);
+}
+
+// ---------------------------------------------------------------------------
 // Sweep integration: crosstalk axes ride the pool, bit-identical
 // ---------------------------------------------------------------------------
 

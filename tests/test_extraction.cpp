@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/crosstalk.h"
+#include "tline/coupled_bus.h"
+
 namespace {
 
 using namespace rlcsim::tech;
@@ -97,6 +100,109 @@ TEST(FullExtraction, CharacteristicImpedancePlausible) {
   // On-chip z0 is tens of ohms.
   EXPECT_GT(pul.lossless_z0(), 10.0);
   EXPECT_LT(pul.lossless_z0(), 300.0);
+}
+
+// ---------------------------------------------------------------------------
+// Coupling split + the tech -> tline bus seam
+// ---------------------------------------------------------------------------
+
+TEST(CouplingSplit, GroundPlusTwoSidewallsIsTheTotal) {
+  const WireGeometry w{1e-6, 0.5e-6, 1e-6, 0.5e-6};
+  EXPECT_DOUBLE_EQ(
+      extract_capacitance(w, kCu),
+      extract_ground_capacitance(w, kCu) + 2.0 * extract_coupling_capacitance(w, kCu));
+  // Isolated wire: no sidewall term, ground == total.
+  WireGeometry isolated = w;
+  isolated.spacing = 0.0;
+  EXPECT_DOUBLE_EQ(extract_coupling_capacitance(isolated, kCu), 0.0);
+  EXPECT_DOUBLE_EQ(extract_capacitance(isolated, kCu),
+                   extract_ground_capacitance(isolated, kCu));
+}
+
+TEST(CouplingSplit, MutualInductanceFallsWithDistanceAndStaysBelowSelf) {
+  const WireGeometry w{1e-6, 0.5e-6, 1e-6, 0.5e-6};
+  const double length = 1e-3;
+  const double self = partial_self_inductance_per_length(w, length);
+  const double near = partial_mutual_inductance_per_length(1.5e-6, length);
+  const double far = partial_mutual_inductance_per_length(15e-6, length);
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.0);
+  EXPECT_LT(near, self);  // k < 1 for separated parallel wires
+  EXPECT_THROW(partial_mutual_inductance_per_length(0.0, length),
+               std::invalid_argument);
+  EXPECT_THROW(partial_mutual_inductance_per_length(1e-6, 0.5e-6),
+               std::invalid_argument);
+}
+
+TEST(CouplingSplit, LoopMutualIsReturnPlaneConsistent) {
+  // With a return plane, the image-pair loop mutual decays much faster than
+  // the free-wire partial mutual and keeps k = M/L small enough for
+  // nearest-neighbor bus chains.
+  const WireGeometry w{1e-6, 0.5e-6, 1e-6, 0.5e-6};
+  const double self = extract_loop_inductance(w, kCu);
+  const double near = extract_loop_mutual_inductance(1.5e-6, w.height);
+  const double far = extract_loop_mutual_inductance(15e-6, w.height);
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.0);
+  EXPECT_LT(near / self, 0.5);  // comfortably inside every chain bound
+  EXPECT_THROW(extract_loop_mutual_inductance(0.0, 1e-6), std::invalid_argument);
+  EXPECT_THROW(extract_loop_mutual_inductance(1e-6, 0.0), std::invalid_argument);
+}
+
+// Golden pin of the whole tech -> tline -> core seam: extracted per-um
+// values feed a CoupledBus build and one crosstalk analysis point. The
+// numbers pin today's extraction formulas; a change in ANY layer of the
+// seam (fit constants, bus assembly, victim metric) moves them.
+TEST(BusSeam, ExtractedBusGoldenCrosstalkPoint) {
+  // Three 1 mm global-layer copper tracks, 1 um wide, 0.5 um apart.
+  const WireGeometry wire{1e-6, 0.5e-6, 1e-6, 0.5e-6};
+  const double length = 1e-3;
+
+  rlcsim::tline::PerUnitLength pul;
+  pul.resistance = extract_resistance(wire, kCu);
+  pul.capacitance = extract_ground_capacitance(wire, kCu);
+  pul.inductance = extract_loop_inductance(wire, kCu);
+  const double cc_per_m = extract_coupling_capacitance(wire, kCu);
+  const double lm_per_m = extract_loop_mutual_inductance(
+      wire.spacing + wire.width, wire.height);
+
+  // Golden per-um values (1e-15 F/um etc.), pinned loosely enough to
+  // tolerate libm differences but tightly enough to catch formula drift.
+  EXPECT_NEAR(pul.resistance * 1e-6, 0.034, 0.001);           // ohm/um
+  EXPECT_NEAR(pul.capacitance * 1e-6 * 1e15, 0.1226, 0.001);  // fF/um
+  EXPECT_NEAR(cc_per_m * 1e-6 * 1e15, 0.0337, 0.001);         // fF/um
+  EXPECT_NEAR(pul.inductance * 1e-6 * 1e12, 0.3880, 0.004);   // pH/um
+  EXPECT_NEAR(lm_per_m * 1e-6 * 1e12, 0.1022, 0.002);         // pH/um
+
+  const rlcsim::tline::LineParams line = rlcsim::tline::make_line(pul, length);
+  const rlcsim::tline::CoupledBus bus = rlcsim::tline::make_bus(
+      {line, line, line}, std::vector<double>(2, cc_per_m * length),
+      std::vector<double>(2, lm_per_m * length));
+  ASSERT_TRUE(bus.heterogeneous());
+
+  rlcsim::core::CrosstalkOptions opt;
+  opt.driver_resistance = 100.0;
+  opt.load_capacitance = 5e-15;
+  opt.segments = 16;
+  const auto opposite = rlcsim::core::analyze_crosstalk(
+      bus, rlcsim::core::SwitchingPattern::kOppositePhase, opt);
+  const auto quiet = rlcsim::core::analyze_crosstalk(
+      bus, rlcsim::core::SwitchingPattern::kQuietVictim, opt);
+  ASSERT_TRUE(opposite.victim_delay_50.has_value());
+
+  // Golden victim metrics for this extracted bus (2% pins: transient
+  // discretization is deterministic; the slack covers libm variation).
+  const double delay = *opposite.victim_delay_50;
+  EXPECT_NEAR(delay * 1e12, 23.33, 0.02 * 23.33);  // ps
+  EXPECT_NEAR(quiet.peak_noise * 1e3, 261.9, 0.02 * 261.9);  // mV
+
+  // The reduced path reproduces the extracted-bus delay. This short wire is
+  // deeply underdamped (zeta ~ 0.15, delay ~ 3x time of flight) — the hard
+  // regime for rational models — so q = 6 within 5% is the honest pin here.
+  const auto reduced = rlcsim::core::analyze_crosstalk_reduced(
+      bus, rlcsim::core::SwitchingPattern::kOppositePhase, opt, 6);
+  ASSERT_TRUE(reduced.victim_delay_50.has_value());
+  EXPECT_NEAR(*reduced.victim_delay_50, delay, 0.05 * delay);
 }
 
 }  // namespace

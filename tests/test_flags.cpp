@@ -1,0 +1,102 @@
+// Environment / command-line knob hardening: RLCSIM_THREADS and the shared
+// bench --threads parser must REJECT junk with a clear message instead of
+// silently defaulting (a typo'd thread count quietly becoming "all cores"
+// or an empty scaling study is the regression these pin down).
+#include <cstdlib>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "../bench/bench_util.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+using rlcsim::runtime::default_thread_count;
+
+// Scoped RLCSIM_THREADS override; restores the previous state. Tests using
+// it run single-threaded (gtest default), so setenv is race-free here.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("RLCSIM_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value)
+      ::setenv("RLCSIM_THREADS", value, 1);
+    else
+      ::unsetenv("RLCSIM_THREADS");
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_)
+      ::setenv("RLCSIM_THREADS", old_.c_str(), 1);
+    else
+      ::unsetenv("RLCSIM_THREADS");
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(ThreadsEnv, PositiveIntegerIsHonored) {
+  {
+    ScopedThreadsEnv env("3");
+    EXPECT_EQ(default_thread_count(), 3u);
+  }
+  {
+    ScopedThreadsEnv env(" 4");  // strtol-style leading whitespace is fine
+    EXPECT_EQ(default_thread_count(), 4u);
+  }
+}
+
+TEST(ThreadsEnv, UnsetAndEmptyFallBackToHardware) {
+  {
+    ScopedThreadsEnv env(nullptr);
+    EXPECT_GE(default_thread_count(), 1u);
+  }
+  {
+    ScopedThreadsEnv env("");  // empty = "no override", not junk
+    EXPECT_GE(default_thread_count(), 1u);
+  }
+}
+
+TEST(ThreadsEnv, JunkThrowsWithTheOffendingValue) {
+  for (const char* bad : {"abc", "4x", "-2", "0", "2.5", "1e3",
+                          "99999999999999999999"}) {
+    ScopedThreadsEnv env(bad);
+    try {
+      (void)default_thread_count();
+      FAIL() << "expected std::invalid_argument for RLCSIM_THREADS=" << bad;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("RLCSIM_THREADS"),
+                std::string::npos);
+      EXPECT_NE(std::string(error.what()).find(bad), std::string::npos);
+    }
+  }
+}
+
+TEST(ThreadListFlag, ParsesValidLists) {
+  EXPECT_EQ(benchutil::parse_thread_list("1"),
+            (std::vector<std::size_t>{1}));
+  EXPECT_EQ(benchutil::parse_thread_list("1,2,8"),
+            (std::vector<std::size_t>{1, 2, 8}));
+}
+
+TEST(ThreadListFlag, RejectsJunkEntriesLoudly) {
+  for (const char* bad : {"", "a", "1,,2", "1,2,", "0", "1,-2", "1,2x",
+                          "2.5", "99999999999999999999", "1,70000"}) {
+    EXPECT_THROW((void)benchutil::parse_thread_list(bad),
+                 std::invalid_argument)
+        << "input: \"" << bad << "\"";
+  }
+  // The message names the offending entry, not just the whole string.
+  try {
+    (void)benchutil::parse_thread_list("1,junk,4");
+    FAIL();
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("junk"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,474 @@
+// Moment-matching model-order reduction (src/mor/) tests: block moments
+// against the closed-form denominator expansion, AWE/Pade and block-Arnoldi
+// reductions against the MNA transient oracle, the analytic response
+// metrics, the reduced crosstalk path, and the sweep engine's reduced
+// analyses (one symbolic factorization, bit-identical at any thread count).
+#include <cmath>
+#include <complex>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/crosstalk.h"
+#include "core/two_pole.h"
+#include "mor/moments.h"
+#include "mor/reduce.h"
+#include "mor/response.h"
+#include "numeric/sparse.h"
+#include "sim/builders.h"
+#include "sweep/sweep.h"
+#include "tline/transfer.h"
+
+namespace {
+
+using namespace rlcsim;
+
+// The paper's canonical moderately damped system.
+const tline::GateLineLoad kSystem{500.0, {1000.0, 1e-7, 1e-12}, 0.5e-12};
+
+mor::LinearSystem linear_system_of(const tline::GateLineLoad& system,
+                                   int segments) {
+  const sim::Circuit circuit = sim::build_gate_line_load(system, segments);
+  const sim::MnaAssembler mna(circuit);
+  return mor::make_linear_system(mna, {"out"});
+}
+
+// ---------------------------------------------------------------------------
+// Moments
+// ---------------------------------------------------------------------------
+
+TEST(Moments, MatchClosedFormDenominatorExpansion) {
+  // H(s) = 1/(1 + b1 s + b2 s^2 + ...) expands as 1 - b1 s + (b1^2 - b2) s^2.
+  // The ladder's b1 equals the distributed b1 EXACTLY (the pi ladder's
+  // trapezoidal Elmore sum is exact for the linear integrand); b2 converges
+  // with segment count.
+  const auto expected = tline::moments(kSystem);
+  const mor::LinearSystem linear = linear_system_of(kSystem, 40);
+  const mor::MomentGenerator generator(linear);
+  const auto m =
+      generator.transfer_moments(linear.outputs[0], linear.inputs[0], 3);
+  EXPECT_NEAR(m[0], 1.0, 1e-12);
+  EXPECT_NEAR(m[1], -expected.b1, 1e-9 * expected.b1);
+  EXPECT_NEAR(m[2], expected.b1 * expected.b1 - expected.b2,
+              1e-3 * expected.b2);
+}
+
+TEST(Moments, BlockRecurrenceMatchesTransferMoments) {
+  const mor::LinearSystem linear = linear_system_of(kSystem, 24);
+  const mor::MomentGenerator generator(linear);
+  const auto blocks = generator.block_moments(linear.inputs[0], 4);
+  const auto transfer =
+      generator.transfer_moments(linear.outputs[0], linear.inputs[0], 4);
+  for (int k = 0; k < 4; ++k) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < linear.outputs[0].size(); ++i)
+      dot += linear.outputs[0][i] * blocks[static_cast<std::size_t>(k)][i];
+    EXPECT_DOUBLE_EQ(dot, transfer[static_cast<std::size_t>(k)]) << "k=" << k;
+  }
+}
+
+TEST(Moments, MakeLinearSystemRejectsUnknownNode) {
+  const sim::Circuit circuit = sim::build_gate_line_load(kSystem, 8);
+  const sim::MnaAssembler mna(circuit);
+  EXPECT_THROW(mor::make_linear_system(mna, {"nonexistent"}),
+               std::invalid_argument);
+}
+
+TEST(Moments, ConductanceReuseReplaysOneSymbolic) {
+  const mor::LinearSystem linear = linear_system_of(kSystem, 40);
+  mor::ConductanceReuse reuse;
+  numeric::sparse_lu_stats() = {};
+  const mor::MomentGenerator first(linear, &reuse);
+  EXPECT_EQ(numeric::sparse_lu_stats().symbolic, 1u);
+  // Topologically identical rebuild: numeric-only refactorization.
+  const mor::LinearSystem again =
+      linear_system_of({600.0, {1200.0, 2e-7, 1.5e-12}, 0.4e-12}, 40);
+  const mor::MomentGenerator second(again, &reuse);
+  EXPECT_EQ(numeric::sparse_lu_stats().symbolic, 1u);
+  EXPECT_EQ(reuse.reuse_hits, 1u);
+  // A structurally DIFFERENT system must not touch the record.
+  const mor::LinearSystem other = linear_system_of(kSystem, 17);
+  const mor::MomentGenerator third(other, &reuse);
+  EXPECT_EQ(numeric::sparse_lu_stats().symbolic, 2u);
+  EXPECT_EQ(reuse.reuse_hits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Pade / AWE
+// ---------------------------------------------------------------------------
+
+TEST(PadeReduce, ModelReproducesItsMoments) {
+  const mor::LinearSystem linear = linear_system_of(kSystem, 40);
+  const mor::MomentGenerator generator(linear);
+  const auto m =
+      generator.transfer_moments(linear.outputs[0], linear.inputs[0], 8);
+  const mor::PoleResidueModel model = mor::pade_reduce(m, 4);
+  ASSERT_EQ(model.order, 4);
+  EXPECT_TRUE(model.stable);
+  EXPECT_LT(model.max_real_pole, 0.0);
+  // A full-order [3/4] Pade matches all 8 moments; the residue fit pins the
+  // first 4 exactly and the Hankel system the next 4.
+  for (int k = 0; k < 8; ++k) {
+    const double scale = std::fabs(m[static_cast<std::size_t>(k)]) + 1e-300;
+    EXPECT_NEAR(model.moment(k) / scale, m[static_cast<std::size_t>(k)] / scale,
+                1e-6)
+        << "k=" << k;
+  }
+  EXPECT_NEAR(model.dc_gain, 1.0, 1e-9);
+}
+
+TEST(PadeReduce, ConjugatePairsAreExactlySymmetric) {
+  // Underdamped line: complex poles must come in exact conjugate pairs.
+  const tline::GateLineLoad underdamped{50.0, {100.0, 1e-6, 1e-12}, 0.1e-12};
+  const mor::LinearSystem linear = linear_system_of(underdamped, 40);
+  const mor::MomentGenerator generator(linear);
+  const auto m =
+      generator.transfer_moments(linear.outputs[0], linear.inputs[0], 12);
+  const mor::PoleResidueModel model = mor::pade_reduce(m, 6);
+  bool found_complex = false;
+  for (std::size_t i = 0; i < model.poles.size();) {
+    if (model.poles[i].imag() != 0.0) {
+      found_complex = true;
+      ASSERT_LT(i + 1, model.poles.size());
+      EXPECT_EQ(model.poles[i + 1], std::conj(model.poles[i]));
+      EXPECT_EQ(model.residues[i + 1], std::conj(model.residues[i]));
+      i += 2;
+    } else {
+      EXPECT_EQ(model.residues[i].imag(), 0.0);
+      ++i;
+    }
+  }
+  EXPECT_TRUE(found_complex) << "expected ringing poles on this line";
+  // Real response at arbitrary times: imaginary parts cancel exactly.
+  const double t = 0.5e-9;
+  EXPECT_TRUE(std::isfinite(model.step_response(t)));
+}
+
+TEST(PadeReduce, ZeroMomentsGiveZeroModel) {
+  const mor::PoleResidueModel model =
+      mor::pade_reduce(std::vector<double>(8, 0.0), 4);
+  EXPECT_EQ(model.order, 0);
+  EXPECT_EQ(model.dc_gain, 0.0);
+  EXPECT_EQ(model.step_response(1e-9), 0.0);
+  EXPECT_TRUE(model.stable);
+}
+
+TEST(PadeReduce, ArgumentValidation) {
+  EXPECT_THROW(mor::pade_reduce({1.0, -1e-9}, 0), std::invalid_argument);
+  EXPECT_THROW(mor::pade_reduce({1.0, -1e-9}, 2), std::invalid_argument);
+}
+
+TEST(DelayExtraction, RecombinationRoundTrips) {
+  const std::vector<double> m{1.0, -2e-9, 3e-18, -4e-27, 5e-36, -6e-45};
+  const auto shifted = mor::extract_delay(m, 1e-9);
+  const auto back = mor::extract_delay(shifted, -1e-9);
+  for (std::size_t k = 0; k < m.size(); ++k)
+    EXPECT_NEAR(back[k], m[k], 1e-12 * std::fabs(m[k]) + 1e-300) << "k=" << k;
+}
+
+TEST(DelayExtraction, LowLossLineUsesTransportDelay) {
+  // A near-lossless line's 50% crossing is a wavefront arrival; the plain
+  // s = 0 expansion misses it by several percent at q = 4 while the
+  // delay-extracted reduction lands close to the transient oracle.
+  const tline::GateLineLoad wave{500.0, {500.0, 1e-5, 1e-12}, 1e-12};
+  const double oracle = sim::simulate_gate_line_delay(wave, 60);
+  const double reduced = mor::reduced_gate_delay(wave, 60, 4);
+  EXPECT_NEAR(reduced, oracle, 0.03 * oracle);
+}
+
+// ---------------------------------------------------------------------------
+// Reduced delay vs the transient oracle
+// ---------------------------------------------------------------------------
+
+TEST(ReducedDelay, MatchesTransientAcrossDampingRegimes) {
+  const tline::GateLineLoad cases[] = {
+      {500.0, {1000.0, 1e-7, 1e-12}, 0.5e-12},  // moderately damped
+      {5000.0, {5000.0, 1e-8, 1e-12}, 1e-12},   // heavily damped (RC-like)
+      {500.0, {500.0, 1e-6, 1e-12}, 1e-12},     // underdamped, ringing
+  };
+  for (const auto& system : cases) {
+    const double oracle = sim::simulate_gate_line_delay(system, 60);
+    const double reduced = mor::reduced_gate_delay(system, 60, 6);
+    EXPECT_NEAR(reduced, oracle, 0.02 * oracle)
+        << "Rt=" << system.line.total_resistance
+        << " Lt=" << system.line.total_inductance;
+  }
+}
+
+TEST(ReducedDelay, OrderTwoTracksTwoPoleModel) {
+  // q = 2 is the paper's model class: same 2-pole denominator family, plus
+  // the Pade numerator. They need not agree exactly but must be close on a
+  // damped line.
+  const double two_pole = core::TwoPoleModel(kSystem).threshold_delay(0.5);
+  const double reduced = mor::reduced_gate_delay(kSystem, 60, 2);
+  EXPECT_NEAR(reduced, two_pole, 0.05 * two_pole);
+}
+
+// ---------------------------------------------------------------------------
+// Block Arnoldi
+// ---------------------------------------------------------------------------
+
+TEST(Arnoldi, MatchesPadeOnSingleInput) {
+  const mor::LinearSystem linear = linear_system_of(kSystem, 40);
+  const mor::ReducedModel reduced = mor::arnoldi_reduce(linear, 8);
+  EXPECT_EQ(reduced.order(), 8);
+  const mor::PoleResidueModel projected = mor::pole_residue(reduced, 0, 0);
+  EXPECT_TRUE(projected.stable);
+  EXPECT_NEAR(projected.dc_gain, 1.0, 1e-6);
+
+  mor::AnalyticResponse response;
+  response.add_step(projected, 1.0);
+  const auto crossing = response.first_crossing(0.5);
+  ASSERT_TRUE(crossing.has_value());
+  const double oracle = sim::simulate_gate_line_delay(kSystem, 40);
+  EXPECT_NEAR(*crossing, oracle, 0.01 * oracle);
+}
+
+TEST(Arnoldi, ProjectionPreservesEarlyMoments) {
+  // A q-dimensional block-Krylov projection matches the first ~q/p block
+  // moments of every (output, input) transfer.
+  const mor::LinearSystem linear = linear_system_of(kSystem, 40);
+  const mor::MomentGenerator generator(linear);
+  const auto exact =
+      generator.transfer_moments(linear.outputs[0], linear.inputs[0], 6);
+  const mor::ReducedModel reduced = mor::arnoldi_reduce(linear, 6);
+  const mor::PoleResidueModel projected = mor::pole_residue(reduced, 0, 0);
+  for (int k = 0; k < 4; ++k) {
+    const double scale = std::fabs(exact[static_cast<std::size_t>(k)]);
+    EXPECT_NEAR(projected.moment(k), exact[static_cast<std::size_t>(k)],
+                1e-5 * scale)
+        << "k=" << k;
+  }
+}
+
+TEST(Arnoldi, DeflationOnDependentInputs) {
+  // Two identical input columns: the second block-0 vector is linearly
+  // dependent and must be deflated, not kept as noise.
+  mor::LinearSystem linear = linear_system_of(kSystem, 24);
+  linear.inputs.push_back(linear.inputs[0]);
+  linear.input_names.push_back("dup");
+  const mor::ReducedModel reduced = mor::arnoldi_reduce(linear, 6);
+  EXPECT_GE(reduced.deflated, 1);
+  EXPECT_EQ(reduced.order(), 6);
+}
+
+TEST(Arnoldi, ArgumentValidation) {
+  const mor::LinearSystem linear = linear_system_of(kSystem, 12);
+  EXPECT_THROW(mor::arnoldi_reduce(linear, 0), std::invalid_argument);
+  const mor::ReducedModel reduced = mor::arnoldi_reduce(linear, 4);
+  EXPECT_THROW(mor::pole_residue(reduced, 0, 99), std::invalid_argument);
+  EXPECT_THROW(mor::pole_residue(reduced, 99, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Analytic response metrics
+// ---------------------------------------------------------------------------
+
+TEST(AnalyticResponse, SingleRealPoleMatchesClosedForm) {
+  // H = (1/tau)/(s + 1/tau): step response 1 - e^{-t/tau}.
+  const double tau = 1e-9;
+  mor::PoleResidueModel model;
+  model.poles = {std::complex<double>(-1.0 / tau, 0.0)};
+  model.residues = {std::complex<double>(1.0 / tau, 0.0)};
+  model.order = 1;
+  model.dc_gain = 1.0;
+  model.stable = true;
+  model.max_real_pole = -1.0 / tau;
+
+  mor::AnalyticResponse response;
+  response.add_step(model, 1.0);
+  EXPECT_NEAR(response.value(tau), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(response.final_value(), 1.0, 1e-12);
+  const auto t50 = response.first_crossing(0.5);
+  ASSERT_TRUE(t50.has_value());
+  EXPECT_NEAR(*t50, tau * std::log(2.0), 1e-12 * tau);
+
+  const auto metrics = response.measure(0.0, 1.0);
+  ASSERT_TRUE(metrics.delay_50.has_value());
+  ASSERT_TRUE(metrics.rise_10_90.has_value());
+  // 10-90 rise of a single pole: tau * ln(9).
+  EXPECT_NEAR(*metrics.rise_10_90, tau * std::log(9.0), 1e-9 * tau);
+  EXPECT_NEAR(metrics.overshoot, 0.0, 1e-9);
+}
+
+TEST(AnalyticResponse, RampSettlesToSameFinalValue) {
+  const double tau = 1e-9;
+  mor::PoleResidueModel model;
+  model.poles = {std::complex<double>(-1.0 / tau, 0.0)};
+  model.residues = {std::complex<double>(1.0 / tau, 0.0)};
+  model.order = 1;
+  model.dc_gain = 1.0;
+
+  mor::AnalyticResponse step;
+  step.add_step(model, 1.0);
+  mor::AnalyticResponse ramp;
+  ramp.add_ramp(model, 1.0, 0.5e-9);
+  EXPECT_NEAR(ramp.value(20.0 * tau), step.value(20.0 * tau), 1e-9);
+  // A ramped input can only be slower to 50%.
+  const auto step50 = step.first_crossing(0.5);
+  const auto ramp50 = ramp.first_crossing(0.5);
+  ASSERT_TRUE(step50 && ramp50);
+  EXPECT_GT(*ramp50, *step50);
+}
+
+TEST(AnalyticResponse, OvershootMatchesSecondOrderFormula) {
+  // Underdamped 2nd-order system: overshoot = exp(-pi zeta / sqrt(1-zeta^2)).
+  const double wn = 2e9, zeta = 0.3;
+  const double wd = wn * std::sqrt(1.0 - zeta * zeta);
+  const std::complex<double> p(-zeta * wn, wd);
+  // H = wn^2 / (s^2 + 2 zeta wn s + wn^2) in pole-residue form.
+  const std::complex<double> r = wn * wn / (p - std::conj(p));
+  mor::PoleResidueModel model;
+  model.poles = {p, std::conj(p)};
+  model.residues = {r, std::conj(r)};
+  model.order = 2;
+  model.dc_gain = 1.0;
+
+  mor::AnalyticResponse response;
+  response.add_step(model, 1.0);
+  const auto metrics = response.measure(0.0, 1.0);
+  const double expected =
+      std::exp(-std::numbers::pi * zeta / std::sqrt(1.0 - zeta * zeta));
+  EXPECT_NEAR(metrics.overshoot, expected, 1e-6);
+  EXPECT_NEAR(metrics.peak_noise, expected, 1e-6);  // overshoot IS the excursion
+}
+
+TEST(AnalyticResponse, NeverCrossingIsAbsent) {
+  mor::PoleResidueModel model;
+  model.poles = {std::complex<double>(-1e9, 0.0)};
+  model.residues = {std::complex<double>(5e8, 0.0)};  // dc 0.5
+  model.order = 1;
+  model.dc_gain = 0.5;
+  mor::AnalyticResponse response;
+  response.add_step(model, 1.0);
+  EXPECT_FALSE(response.first_crossing(0.9).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Reduced crosstalk
+// ---------------------------------------------------------------------------
+
+TEST(ReducedCrosstalk, TracksTransientOnTheBusCorners) {
+  const tline::CoupledBus bus =
+      tline::make_bus(5, {200.0, 5e-9, 1e-12}, 0.4, 0.25);
+  core::CrosstalkOptions opt;
+  opt.driver_resistance = 100.0;
+  opt.load_capacitance = 50e-15;
+  opt.segments = 16;
+  for (auto pattern : {core::SwitchingPattern::kSamePhase,
+                       core::SwitchingPattern::kOppositePhase}) {
+    const auto full = core::analyze_crosstalk(bus, pattern, opt);
+    const auto reduced = core::analyze_crosstalk_reduced(bus, pattern, opt, 4);
+    ASSERT_TRUE(full.victim_delay_50 && reduced.victim_delay_50);
+    EXPECT_NEAR(*reduced.victim_delay_50, *full.victim_delay_50,
+                0.03 * *full.victim_delay_50)
+        << core::switching_pattern_name(pattern);
+  }
+  // Quiet-victim peak noise, the classic crosstalk metric.
+  const auto full = core::analyze_crosstalk(
+      bus, core::SwitchingPattern::kQuietVictim, opt);
+  const auto reduced = core::analyze_crosstalk_reduced(
+      bus, core::SwitchingPattern::kQuietVictim, opt, 6);
+  EXPECT_FALSE(reduced.victim_delay_50.has_value());
+  EXPECT_NEAR(reduced.peak_noise, full.peak_noise, 0.10 * full.peak_noise);
+}
+
+TEST(ReducedCrosstalk, MillerOrderingHoldsAtOrderTwo) {
+  // The ROADMAP's Miller-corrected two-pole: even at q = 2 the reduced
+  // model must order the corners (same-phase < opposite-phase delay).
+  const tline::CoupledBus bus =
+      tline::make_bus(3, {200.0, 5e-9, 1e-12}, 0.4, 0.2);
+  core::CrosstalkOptions opt;
+  opt.driver_resistance = 100.0;
+  opt.load_capacitance = 50e-15;
+  opt.segments = 16;
+  const auto same = core::analyze_crosstalk_reduced(
+      bus, core::SwitchingPattern::kSamePhase, opt, 2);
+  const auto opposite = core::analyze_crosstalk_reduced(
+      bus, core::SwitchingPattern::kOppositePhase, opt, 2);
+  ASSERT_TRUE(same.victim_delay_50 && opposite.victim_delay_50);
+  EXPECT_LT(*same.victim_delay_50, *opposite.victim_delay_50);
+  ASSERT_TRUE(opposite.delay_pushout.has_value());
+  EXPECT_GT(*opposite.delay_pushout, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Reduced sweep analyses
+// ---------------------------------------------------------------------------
+
+sweep::SweepSpec reduced_spec() {
+  sweep::SweepSpec spec;
+  spec.base.system = {100.0, {200.0, 5e-9, 1e-12}, 50e-15};
+  spec.base.xtalk.bus_lines = 3;
+  spec.base.xtalk.reduction_order = 4;
+  spec.axes = {
+      sweep::linspace(sweep::Variable::kCouplingCapRatio, 0.1, 0.5, 3),
+      sweep::linspace(sweep::Variable::kMutualRatio, 0.05, 0.3, 3),
+      sweep::switching_patterns({core::SwitchingPattern::kSamePhase,
+                                 core::SwitchingPattern::kOppositePhase}),
+  };
+  return spec;
+}
+
+TEST(ReducedSweep, BitIdenticalAcrossThreadCountsWithOneSymbolic) {
+  const sweep::SweepSpec spec = reduced_spec();
+  std::vector<double> reference;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    sweep::EngineOptions options;
+    options.threads = threads;
+    options.segments = 12;
+    const sweep::SweepEngine engine(options);
+    const auto result = engine.run(spec, sweep::Analysis::kReducedDelay);
+    ASSERT_EQ(result.values.size(), spec.size());
+    for (double v : result.values) EXPECT_TRUE(std::isfinite(v));
+    // ONE symbolic factorization (the G LU) for the whole sweep.
+    EXPECT_EQ(result.symbolic_factorizations, 1u) << threads << " threads";
+    if (threads == 1) {
+      reference = result.values;
+    } else {
+      ASSERT_EQ(result.values.size(), reference.size());
+      EXPECT_EQ(0, std::memcmp(result.values.data(), reference.data(),
+                               reference.size() * sizeof(double)));
+      EXPECT_GT(result.solver_reuse_hits, 0u);
+    }
+  }
+}
+
+TEST(ReducedSweep, ReductionOrderAxisConvergesTowardTransient) {
+  sweep::SweepSpec spec;
+  spec.base.system = {100.0, {200.0, 5e-9, 1e-12}, 50e-15};
+  spec.base.xtalk = {3, 0.3, 0.2, core::SwitchingPattern::kOppositePhase, 0, 4};
+  spec.axes = {sweep::values(sweep::Variable::kReductionOrder, {2, 6})};
+
+  sweep::EngineOptions options;
+  options.threads = 1;
+  options.segments = 12;
+  const sweep::SweepEngine engine(options);
+  const auto reduced = engine.run(spec, sweep::Analysis::kReducedDelay);
+
+  sweep::SweepSpec transient_spec = spec;
+  transient_spec.axes.clear();
+  const auto transient =
+      engine.run(transient_spec, sweep::Analysis::kCrosstalkDelay);
+  const double oracle = transient.values[0];
+  ASSERT_TRUE(std::isfinite(oracle));
+  // Higher order is at least as accurate, and q = 6 is within 2%.
+  EXPECT_LE(std::fabs(reduced.values[1] - oracle),
+            std::fabs(reduced.values[0] - oracle) + 1e-15);
+  EXPECT_NEAR(reduced.values[1], oracle, 0.02 * oracle);
+}
+
+TEST(ReducedSweep, AxisValidation) {
+  sweep::SweepSpec spec = reduced_spec();
+  spec.axes.push_back(sweep::values(sweep::Variable::kReductionOrder, {0}));
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.axes.back() = sweep::values(sweep::Variable::kReductionOrder, {2.5});
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.axes.back() = sweep::values(sweep::Variable::kShieldEvery, {-1});
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.axes.back() = sweep::values(sweep::Variable::kShieldEvery, {0, 1, 2});
+  EXPECT_NO_THROW(spec.validate());
+}
+
+}  // namespace
