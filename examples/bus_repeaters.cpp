@@ -1,0 +1,92 @@
+// Repeater insertion on a coupled bus (src/repbus/) — the paper's (h, k)
+// sizing story replayed under crosstalk. Shows (1) the isolated eq. 14/15
+// optimum vs what the bus actually does to it, (2) uniform vs staggered vs
+// interleaved placement under every switching pattern (full cascaded-MNA
+// chains), (3) the stage-composed reduced model reproducing those numbers
+// with zero time stepping, and (4) the crosstalk-aware optimizer's
+// delay/area/noise frontier.
+#include <cstdio>
+
+#include "numeric/units.h"
+#include "repbus/bus_chain.h"
+#include "repbus/optimize.h"
+#include "repbus/stage_compose.h"
+#include "sweep/sweep.h"
+
+using namespace rlcsim;
+using namespace rlcsim::units::literals;
+
+int main() {
+  // The Table-1-derived cell: 500 ohm / 10 nH / 1 pF line, R0 C0 = 15 ps
+  // repeaters, five coupled copies.
+  const tline::LineParams line{500.0_ohm, 10.0_nH, 1.0_pF};
+  const core::MinBuffer buffer{3000.0, 5.0_fF, 1.0, 0.0};
+  const tline::CoupledBus bus = tline::make_bus(5, line, 0.4, 0.25);
+  std::printf("bus: %s\n", tline::describe(bus).c_str());
+
+  const core::RepeaterDesign isolated = core::ismail_friedman_rlc(line, buffer);
+  std::printf("isolated eq. 14/15 optimum: h = %.1f, k = %.2f -> eq. 19 delay %s\n\n",
+              isolated.size, isolated.sections,
+              units::eng(core::total_delay(line, buffer, isolated), "s").c_str());
+
+  repbus::RepeaterBusSpec spec;
+  spec.bus = bus;
+  spec.sections = 4;
+  spec.size = 32.0;
+  spec.buffer = buffer;
+  spec.segments_per_section = 12;
+
+  std::printf("%-12s | %12s %12s %12s | %10s\n", "placement", "same-phase",
+              "opp-phase", "composed opp", "quiet noise");
+  for (auto placement : {repbus::Placement::kUniform, repbus::Placement::kStaggered,
+                         repbus::Placement::kInterleaved}) {
+    spec.placement = placement;
+    const repbus::StageModels models = repbus::build_stage_models(spec, 4);
+    const auto same =
+        repbus::simulate_bus_chain(spec, core::SwitchingPattern::kSamePhase);
+    const auto opposite =
+        repbus::simulate_bus_chain(spec, core::SwitchingPattern::kOppositePhase);
+    const auto quiet =
+        repbus::simulate_bus_chain(spec, core::SwitchingPattern::kQuietVictim);
+    const auto composed = repbus::compose_bus_chain(
+        spec, core::SwitchingPattern::kOppositePhase, models);
+    std::printf("%-12s | %12s %12s %12s | %9.0f mV\n",
+                repbus::placement_name(placement),
+                units::eng(*same.victim_delay_50, "s").c_str(),
+                units::eng(*opposite.victim_delay_50, "s").c_str(),
+                units::eng(*composed.victim_delay_50, "s").c_str(),
+                1e3 * quiet.peak_noise);
+  }
+  std::printf(
+      "\n(uniform worst case pays the full Miller penalty every stage;\n"
+      " staggered smears aggressor edges — quietest, slightly faster worst\n"
+      " case at the same area; interleaved alternates the stage phases and\n"
+      " collapses the same/opposite spread.)\n\n");
+
+  // Crosstalk-aware optimization: worst-case delay under a noise cap.
+  repbus::OptimizerOptions optimize;
+  optimize.noise_cap = 0.15;  // volts on a quiet victim
+  const sweep::SweepEngine engine;
+  const repbus::BusOptimizationResult result =
+      repbus::optimize_bus_repeaters(bus, buffer, optimize, engine);
+  std::printf("optimizer: %zu candidates on %zu threads, %zu on the frontier\n",
+              result.evaluations.size(), result.threads_used,
+              result.frontier.size());
+  if (result.best)
+    std::printf("best under %.0f mV cap: h = %.1f, k = %d, %s -> worst %s, "
+                "noise %.0f mV, area %.0f\n",
+                1e3 * optimize.noise_cap, result.best->size,
+                result.best->sections,
+                repbus::placement_name(result.best->placement),
+                units::eng(result.best->worst_delay, "s").c_str(),
+                1e3 * result.best->noise, result.best->area);
+  std::printf("\ndelay/area/noise frontier (vs isolated eq. 19 delay %s):\n",
+              units::eng(result.isolated_delay, "s").c_str());
+  for (const auto& point : result.frontier)
+    std::printf("  h = %5.1f  k = %d  %-11s  worst %10s  noise %3.0f mV  "
+                "area %5.0f\n",
+                point.size, point.sections, repbus::placement_name(point.placement),
+                units::eng(point.worst_delay, "s").c_str(), 1e3 * point.noise,
+                point.area);
+  return 0;
+}

@@ -2,50 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 #include <variant>
 #include <vector>
 
 #include "core/two_pole.h"
-#include "mor/reduce.h"
 #include "mor/response.h"
-#include "sim/builders.h"
 
 namespace rlcsim::core {
 namespace {
 
-std::vector<sim::BusDrive> drives_for(const tline::CoupledBus& bus,
-                                      SwitchingPattern pattern,
-                                      int shield_every) {
-  std::vector<sim::BusDrive> drives;
-  drives.reserve(static_cast<std::size_t>(bus.lines));
-  const int victim = bus.victim_index();
-  for (int i = 0; i < bus.lines; ++i) {
-    if (is_shield_line(i, victim, shield_every)) {
-      drives.push_back(sim::BusDrive::kShieldGrounded);
-      continue;
-    }
-    switch (pattern) {
-      case SwitchingPattern::kQuietVictim:
-        drives.push_back(i == victim ? sim::BusDrive::kQuietLow
-                                     : sim::BusDrive::kRising);
-        break;
-      case SwitchingPattern::kSamePhase:
-        drives.push_back(sim::BusDrive::kRising);
-        break;
-      case SwitchingPattern::kOppositePhase:
-        drives.push_back(i == victim ? sim::BusDrive::kRising
-                                     : sim::BusDrive::kFalling);
-        break;
-    }
-  }
-  return drives;
-}
-
 // Initial level, swing, and rise of one driver, read from the BUILT
 // circuit's actual source spec — the single source of truth shared with the
 // transient path, so the two analyses of the identical circuit can never
-// desynchronize if build_coupled_bus's drive table changes.
+// desynchronize if build_coupled_bus's drive table changes. Slew is decoded
+// from EVERY spec kind that carries one: a step's linear rise, a pulse's
+// leading edge, and a two-point PWL ramp all map onto
+// AnalyticResponse::add_ramp (the reduced path used to drive ideal steps
+// regardless — a slow-edge aggressor's noise was overstated by 2x and more).
 struct DriveSignal {
   double initial = 0.0;  // level just before t = 0
   double swing = 0.0;    // switching amplitude at t = 0
@@ -60,8 +35,26 @@ DriveSignal drive_signal(const sim::SourceSpec& spec) {
           "analyze_crosstalk_reduced: delayed step drives are not supported");
     return {step->v0, step->v1 - step->v0, step->rise};
   }
+  if (const auto* pulse = std::get_if<sim::PulseSpec>(&spec)) {
+    // Only the pulse's LEADING edge is modeled — the crosstalk metrics
+    // measure the first transition, and the trailing edge would need a
+    // second (delayed) contribution of the opposite sign. Keep honesty: a
+    // delayed pulse is rejected rather than silently shifted to t = 0.
+    if (pulse->delay != 0.0)
+      throw std::invalid_argument(
+          "analyze_crosstalk_reduced: delayed pulse drives are not supported");
+    return {pulse->v0, pulse->v1 - pulse->v0, pulse->rise};
+  }
+  const auto& pwl = std::get<sim::PwlSpec>(spec);
+  // A two-point PWL from t = 0 is exactly a ramp; anything richer has no
+  // single-slew decode and must use the transient path.
+  if (pwl.points.size() == 2 && pwl.points.front().first == 0.0)
+    return {pwl.points.front().second,
+            pwl.points.back().second - pwl.points.front().second,
+            pwl.points.back().first};
   throw std::invalid_argument(
-      "analyze_crosstalk_reduced: only DC and step drives are supported");
+      "analyze_crosstalk_reduced: only DC, step, pulse (leading edge), and "
+      "two-point-ramp PWL drives are supported");
 }
 
 // The push-out reference shared by the transient and reduced paths:
@@ -97,6 +90,33 @@ bool is_shield_line(int line, int victim, int shield_every) {
   return std::abs(line - victim) % shield_every == 0;
 }
 
+std::vector<sim::BusDrive> pattern_drives(int lines, int victim,
+                                          SwitchingPattern pattern,
+                                          int shield_every) {
+  std::vector<sim::BusDrive> drives;
+  drives.reserve(static_cast<std::size_t>(lines));
+  for (int i = 0; i < lines; ++i) {
+    if (is_shield_line(i, victim, shield_every)) {
+      drives.push_back(sim::BusDrive::kShieldGrounded);
+      continue;
+    }
+    switch (pattern) {
+      case SwitchingPattern::kQuietVictim:
+        drives.push_back(i == victim ? sim::BusDrive::kQuietLow
+                                     : sim::BusDrive::kRising);
+        break;
+      case SwitchingPattern::kSamePhase:
+        drives.push_back(sim::BusDrive::kRising);
+        break;
+      case SwitchingPattern::kOppositePhase:
+        drives.push_back(i == victim ? sim::BusDrive::kRising
+                                     : sim::BusDrive::kFalling);
+        break;
+    }
+  }
+  return drives;
+}
+
 const char* switching_pattern_name(SwitchingPattern pattern) {
   switch (pattern) {
     case SwitchingPattern::kQuietVictim: return "quiet_victim";
@@ -116,9 +136,9 @@ CrosstalkMetrics analyze_crosstalk(const tline::CoupledBus& bus,
                                      bus.line_at(victim_line),
                                      options.load_capacitance};
   const sim::Circuit circuit = sim::build_coupled_bus(
-      bus, drives_for(bus, pattern, options.shield_every),
+      bus, pattern_drives(bus.lines, victim_line, pattern, options.shield_every),
       options.driver_resistance, options.load_capacitance, options.segments,
-      options.vdd);
+      options.vdd, options.source_rise);
   const std::string victim_node =
       "line" + std::to_string(victim_line) + ".out";
   const bool victim_switches = pattern != SwitchingPattern::kQuietVictim;
@@ -159,39 +179,26 @@ CrosstalkMetrics analyze_crosstalk(const tline::CoupledBus& bus,
   return metrics;
 }
 
-CrosstalkMetrics analyze_crosstalk_reduced(const tline::CoupledBus& bus,
-                                           SwitchingPattern pattern,
-                                           const CrosstalkOptions& options,
-                                           int order,
-                                           mor::ConductanceReuse* reuse) {
-  validate_options(bus, options, "analyze_crosstalk_reduced");
-  if (order < 1)
-    throw std::invalid_argument("analyze_crosstalk_reduced: order must be >= 1");
+namespace {
 
+// Shared superposition + measurement tail of the reduced and projected
+// analyses. Superposition around the t = 0- DC point: every source
+// contributes its pre-switch level times its DC transfer (that sum is the
+// victim's initial level), then its swing times its step/ramp response.
+// build_coupled_bus adds exactly one voltage source per line, in line
+// order, so input column i is line i's driver; each signal is decoded from
+// that source's OWN spec, never re-derived from the drive enum.
+// `transfer_of(i)` supplies the (victim, driver i) pole-residue model for
+// switching drivers; `dc_of(i)` the DC transfer of quiet-but-held drivers.
+CrosstalkMetrics measure_superposition(
+    const sim::Circuit& circuit, const tline::CoupledBus& bus,
+    SwitchingPattern pattern, const CrosstalkOptions& options,
+    const std::string& victim_node,
+    const std::function<mor::PoleResidueModel(int)>& transfer_of,
+    const std::function<double(int)>& dc_of) {
   const int victim_line = bus.victim_index();
-  const std::vector<sim::BusDrive> drives =
-      drives_for(bus, pattern, options.shield_every);
-  const sim::Circuit circuit = sim::build_coupled_bus(
-      bus, drives, options.driver_resistance, options.load_capacitance,
-      options.segments, options.vdd);
-  const std::string victim_node =
-      "line" + std::to_string(victim_line) + ".out";
   const bool victim_switches = pattern != SwitchingPattern::kQuietVictim;
 
-  const sim::MnaAssembler mna(circuit);
-  const mor::LinearSystem linear = mor::make_linear_system(mna, {victim_node});
-  const mor::MomentGenerator generator(linear, reuse);
-
-  // Transport-delay candidate bound for every transfer: the victim line's
-  // own time of flight (the selection in reduce_transfer adapts downward).
-  const double max_delay = bus.line_at(victim_line).time_of_flight();
-
-  // Superposition around the t = 0- DC point: every source contributes its
-  // pre-switch level times its DC transfer (that sum is the victim's initial
-  // level), then its swing times its reduced step/ramp response.
-  // build_coupled_bus adds exactly one voltage source per line, in line
-  // order, so input column i is line i's driver; each signal is decoded
-  // from that source's OWN spec, never re-derived from the drive enum.
   double initial_dc = 0.0;
   struct Contribution {
     mor::PoleResidueModel model;
@@ -202,34 +209,16 @@ CrosstalkMetrics analyze_crosstalk_reduced(const tline::CoupledBus& bus,
   for (int i = 0; i < bus.lines; ++i) {
     const DriveSignal signal = drive_signal(
         circuit.voltage_sources()[static_cast<std::size_t>(i)].spec);
-    const double swing = signal.swing;
-    const double level0 = signal.initial;
-    if (swing != 0.0) {
-      // A driver at distance d from the victim couples through d
-      // nearest-neighbor hops, so its transfer rises like s^d (its first d
-      // moments are exactly zero — G alone does not couple the lines) and
-      // no rational with fewer than d+1 poles can represent it. Those far
-      // transfers are also the smallest contributions, so raising their
-      // order to the representability floor keeps "q-th order" honest where
-      // it matters (the victim's own transfer and its neighbors').
-      const int distance = std::abs(i - victim_line);
-      const int transfer_order = std::max(order, distance + 1);
-      const std::vector<double> moments = generator.transfer_moments(
-          linear.outputs[0], linear.inputs[static_cast<std::size_t>(i)],
-          2 * transfer_order);
-      initial_dc += level0 * moments[0];
-      contributions.push_back(
-          {mor::reduce_transfer(moments, transfer_order, max_delay), swing,
-           signal.rise});
-    } else if (level0 != 0.0) {
+    if (signal.swing != 0.0) {
+      Contribution c{transfer_of(i), signal.swing, signal.rise};
+      // The model's DC gain IS moment 0 (pinned exactly by both reduction
+      // routes), so the pre-switch level rides the same number.
+      initial_dc += signal.initial * c.model.dc_gain;
+      contributions.push_back(std::move(c));
+    } else if (signal.initial != 0.0) {
       // Non-switching source held at a nonzero level: only its DC transfer
       // contributes (one solve, no reduction).
-      const std::vector<double> m0 =
-          generator.solve(linear.inputs[static_cast<std::size_t>(i)]);
-      double dc = 0.0;
-      for (std::size_t n = 0; n < m0.size(); ++n)
-        dc += linear.outputs[0][n] * m0[n];
-      initial_dc += level0 * dc;
+      initial_dc += signal.initial * dc_of(i);
     }
   }
 
@@ -262,6 +251,133 @@ CrosstalkMetrics analyze_crosstalk_reduced(const tline::CoupledBus& bus,
           *measured.delay_50 - *metrics.isolated_delay_two_pole;
   }
   return metrics;
+}
+
+}  // namespace
+
+CrosstalkMetrics analyze_crosstalk_reduced(const tline::CoupledBus& bus,
+                                           SwitchingPattern pattern,
+                                           const CrosstalkOptions& options,
+                                           int order,
+                                           mor::ConductanceReuse* reuse) {
+  validate_options(bus, options, "analyze_crosstalk_reduced");
+  if (order < 1)
+    throw std::invalid_argument("analyze_crosstalk_reduced: order must be >= 1");
+
+  const int victim_line = bus.victim_index();
+  const sim::Circuit circuit = sim::build_coupled_bus(
+      bus, pattern_drives(bus.lines, victim_line, pattern, options.shield_every),
+      options.driver_resistance, options.load_capacitance, options.segments,
+      options.vdd, options.source_rise);
+  const std::string victim_node =
+      "line" + std::to_string(victim_line) + ".out";
+
+  const sim::MnaAssembler mna(circuit);
+  const mor::LinearSystem linear = mor::make_linear_system(mna, {victim_node});
+  const mor::MomentGenerator generator(linear, reuse);
+
+  // Transport-delay candidate bound for every transfer: the victim line's
+  // own time of flight (the selection in reduce_transfer adapts downward).
+  const double max_delay = bus.line_at(victim_line).time_of_flight();
+
+  const auto transfer_of = [&](int i) {
+    // A driver at distance d from the victim couples through d
+    // nearest-neighbor hops, so its transfer rises like s^d (its first d
+    // moments are exactly zero — G alone does not couple the lines) and
+    // no rational with fewer than d+1 poles can represent it. Those far
+    // transfers are also the smallest contributions, so raising their
+    // order to the representability floor keeps "q-th order" honest where
+    // it matters (the victim's own transfer and its neighbors').
+    const int distance = std::abs(i - victim_line);
+    const int transfer_order = std::max(order, distance + 1);
+    const std::vector<double> moments = generator.transfer_moments(
+        linear.outputs[0], linear.inputs[static_cast<std::size_t>(i)],
+        2 * transfer_order);
+    return mor::reduce_transfer(moments, transfer_order, max_delay);
+  };
+  const auto dc_of = [&](int i) {
+    const std::vector<double> m0 =
+        generator.solve(linear.inputs[static_cast<std::size_t>(i)]);
+    double dc = 0.0;
+    for (std::size_t n = 0; n < m0.size(); ++n)
+      dc += linear.outputs[0][n] * m0[n];
+    return dc;
+  };
+  return measure_superposition(circuit, bus, pattern, options, victim_node,
+                               transfer_of, dc_of);
+}
+
+mor::ArnoldiBasis crosstalk_projection_basis(const tline::CoupledBus& bus,
+                                             SwitchingPattern pattern,
+                                             const CrosstalkOptions& options,
+                                             int order,
+                                             mor::ConductanceReuse* reuse) {
+  validate_options(bus, options, "crosstalk_projection_basis");
+  if (order < 1)
+    throw std::invalid_argument(
+        "crosstalk_projection_basis: order must be >= 1");
+
+  const int victim_line = bus.victim_index();
+  const sim::Circuit circuit = sim::build_coupled_bus(
+      bus, pattern_drives(bus.lines, victim_line, pattern, options.shield_every),
+      options.driver_resistance, options.load_capacitance, options.segments,
+      options.vdd, options.source_rise);
+  const std::string victim_node =
+      "line" + std::to_string(victim_line) + ".out";
+  const sim::MnaAssembler mna(circuit);
+  const mor::LinearSystem linear = mor::make_linear_system(mna, {victim_node});
+
+  // Clamp up to the input count so the first Krylov block is never
+  // truncated: every driver keeps (at least) its DC match.
+  const int basis_order = std::max(order, bus.lines);
+  mor::ArnoldiBasis basis;
+  mor::arnoldi_reduce(linear, basis_order, reuse, &basis);
+  return basis;
+}
+
+CrosstalkMetrics analyze_crosstalk_projected(const tline::CoupledBus& bus,
+                                             SwitchingPattern pattern,
+                                             const CrosstalkOptions& options,
+                                             const mor::ArnoldiBasis& basis) {
+  validate_options(bus, options, "analyze_crosstalk_projected");
+  if (basis.order() == 0)
+    throw std::invalid_argument("analyze_crosstalk_projected: empty basis");
+
+  const int victim_line = bus.victim_index();
+  const sim::Circuit circuit = sim::build_coupled_bus(
+      bus, pattern_drives(bus.lines, victim_line, pattern, options.shield_every),
+      options.driver_resistance, options.load_capacitance, options.segments,
+      options.vdd, options.source_rise);
+  const std::string victim_node =
+      "line" + std::to_string(victim_line) + ".out";
+  const sim::MnaAssembler mna(circuit);
+  const mor::LinearSystem linear = mor::make_linear_system(mna, {victim_node});
+
+  // A structurally different circuit (different bus width, shield layout, or
+  // segmentation) cannot ride this basis: fall back to a fresh per-point
+  // reduction at the basis order so mixed-topology grids stay correct.
+  if (basis.dimension() != linear.unknowns())
+    return analyze_crosstalk_reduced(bus, pattern, options,
+                                     static_cast<int>(basis.order()));
+
+  const mor::ReducedModel reduced = mor::project_onto(linear, basis);
+  const auto transfer_of = [&](int i) {
+    return mor::pole_residue(reduced, 0, i);
+  };
+  const auto dc_of = [&](int i) {
+    // DC transfer through the reduced pencil: l^T Ghat^{-1} b — dense q x q.
+    const std::size_t q = static_cast<std::size_t>(reduced.order());
+    numeric::RealMatrix ghat = reduced.G;
+    std::vector<double> b(q);
+    for (std::size_t r = 0; r < q; ++r)
+      b[r] = reduced.B(r, static_cast<std::size_t>(i));
+    const std::vector<double> x = numeric::solve(std::move(ghat), b);
+    double dc = 0.0;
+    for (std::size_t r = 0; r < q; ++r) dc += reduced.L(r, 0) * x[r];
+    return dc;
+  };
+  return measure_superposition(circuit, bus, pattern, options, victim_node,
+                               transfer_of, dc_of);
 }
 
 }  // namespace rlcsim::core

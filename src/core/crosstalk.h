@@ -17,8 +17,11 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "mor/moments.h"
+#include "mor/reduce.h"
+#include "sim/builders.h"
 #include "sim/mna.h"
 #include "sim/transient.h"
 #include "tline/coupled_bus.h"
@@ -33,6 +36,15 @@ enum class SwitchingPattern {
 };
 const char* switching_pattern_name(SwitchingPattern pattern);
 
+// The per-line drive table of a pattern on an N-line bus: shields (per the
+// victim-anchored shield_every rule) get kShieldGrounded, the victim and
+// aggressors get the pattern's drives. Shared by the crosstalk analyses and
+// the repeater-bus chain builder (src/repbus/), so the two subsystems can
+// never disagree about what a pattern means.
+std::vector<sim::BusDrive> pattern_drives(int lines, int victim,
+                                          SwitchingPattern pattern,
+                                          int shield_every);
+
 struct CrosstalkOptions {
   double driver_resistance = 0.0;  // per line, > 0
   double load_capacitance = 0.0;   // per line, >= 0
@@ -46,6 +58,10 @@ struct CrosstalkOptions {
   // load); larger s leaves the victim's neighbors switching and grounds
   // lines further out. Shield lines never switch, whatever the pattern.
   int shield_every = 0;
+  // Linear edge duration of every switching driver (slow-slew aggressors);
+  // 0 = ideal steps. Honored identically by the transient path (StepSpec
+  // rise) and the reduced/analytic paths (AnalyticResponse::add_ramp).
+  double source_rise = 0.0;
   // Transient discretization; 0 picks per-scenario defaults
   // (sim::default_transient_horizon of the isolated line; dt = t_stop/4000).
   double t_stop = 0.0;
@@ -104,5 +120,28 @@ CrosstalkMetrics analyze_crosstalk_reduced(const tline::CoupledBus& bus,
                                            const CrosstalkOptions& options,
                                            int order = 4,
                                            mor::ConductanceReuse* reuse = nullptr);
+
+// Arnoldi-projection basis of the bus circuit at NOMINAL parameter values,
+// for reuse across a sweep: computed once (order is clamped up to the input
+// count so no driver loses its DC match), then analyze_crosstalk_projected
+// re-evaluates only the projected q x q pencil per point — sparse matvecs
+// and dense q x q work, no LU factorization at all. `reuse` shares the G
+// symbolic of the one Arnoldi run.
+mor::ArnoldiBasis crosstalk_projection_basis(const tline::CoupledBus& bus,
+                                             SwitchingPattern pattern,
+                                             const CrosstalkOptions& options,
+                                             int order,
+                                             mor::ConductanceReuse* reuse = nullptr);
+
+// analyze_crosstalk_reduced evaluated THROUGH a previously computed
+// projection basis (sweep::EngineOptions::reuse_projection). Exact at the
+// point the basis was built, an approximation elsewhere; accuracy degrades
+// smoothly with parameter distance. A structurally different circuit (the
+// basis dimension no longer matches) falls back to a fresh per-point
+// reduction at the basis order, so mixed-topology grids stay correct.
+CrosstalkMetrics analyze_crosstalk_projected(const tline::CoupledBus& bus,
+                                             SwitchingPattern pattern,
+                                             const CrosstalkOptions& options,
+                                             const mor::ArnoldiBasis& basis);
 
 }  // namespace rlcsim::core

@@ -109,13 +109,35 @@ struct ReducedModel {
   std::size_t output_count() const { return L.cols(); }
 };
 
+// The orthonormal block-Krylov basis V of an arnoldi_reduce run, exposed so
+// a SWEEP can project once at a nominal point and re-evaluate only the
+// projected Ghat/Chat/Bhat/Lhat at every other point (project_onto below) —
+// pure sparse matvecs and dot products, no LU factorization at all per
+// point. The basis is exact at the point it was built and an approximation
+// elsewhere; accuracy degrades smoothly with parameter distance (the
+// reuse-vs-reprojection test pins the bound the sweep engine relies on).
+struct ArnoldiBasis {
+  std::vector<std::vector<double>> vectors;  // orthonormal, size n each
+  std::size_t order() const { return vectors.size(); }
+  std::size_t dimension() const { return vectors.empty() ? 0 : vectors.front().size(); }
+};
+
 // Block-Arnoldi projection of `system` to (at most) `order` dimensions.
 // `order` is the TOTAL reduced dimension; it should be >= the input count
 // or the first Krylov block itself is truncated (some inputs lose even
 // their DC match). Breakdown (Krylov space exhausted) returns a smaller
-// model than requested — check order().
+// model than requested — check order(). `basis_out`, when given, receives
+// the projection basis for later project_onto() reuse.
 ReducedModel arnoldi_reduce(const LinearSystem& system, int order,
-                            ConductanceReuse* reuse = nullptr);
+                            ConductanceReuse* reuse = nullptr,
+                            ArnoldiBasis* basis_out = nullptr);
+
+// Re-projects a (value-changed, structurally identical) system onto a
+// previously computed basis: Ghat = V^T G V, Chat = V^T C V, Bhat = V^T B,
+// Lhat = V^T L. No factorization, no Krylov recurrence — the per-point cost
+// of basis-reuse sweeps. Throws std::invalid_argument when the basis
+// dimension does not match the system's unknown count.
+ReducedModel project_onto(const LinearSystem& system, const ArnoldiBasis& basis);
 
 // Pole-residue extraction of one (output, input) entry of the reduced
 // model. All entries share the reduced pencil's poles; spurious unstable

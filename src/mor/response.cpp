@@ -30,19 +30,24 @@ double refine_extremum(const std::function<double(double)>& f, double lo,
 
 AnalyticResponse::AnalyticResponse(double dc_offset) : dc_offset_(dc_offset) {}
 
-void AnalyticResponse::add_step(const PoleResidueModel& h, double delta) {
-  add_ramp(h, delta, 0.0);
+void AnalyticResponse::add_step(const PoleResidueModel& h, double delta,
+                                double start) {
+  add_ramp(h, delta, 0.0, start);
 }
 
 void AnalyticResponse::add_ramp(const PoleResidueModel& h, double delta,
-                                double rise) {
+                                double rise, double start) {
   if (rise < 0.0 || !std::isfinite(rise))
     throw std::invalid_argument("AnalyticResponse: rise must be >= 0");
+  if (start < 0.0 || !std::isfinite(start))
+    throw std::invalid_argument("AnalyticResponse: start must be >= 0");
   Contribution c;
   c.delta = delta;
   c.rise = rise;
   c.dc = h.dc_gain;
-  c.delay = h.delay;
+  // The onset composes with the model's transport delay: the response is
+  // exactly 0 until start + delay, which is all contribution_value needs.
+  c.delay = h.delay + start;
   c.terms.reserve(h.poles.size());
   for (std::size_t i = 0; i < h.poles.size(); ++i) {
     const Complex p = h.poles[i];
@@ -54,7 +59,7 @@ void AnalyticResponse::add_ramp(const PoleResidueModel& h, double delta,
     max_omega_ = std::max(max_omega_, std::fabs(p.imag()));
   }
   max_rise_ = std::max(max_rise_, rise);
-  max_delay_ = std::max(max_delay_, h.delay);
+  max_delay_ = std::max(max_delay_, c.delay);
   contributions_.push_back(std::move(c));
 }
 
@@ -103,7 +108,10 @@ std::optional<double> AnalyticResponse::first_crossing(double level,
   for (int attempt = 0; attempt < 4; ++attempt) {
     // Enough samples to bracket every half-oscillation in the window, with a
     // floor for smooth responses and a cap against pathological requests.
-    std::size_t samples = 2048;
+    // The floor only needs to BRACKET the crossing (Brent refines it), and a
+    // smooth exponential sum's features span many samples at 512 across a
+    // 12-tau window — this scan is the repeater-bus composition's hot path.
+    std::size_t samples = 512;
     if (max_omega_ > 0.0) {
       const double oscillations = window * max_omega_ / (2.0 * 3.14159265358979323846);
       samples = std::clamp<std::size_t>(
@@ -151,9 +159,11 @@ ResponseMetrics AnalyticResponse::measure(double drive_lo, double drive_hi,
     }
   }
 
-  // Global extrema: scan the settled window, refine the best brackets.
+  // Global extrema: scan the settled window, refine the best brackets (the
+  // floor mirrors first_crossing's: Brent sharpens whatever the coarse scan
+  // brackets, and peaks of a smooth exponential sum span many samples).
   const double horizon = suggested_horizon();
-  std::size_t samples = 4096;
+  std::size_t samples = 1024;
   if (max_omega_ > 0.0) {
     const double oscillations =
         horizon * max_omega_ / (2.0 * 3.14159265358979323846);

@@ -48,10 +48,14 @@ class AnalyticResponse {
   explicit AnalyticResponse(double dc_offset = 0.0);
 
   // Adds `delta` times the unit-step response of `h` (the driver steps by
-  // delta volts at t = 0).
-  void add_step(const PoleResidueModel& h, double delta);
-  // Same but the driver ramps linearly over `rise` seconds (> 0).
-  void add_ramp(const PoleResidueModel& h, double delta, double rise);
+  // delta volts at t = `start` >= 0 — nonzero onsets are how stage-composed
+  // repeater chains superpose drivers that fire at different absolute
+  // times; the onset simply adds to the model's transport delay).
+  void add_step(const PoleResidueModel& h, double delta, double start = 0.0);
+  // Same but the driver ramps linearly over `rise` seconds (> 0) from the
+  // onset.
+  void add_ramp(const PoleResidueModel& h, double delta, double rise,
+                double start = 0.0);
 
   double value(double t) const;
   double initial_value() const { return value(0.0); }
@@ -81,7 +85,7 @@ class AnalyticResponse {
     double delta = 0.0;
     double rise = 0.0;   // 0 = ideal step
     double dc = 0.0;     // model DC gain
-    double delay = 0.0;  // model transport delay (response is 0 before it)
+    double delay = 0.0;  // transport delay + onset (response is 0 before it)
     // (pole, residue/pole) for steps; (pole, residue/pole^2) for ramps.
     std::vector<std::pair<std::complex<double>, std::complex<double>>> terms;
   };

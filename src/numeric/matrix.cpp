@@ -1,5 +1,6 @@
 #include "numeric/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace rlcsim::numeric {
@@ -86,5 +87,37 @@ T LuFactorization<T>::determinant() const {
 
 template class LuFactorization<double>;
 template class LuFactorization<std::complex<double>>;
+
+bool symmetric_positive_definite(const RealMatrix& a) {
+  const std::size_t n = a.rows();
+  if (n != a.cols())
+    throw std::invalid_argument("symmetric_positive_definite: matrix must be square");
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) scale = std::max(scale, std::fabs(a(i, j)));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (std::fabs(a(i, j) - a(j, i)) > 1e-9 * std::max(scale, 1e-300))
+        throw std::invalid_argument(
+            "symmetric_positive_definite: matrix is not symmetric");
+
+  // LDLt: l holds the strictly-lower factors, d the pivots. The recurrence
+  // d_j = a_jj - sum_k l_jk^2 d_k breaks down (or goes nonpositive) exactly
+  // when the matrix is not positive definite.
+  RealMatrix l(n, n);
+  std::vector<double> d(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double dj = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) dj -= l(j, k) * l(j, k) * d[k];
+    if (!(dj > 0.0)) return false;
+    d[j] = dj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= l(i, k) * l(j, k) * d[k];
+      l(i, j) = v / dj;
+    }
+  }
+  return true;
+}
 
 }  // namespace rlcsim::numeric

@@ -113,4 +113,12 @@ std::vector<T> solve(Matrix<T> a, const std::vector<T>& b) {
   return LuFactorization<T>(std::move(a)).solve(b);
 }
 
+// True iff the SYMMETRIC matrix is positive definite: LDLt without pivoting
+// (legitimate exactly because the test target is symmetric), positive
+// definite iff every pivot d_i > 0. Only the lower triangle is read, and a
+// non-square or asymmetric (beyond a small relative tolerance) matrix throws
+// std::invalid_argument. The dense generalization of the tridiagonal
+// tline::mutual_chain_positive_definite test, for full coupling matrices.
+bool symmetric_positive_definite(const RealMatrix& a);
+
 }  // namespace rlcsim::numeric

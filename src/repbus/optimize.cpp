@@ -1,0 +1,176 @@
+#include "repbus/optimize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace rlcsim::repbus {
+namespace {
+
+struct Candidate {
+  double size = 0.0;
+  int sections = 0;
+  Placement placement = Placement::kUniform;
+  int shield_every = 0;
+};
+
+RepeaterBusSpec spec_of(const tline::CoupledBus& bus,
+                        const core::MinBuffer& buffer,
+                        const OptimizerOptions& options, const Candidate& c) {
+  RepeaterBusSpec spec;
+  spec.bus = bus;
+  spec.sections = c.sections;
+  spec.size = c.size;
+  spec.buffer = buffer;
+  spec.placement = c.placement;
+  spec.segments_per_section = options.segments_per_section;
+  spec.vdd = options.vdd;
+  spec.source_rise = options.source_rise;
+  spec.buffer_rise = options.buffer_rise;
+  spec.shield_every = c.shield_every;
+  return spec;
+}
+
+BusDesignEval evaluate(const tline::CoupledBus& bus,
+                       const core::MinBuffer& buffer,
+                       const OptimizerOptions& options, const Candidate& c,
+                       mor::ConductanceReuse* reuse) {
+  const RepeaterBusSpec spec = spec_of(bus, buffer, options, c);
+  // One model build serves all three pattern walks (the models depend on
+  // the topology and values, never on the drive pattern).
+  const StageModels models = build_stage_models(spec, options.order, reuse);
+  const ComposedChainMetrics same =
+      compose_bus_chain(spec, core::SwitchingPattern::kSamePhase, models);
+  const ComposedChainMetrics opposite =
+      compose_bus_chain(spec, core::SwitchingPattern::kOppositePhase, models);
+  const ComposedChainMetrics quiet =
+      compose_bus_chain(spec, core::SwitchingPattern::kQuietVictim, models);
+
+  BusDesignEval eval;
+  eval.size = c.size;
+  eval.sections = c.sections;
+  eval.placement = c.placement;
+  eval.shield_every = c.shield_every;
+  eval.same_phase_delay = same.victim_delay_50.value();
+  eval.opposite_phase_delay = opposite.victim_delay_50.value();
+  eval.worst_delay = std::max(eval.same_phase_delay, eval.opposite_phase_delay);
+  eval.noise = quiet.peak_noise;
+  eval.area = repeater_area(spec);
+  eval.feasible = eval.noise <= options.noise_cap;
+  return eval;
+}
+
+// a dominates b: no worse on every frontier axis, strictly better on one.
+bool dominates(const BusDesignEval& a, const BusDesignEval& b) {
+  const bool no_worse = a.worst_delay <= b.worst_delay && a.area <= b.area &&
+                        a.noise <= b.noise;
+  const bool better = a.worst_delay < b.worst_delay || a.area < b.area ||
+                      a.noise < b.noise;
+  return no_worse && better;
+}
+
+}  // namespace
+
+BusOptimizationResult optimize_bus_repeaters(const tline::CoupledBus& bus,
+                                             const core::MinBuffer& buffer,
+                                             const OptimizerOptions& options,
+                                             const sweep::SweepEngine& engine) {
+  tline::validate(bus);
+  core::validate(buffer);
+  if (options.order < 1)
+    throw std::invalid_argument("optimize_bus_repeaters: order must be >= 1");
+  if (options.placements.empty())
+    throw std::invalid_argument("optimize_bus_repeaters: no placements");
+  if (options.shield_options.empty())
+    throw std::invalid_argument("optimize_bus_repeaters: no shield options");
+
+  BusOptimizationResult result;
+  const tline::LineParams& victim_line = bus.line_at(bus.victim_index());
+  result.isolated_design = core::ismail_friedman_rlc(victim_line, buffer);
+  result.isolated_delay =
+      core::total_delay(victim_line, buffer, result.isolated_design);
+  result.threads_used = engine.threads();
+
+  // Default grids bracket the paper's isolated optimum.
+  std::vector<double> sizes = options.sizes;
+  if (sizes.empty())
+    for (double factor : {0.7, 0.85, 1.0, 1.15, 1.3})
+      sizes.push_back(std::max(1.0, factor * result.isolated_design.size));
+  std::vector<int> sections = options.sections;
+  if (sections.empty()) {
+    const int k_opt = std::max(
+        2, static_cast<int>(std::llround(result.isolated_design.sections)));
+    for (int k : {k_opt - 1, k_opt, k_opt + 1})
+      if (k >= 1) sections.push_back(k);
+  }
+  for (double h : sizes)
+    if (!(h > 0.0) || !std::isfinite(h))
+      throw std::invalid_argument("optimize_bus_repeaters: sizes must be > 0");
+  for (int k : sections)
+    if (k < 1)
+      throw std::invalid_argument(
+          "optimize_bus_repeaters: sections must be >= 1");
+
+  std::vector<Candidate> candidates;
+  for (int k : sections)
+    for (Placement placement : options.placements) {
+      if (placement == Placement::kStaggered && k < 2) continue;
+      for (int shield : options.shield_options)
+        for (double h : sizes) candidates.push_back({h, k, placement, shield});
+    }
+  if (candidates.empty())
+    throw std::invalid_argument("optimize_bus_repeaters: empty candidate grid");
+
+  // Determinism scheme (the sweep engine's, per topology group): candidates
+  // sharing a stage topology — same (sections, shield layout); h and
+  // placement only change values — share one symbolic G factorization. The
+  // first candidate of each group runs serially on the calling thread and
+  // records it; every other candidate copies the record, so pivot orders
+  // (and results) never depend on the schedule.
+  result.evaluations.assign(candidates.size(), BusDesignEval{});
+  std::map<std::pair<int, int>, mor::ConductanceReuse> donors;
+  std::vector<std::size_t> remaining;
+  for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
+    const Candidate& c = candidates[idx];
+    const std::pair<int, int> key{c.sections, c.shield_every};
+    auto [it, inserted] = donors.try_emplace(key);
+    if (inserted)
+      result.evaluations[idx] = evaluate(bus, buffer, options, c, &it->second);
+    else
+      remaining.push_back(idx);
+  }
+  engine.run_custom(remaining.size(), [&](std::size_t r,
+                                          sweep::SweepEngine::PointContext&) {
+    const std::size_t idx = remaining[r];
+    const Candidate& c = candidates[idx];
+    mor::ConductanceReuse local =
+        donors.at({c.sections, c.shield_every});  // read-only copy per point
+    result.evaluations[idx] = evaluate(bus, buffer, options, c, &local);
+    return result.evaluations[idx].worst_delay;
+  });
+
+  // Best feasible (ties broken toward smaller area, then grid order).
+  for (const BusDesignEval& eval : result.evaluations) {
+    if (!eval.feasible) continue;
+    if (!result.best || eval.worst_delay < result.best->worst_delay ||
+        (eval.worst_delay == result.best->worst_delay &&
+         eval.area < result.best->area))
+      result.best = eval;
+  }
+
+  // Pareto frontier over (worst_delay, area, noise).
+  for (const BusDesignEval& eval : result.evaluations) {
+    bool dominated = false;
+    for (const BusDesignEval& other : result.evaluations)
+      if (dominates(other, eval)) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) result.frontier.push_back(eval);
+  }
+  return result;
+}
+
+}  // namespace rlcsim::repbus

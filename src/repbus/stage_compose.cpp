@@ -1,0 +1,258 @@
+#include "repbus/stage_compose.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "mor/response.h"
+#include "sim/builders.h"
+#include "sim/mna.h"
+
+namespace rlcsim::repbus {
+namespace {
+
+// One stage's parasitics: the whole bus scaled by 1/k (every total, every
+// coupling, every flavor — ratios and positive definiteness are preserved).
+tline::CoupledBus section_bus(const tline::CoupledBus& bus, int sections) {
+  const double inv = 1.0 / static_cast<double>(sections);
+  tline::CoupledBus s = bus;
+  const auto scale_line = [&](tline::LineParams& line) {
+    line.total_resistance *= inv;
+    line.total_inductance *= inv;
+    line.total_capacitance *= inv;
+  };
+  scale_line(s.line);
+  for (auto& line : s.line_params) scale_line(line);
+  s.coupling_capacitance *= inv;
+  s.mutual_inductance *= inv;
+  for (double& cc : s.pair_capacitance) cc *= inv;
+  for (double& lm : s.pair_inductance) lm *= inv;
+  const auto scale_matrix = [&](numeric::RealMatrix& m) {
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      for (std::size_t j = 0; j < m.cols(); ++j) m(i, j) *= inv;
+  };
+  scale_matrix(s.full_cc);
+  scale_matrix(s.full_lm);
+  return s;
+}
+
+}  // namespace
+
+StageModels build_stage_models(const RepeaterBusSpec& spec, int order,
+                               mor::ConductanceReuse* reuse) {
+  validate(spec);
+  if (order < 1)
+    throw std::invalid_argument("build_stage_models: order must be >= 1");
+
+  const tline::CoupledBus section = section_bus(spec.bus, spec.sections);
+  const int lines = section.lines;
+  const int victim = section.victim_index();
+  // The drive table only decides which lines are shields here (source specs
+  // never enter the reduced transfers — inputs are unit incidence columns).
+  const std::vector<sim::BusDrive> drives = core::pattern_drives(
+      lines, victim, core::SwitchingPattern::kSamePhase, spec.shield_every);
+  const sim::Circuit circuit = sim::build_coupled_bus(
+      section, drives, spec.buffer.r0 / spec.size, spec.buffer.c0 * spec.size,
+      spec.segments_per_section, spec.vdd);
+
+  std::vector<std::string> outputs;
+  outputs.reserve(static_cast<std::size_t>(lines));
+  for (int i = 0; i < lines; ++i)
+    outputs.push_back("line" + std::to_string(i) + ".out");
+  const sim::MnaAssembler mna(circuit);
+  const mor::LinearSystem linear = mor::make_linear_system(mna, outputs);
+  const mor::MomentGenerator generator(linear, reuse);
+
+  StageModels models;
+  models.lines = lines;
+  models.order = order;
+  models.sections = spec.sections;
+  models.shield_every = spec.shield_every;
+  models.transfer.assign(static_cast<std::size_t>(lines),
+                         std::vector<mor::PoleResidueModel>(
+                             static_cast<std::size_t>(lines)));
+  models.dc.assign(static_cast<std::size_t>(lines),
+                   std::vector<double>(static_cast<std::size_t>(lines), 0.0));
+  for (int i = 0; i < lines; ++i) {
+    if (drives[static_cast<std::size_t>(i)] == sim::BusDrive::kShieldGrounded)
+      continue;  // shield outputs are never measured
+    const double max_delay = section.line_at(i).time_of_flight();
+    for (int j = 0; j < lines; ++j) {
+      if (drives[static_cast<std::size_t>(j)] == sim::BusDrive::kShieldGrounded)
+        continue;  // shield drivers never move: zero model
+      // The distance floor of analyze_crosstalk_reduced: a driver d
+      // nearest-neighbor hops away needs at least d+1 poles.
+      const int distance = std::abs(i - j);
+      const int transfer_order = std::max(order, distance + 1);
+      const std::vector<double> moments = generator.transfer_moments(
+          linear.outputs[static_cast<std::size_t>(i)],
+          linear.inputs[static_cast<std::size_t>(j)], 2 * transfer_order);
+      models.dc[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          moments[0];
+      models.transfer[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          mor::reduce_transfer(moments, transfer_order, max_delay);
+    }
+  }
+  return models;
+}
+
+ComposedChainMetrics compose_bus_chain(const RepeaterBusSpec& spec,
+                                       core::SwitchingPattern pattern,
+                                       const StageModels& models) {
+  validate(spec);
+  const int lines = spec.bus.lines;
+  if (models.lines != lines || models.sections != spec.sections ||
+      models.shield_every != spec.shield_every)
+    throw std::invalid_argument(
+        "compose_bus_chain: stage models built for a different chain "
+        "geometry (bus width, sections, or shield layout)");
+  const int victim = spec.bus.victim_index();
+  const double vdd = spec.vdd;
+  const double buffer_edge = resolved_buffer_rise(spec);
+  const bool staggered = spec.placement == Placement::kStaggered;
+  const bool interleaved = spec.placement == Placement::kInterleaved;
+  const std::vector<sim::BusDrive> drives =
+      core::pattern_drives(lines, victim, pattern, spec.shield_every);
+  const auto is_signal = [&](int i) {
+    return drives[static_cast<std::size_t>(i)] != sim::BusDrive::kShieldGrounded;
+  };
+  const auto model_at = [&](int i, int j) -> const mor::PoleResidueModel& {
+    return models.transfer[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  };
+  const auto dc_at = [&](int i, int j) {
+    return models.dc[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  };
+
+  // Per-line drive state entering the current stage.
+  struct LineState {
+    double pre = 0.0;   // wire level before the transition
+    double post = 0.0;  // ... after it (pre == post: quiet)
+    double t = 0.0;     // absolute fire time of this stage's driver
+    double ramp = 0.0;  // driver edge duration
+    double pitch = 0.0; // last measured per-stage delay (stagger smearing)
+  };
+
+  // Initial per-stage pitch estimate (needed before the first stage has
+  // been measured): the victim's own section 50% delay under a unit step.
+  double pitch_estimate = 0.0;
+  {
+    mor::AnalyticResponse self;
+    self.add_step(model_at(victim, victim), 1.0);
+    pitch_estimate =
+        self.first_crossing(0.5 * dc_at(victim, victim), +1)
+            .value_or(spec.bus.line_at(victim).section(spec.sections)
+                          .time_of_flight());
+  }
+
+  std::vector<LineState> state(static_cast<std::size_t>(lines));
+  for (int i = 0; i < lines; ++i) {
+    const DriveLevels levels = drive_levels(drives[static_cast<std::size_t>(i)], vdd);
+    LineState& s = state[static_cast<std::size_t>(i)];
+    const bool invert_first = interleaved && is_alternate_line(i, victim) &&
+                              is_signal(i);
+    s.pre = invert_first ? vdd - levels.pre : levels.pre;
+    s.post = invert_first ? vdd - levels.post : levels.post;
+    s.t = 0.0;
+    s.ramp = spec.source_rise;
+    s.pitch = pitch_estimate;
+  }
+
+  ComposedChainMetrics metrics;
+  metrics.victim_fire_times.push_back(0.0);
+  const bool victim_switches = pattern != core::SwitchingPattern::kQuietVictim;
+
+  for (int stage = 1; stage <= spec.sections; ++stage) {
+    std::vector<double> next_t(static_cast<std::size_t>(lines), 0.0);
+    for (int i = 0; i < lines; ++i) {
+      if (!is_signal(i)) continue;
+      const LineState& si = state[static_cast<std::size_t>(i)];
+      const bool switching = si.pre != si.post;
+      if (!switching && i != victim) continue;  // nothing to measure
+
+      // The line's stage output: DC offset from every driver's pre-switch
+      // level, plus each switching driver's ramp started at its absolute
+      // fire time. Staggered cross-parity pairs smear each contribution
+      // over two half-weight onsets at t -/+ pitch/2 (the adjacent span
+      // straddles two of the driver's stages).
+      double dc0 = 0.0;
+      for (int j = 0; j < lines; ++j)
+        dc0 += state[static_cast<std::size_t>(j)].pre * dc_at(i, j);
+      mor::AnalyticResponse response(dc0);
+      for (int j = 0; j < lines; ++j) {
+        const LineState& sj = state[static_cast<std::size_t>(j)];
+        if (sj.pre == sj.post || !is_signal(j)) continue;
+        const double delta = sj.post - sj.pre;
+        if (staggered &&
+            is_alternate_line(i, victim) != is_alternate_line(j, victim)) {
+          response.add_ramp(model_at(i, j), 0.5 * delta, sj.ramp,
+                            std::max(0.0, sj.t - 0.5 * sj.pitch));
+          response.add_ramp(model_at(i, j), 0.5 * delta, sj.ramp,
+                            sj.t + 0.5 * sj.pitch);
+        } else {
+          response.add_ramp(model_at(i, j), delta, sj.ramp, sj.t);
+        }
+      }
+
+      if (i == victim) {
+        const mor::ResponseMetrics measured =
+            response.measure(dc0, response.final_value(), /*want_rise=*/false);
+        metrics.peak_noise = std::max(metrics.peak_noise, measured.peak_noise);
+        if (switching) {
+          if (!measured.delay_50)
+            throw std::runtime_error(
+                "compose_bus_chain: victim stage " + std::to_string(stage) +
+                " never crossed 50% within the (auto-extended) window");
+          next_t[static_cast<std::size_t>(i)] = *measured.delay_50;
+        }
+      } else {
+        const double final_value = response.final_value();
+        const double level = 0.5 * (dc0 + final_value);
+        const int direction = si.post > si.pre ? +1 : -1;
+        const auto crossing = response.first_crossing(level, direction);
+        if (!crossing)
+          throw std::runtime_error(
+              "compose_bus_chain: line " + std::to_string(i) + " stage " +
+              std::to_string(stage) +
+              " never crossed 50% within the (auto-extended) window");
+        next_t[static_cast<std::size_t>(i)] = *crossing;
+      }
+    }
+
+    if (stage == spec.sections) {
+      if (victim_switches)
+        metrics.victim_delay_50 = next_t[static_cast<std::size_t>(victim)];
+      break;
+    }
+
+    // Advance: measured crossings become the next stage's fire times, the
+    // buffer edge becomes the drive ramp, and inverting repeaters flip the
+    // next stage's levels.
+    for (int i = 0; i < lines; ++i) {
+      if (!is_signal(i)) continue;
+      LineState& s = state[static_cast<std::size_t>(i)];
+      const bool invert = interleaved && is_alternate_line(i, victim);
+      if (s.pre != s.post) {
+        const double t50 = next_t[static_cast<std::size_t>(i)];
+        s.pitch = std::max(t50 - s.t, 0.0);
+        s.t = t50;
+        s.ramp = buffer_edge;
+      }
+      const double pre = invert ? vdd - s.pre : s.pre;
+      const double post = invert ? vdd - s.post : s.post;
+      s.pre = pre;
+      s.post = post;
+    }
+    metrics.victim_fire_times.push_back(state[static_cast<std::size_t>(victim)].t);
+  }
+  return metrics;
+}
+
+ComposedChainMetrics compose_bus_chain(const RepeaterBusSpec& spec,
+                                       core::SwitchingPattern pattern,
+                                       int order, mor::ConductanceReuse* reuse) {
+  return compose_bus_chain(spec, pattern,
+                           build_stage_models(spec, order, reuse));
+}
+
+}  // namespace rlcsim::repbus

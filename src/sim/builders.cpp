@@ -96,8 +96,11 @@ void add_coupled_lines(Circuit& circuit, const std::string& prefix,
                        const CoupledLinesSpec& spec) {
   // A coupled pair IS a 2-line bus: the per-segment coupling coefficient
   // equals Lm/Lt, so inductive_k maps to Lm = k * Lt.
-  const tline::CoupledBus bus{2, spec.line, spec.coupling_capacitance,
-                              spec.inductive_k * spec.line.total_inductance};
+  tline::CoupledBus bus;
+  bus.lines = 2;
+  bus.line = spec.line;
+  bus.coupling_capacitance = spec.coupling_capacitance;
+  bus.mutual_inductance = spec.inductive_k * spec.line.total_inductance;
   add_coupled_bus(circuit, prefix, {in_a, in_b}, {out_a, out_b}, bus,
                   spec.segments);
 }
@@ -159,23 +162,34 @@ void add_coupled_bus(Circuit& circuit, const std::string& prefix,
     return (j == segments - 1) ? outs[static_cast<std::size_t>(i)]
                                : line_prefix(i) + ".n" + std::to_string(j);
   };
-  for (int i = 0; i + 1 < bus.lines; ++i) {
-    const std::string pair = prefix + ".p" + std::to_string(i);
-    const double cc_seg = bus.pair_cc(i) / segments;
-    // Per-segment coupling coefficient of the pair: (Lm/K)/sqrt(Li/K * Lj/K)
-    // — the 1/K cancels, so k is segment-count independent.
-    const double k = bus.pair_lm(i) /
-                     std::sqrt(bus.line_at(i).total_inductance *
-                               bus.line_at(i + 1).total_inductance);
-    for (int j = 0; j < segments; ++j) {
-      if (cc_seg > 0.0) {
-        circuit.add_capacitor(node_of(i, j), node_of(i + 1, j), cc_seg, 0.0,
-                              pair + ".cc" + std::to_string(j));
-      }
-      if (k > 0.0) {
-        const std::string tag = "." + std::to_string(j) + ".l";
-        circuit.add_mutual(line_prefix(i) + tag, line_prefix(i + 1) + tag, k,
-                           pair + ".k" + std::to_string(j));
+  // All coupled pairs: adjacent ones always (the nearest-neighbor fast path,
+  // with the historical ".p<i>" names), plus every farther pair carried by a
+  // full-coupling bus (".p<i>x<j>" names). coupling_cc/lm return 0 beyond
+  // the neighbors for nearest-neighbor buses, so the outer loop degenerates
+  // to the classic adjacent-only stamping there.
+  for (int i = 0; i < bus.lines; ++i) {
+    for (int far = i + 1; far < bus.lines; ++far) {
+      const double cc = bus.coupling_cc(i, far);
+      const double lm = bus.coupling_lm(i, far);
+      if (cc <= 0.0 && lm <= 0.0 && far > i + 1) continue;
+      const std::string pair =
+          far == i + 1 ? prefix + ".p" + std::to_string(i)
+                       : prefix + ".p" + std::to_string(i) + "x" + std::to_string(far);
+      const double cc_seg = cc / segments;
+      // Per-segment coupling coefficient of the pair: (Lm/K)/sqrt(Li/K * Lj/K)
+      // — the 1/K cancels, so k is segment-count independent.
+      const double k = lm / std::sqrt(bus.line_at(i).total_inductance *
+                                      bus.line_at(far).total_inductance);
+      for (int j = 0; j < segments; ++j) {
+        if (cc_seg > 0.0) {
+          circuit.add_capacitor(node_of(i, j), node_of(far, j), cc_seg, 0.0,
+                                pair + ".cc" + std::to_string(j));
+        }
+        if (k > 0.0) {
+          const std::string tag = "." + std::to_string(j) + ".l";
+          circuit.add_mutual(line_prefix(i) + tag, line_prefix(far) + tag, k,
+                             pair + ".k" + std::to_string(j));
+        }
       }
     }
   }
@@ -184,11 +198,13 @@ void add_coupled_bus(Circuit& circuit, const std::string& prefix,
 Circuit build_coupled_bus(const tline::CoupledBus& bus,
                           const std::vector<BusDrive>& drives,
                           double driver_resistance, double load_capacitance,
-                          int segments, double vdd) {
+                          int segments, double vdd, double source_rise) {
   if (!(driver_resistance > 0.0))
     throw std::invalid_argument("build_coupled_bus: driver resistance must be > 0");
   if (load_capacitance < 0.0)
     throw std::invalid_argument("build_coupled_bus: load capacitance must be >= 0");
+  if (!(source_rise >= 0.0) || !std::isfinite(source_rise))
+    throw std::invalid_argument("build_coupled_bus: source rise must be >= 0");
   if (drives.size() != static_cast<std::size_t>(bus.lines))
     throw std::invalid_argument("build_coupled_bus: one drive per bus line");
 
@@ -201,8 +217,8 @@ Circuit build_coupled_bus(const tline::CoupledBus& bus,
     switch (drive) {
       case BusDrive::kQuietLow: spec = DcSpec{0.0}; break;
       case BusDrive::kQuietHigh: spec = DcSpec{vdd}; break;
-      case BusDrive::kRising: spec = StepSpec{0.0, vdd, 0.0, 0.0}; break;
-      case BusDrive::kFalling: spec = StepSpec{vdd, 0.0, 0.0, 0.0}; break;
+      case BusDrive::kRising: spec = StepSpec{0.0, vdd, 0.0, source_rise}; break;
+      case BusDrive::kFalling: spec = StepSpec{vdd, 0.0, 0.0, source_rise}; break;
       case BusDrive::kShieldGrounded: spec = DcSpec{0.0}; break;
     }
     circuit.add_voltage_source(tag + ".in", "0", spec, tag + ".v");

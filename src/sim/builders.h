@@ -81,10 +81,12 @@ double simulate_crosstalk_peak(const CoupledLinesSpec& spec,
                                double t_stop = 0.0);
 
 // Appends a tline::CoupledBus as N parallel K-segment RLC ladders with
-// nearest-neighbor coupling: Cc/K between corresponding ladder nodes of
-// adjacent lines and mutual inductance Lm/K (coefficient k = Lm/Lt) between
-// corresponding segment inductors. Heterogeneous buses use each line's own
-// totals and each pair's own Cc/Lm. Line i runs from ins[i] to outs[i];
+// per-pair coupling: Cc/K between corresponding ladder nodes of coupled
+// lines and mutual inductance Lm/K (coefficient k = Lm/Lt) between
+// corresponding segment inductors. Nearest-neighbor buses stamp adjacent
+// pairs only (the fast path); full-coupling buses (CoupledBus::full_cc/lm)
+// stamp EVERY pair with a nonzero total. Heterogeneous buses use each
+// line's own totals and each pair's own Cc/Lm. Line i runs from ins[i] to outs[i];
 // internal elements are named "<prefix>.l<i>...". All coupling stamps land
 // in the MNA C-triplet set over the shared G/C pattern (sim/mna.h), so the
 // sparse symbolic-reuse path applies to buses exactly as to single lines.
@@ -111,11 +113,13 @@ enum class BusDrive {
 // Bus crosstalk testbench: every line driven per `drives` behind
 // `driver_resistance`, loaded with `load_capacitance`. drives.size() must
 // equal bus.lines. Nodes: "line<i>.in" (ideal source), "line<i>.drv",
-// "line<i>.out" (far end), i in [0, bus.lines).
+// "line<i>.out" (far end), i in [0, bus.lines). `source_rise` > 0 gives
+// every switching drive a linear edge of that duration (slow-slew
+// aggressors); 0 keeps ideal steps.
 Circuit build_coupled_bus(const tline::CoupledBus& bus,
                           const std::vector<BusDrive>& drives,
                           double driver_resistance, double load_capacitance,
-                          int segments, double vdd = 1.0);
+                          int segments, double vdd = 1.0, double source_rise = 0.0);
 
 // Repeater chain per Fig. 3: k equal line sections, each driven by a buffer
 // h times the minimum size (output resistance r0/h, input capacitance h*c0).

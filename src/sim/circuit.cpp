@@ -134,14 +134,32 @@ void Circuit::add_current_source(const std::string& from, const std::string& to,
 void Circuit::add_buffer(const std::string& input, const std::string& output,
                          double output_resistance, double input_capacitance,
                          double vdd, double threshold, std::string name) {
+  add_switching_buffer(input, output, output_resistance, input_capacitance,
+                       /*input_direction=*/+1, /*output_v0=*/0.0,
+                       /*output_v1=*/vdd, /*output_rise=*/0.0, vdd, threshold,
+                       std::move(name));
+}
+
+void Circuit::add_switching_buffer(const std::string& input, const std::string& output,
+                                   double output_resistance, double input_capacitance,
+                                   int input_direction, double output_v0,
+                                   double output_v1, double output_rise, double vdd,
+                                   double threshold, std::string name) {
   if (!(output_resistance > 0.0))
     throw std::invalid_argument("buffer '" + name + "': output resistance must be > 0");
   if (input_capacitance < 0.0)
     throw std::invalid_argument("buffer '" + name + "': input capacitance must be >= 0");
   if (!(threshold > 0.0 && threshold < 1.0))
     throw std::invalid_argument("buffer '" + name + "': threshold must be in (0,1)");
+  if (input_direction != +1 && input_direction != -1)
+    throw std::invalid_argument("buffer '" + name + "': input direction must be +1 or -1");
+  if (!std::isfinite(output_v0) || !std::isfinite(output_v1))
+    throw std::invalid_argument("buffer '" + name + "': output levels must be finite");
+  if (!(output_rise >= 0.0) || !std::isfinite(output_rise))
+    throw std::invalid_argument("buffer '" + name + "': output rise must be >= 0");
   buffers_.push_back({node(input), node(output), output_resistance, input_capacitance,
-                      vdd, threshold, std::move(name)});
+                      vdd, threshold, std::move(name), input_direction, output_v0,
+                      output_v1, output_rise});
 }
 
 void Circuit::add_mutual(const std::string& inductor_a, const std::string& inductor_b,

@@ -106,10 +106,15 @@ struct MutualCoupling {
   std::string name;
 };
 
-// Behavioral repeater: non-inverting threshold buffer.
+// Behavioral repeater: threshold buffer.
 //   input node:  loads the net with `input_capacitance` to ground;
-//   output:      an ideal step (0 -> vdd at the moment the input first
-//                crosses `threshold * vdd` rising) behind `output_resistance`.
+//   output:      a source behind `output_resistance` that switches from
+//                `output_v0` to `output_v1` (over a linear `output_rise`
+//                ramp, 0 = ideal step) at the moment the input first crosses
+//                `threshold * vdd` in `input_direction`.
+// The default edge fields reproduce the classic non-inverting buffer (fires
+// on a rising crossing, output steps 0 -> vdd); add_switching_buffer() sets
+// them for falling chains and inverting (polarity-interleaved) repeaters.
 // The transient engine locates the crossing with step bisection, so the fire
 // time is resolved well below the time step.
 struct Buffer {
@@ -120,6 +125,11 @@ struct Buffer {
   double vdd = 1.0;
   double threshold = 0.5;  // fraction of vdd
   std::string name;
+  // Edge behavior (defaults = the classic non-inverting rising buffer).
+  int input_direction = +1;   // +1: fires on a rising input crossing; -1: falling
+  double output_v0 = 0.0;     // output drive level before the fire instant
+  double output_v1 = 1.0;     // ... after it (ramped over output_rise)
+  double output_rise = 0.0;   // linear output edge duration, s (0 = ideal step)
 };
 
 // ---------------------------------------------------------------- circuit
@@ -147,6 +157,16 @@ class Circuit {
   void add_buffer(const std::string& input, const std::string& output,
                   double output_resistance, double input_capacitance, double vdd = 1.0,
                   double threshold = 0.5, std::string name = {});
+  // Buffer with an explicit edge: fires on `input_direction` (+1 rising, -1
+  // falling) crossings of threshold*vdd, output transitions output_v0 ->
+  // output_v1 over a linear `output_rise` ramp (0 = ideal step). Covers
+  // falling repeater chains and inverting (polarity-interleaved) repeaters;
+  // add_buffer() is the (+1, 0, vdd, step) special case.
+  void add_switching_buffer(const std::string& input, const std::string& output,
+                            double output_resistance, double input_capacitance,
+                            int input_direction, double output_v0, double output_v1,
+                            double output_rise = 0.0, double vdd = 1.0,
+                            double threshold = 0.5, std::string name = {});
   // Couples two previously added inductors (referenced by their element
   // names) with coefficient k in [0, 1). Throws std::invalid_argument for
   // unknown inductor names, self-coupling, or k outside [0, 1).

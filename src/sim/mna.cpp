@@ -384,7 +384,14 @@ void MnaAssembler::advance_state(const std::vector<double>& solution, double dt,
 }
 
 double MnaAssembler::buffer_drive(const Buffer& buffer, double fire_time, double t) {
-  return (t >= fire_time) ? buffer.vdd : 0.0;
+  // The value AT the fire instant is the pre-switch level (matching the
+  // StepSpec convention in source_value), and an output_rise > 0 ramps
+  // linearly to the post-switch level.
+  if (!(t > fire_time)) return buffer.output_v0;
+  if (buffer.output_rise <= 0.0 || t >= fire_time + buffer.output_rise)
+    return buffer.output_v1;
+  return buffer.output_v0 + (buffer.output_v1 - buffer.output_v0) *
+                                (t - fire_time) / buffer.output_rise;
 }
 
 }  // namespace rlcsim::sim

@@ -7,6 +7,8 @@
 #include <map>
 #include <optional>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "numeric/matrix.h"
 #include "numeric/sparse.h"
@@ -243,6 +245,17 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
   const auto& buffers = circuit.buffers();
   std::vector<double> solution;  // reused RHS/solution buffer
 
+  // Marks a buffer fired at the CURRENT state time: the fire instant becomes
+  // a breakpoint, and so does the end of its output ramp (a slope
+  // discontinuity the step grid must land on, like a StepSpec corner).
+  const auto fire_buffer = [&](int k) {
+    state.buffer_fire_time[static_cast<std::size_t>(k)] = state.time;
+    breakpoints.insert(state.time);
+    const double rise = buffers[static_cast<std::size_t>(k)].output_rise;
+    if (rise > 0.0 && state.time + rise < options.t_stop)
+      breakpoints.insert(state.time + rise);
+  };
+
   while (state.time < options.t_stop - 0.5 * min_dt) {
     // Distance to the next breakpoint bounds the step; snap to the cache
     // quantization grid so the factorization and the RHS use the same dt.
@@ -260,35 +273,58 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
     factorized(dt, method).solve_in_place(solution);
 
     // Buffer event detection: did any unfired buffer's input cross its
-    // threshold during this step?
-    double earliest_event = kInf;
-    int event_buffer = -1;
+    // threshold during this step? On a symmetric bus several buffers cross
+    // SIMULTANEOUSLY (identical lines switching together), so events are a
+    // cluster, not a single buffer: everything within a small fraction of
+    // the step of the earliest crossing fires together (the interpolated
+    // times of "identical" crossings differ by rounding noise only). Firing
+    // one alone would leave its twins parked exactly AT their threshold,
+    // where a strict crossing test can never trigger again — so an unfired
+    // buffer already at/past its threshold also counts as a crossing, at
+    // the step start (the belt-and-braces recovery for any parked state).
+    double earliest_event = kInf;  // earliest INTERPOLATED crossing
+    std::vector<std::pair<double, std::size_t>> crossings;  // (tc, buffer)
     for (std::size_t k = 0; k < buffers.size(); ++k) {
       if (state.buffer_fire_time[k] != kInf) continue;
       const auto& b = buffers[k];
       const double level = b.threshold * b.vdd;
       const double v_old = node_voltage_of(state.node_voltage, b.input);
       const double v_new = node_voltage_of(solution, b.input);
-      if (v_old < level && v_new >= level) {
-        const double frac = (level - v_old) / (v_new - v_old);
-        const double tc = state.time + frac * dt;
-        if (tc < earliest_event) {
-          earliest_event = tc;
-          event_buffer = static_cast<int>(k);
-        }
+      const bool past_old =
+          b.input_direction >= 0 ? v_old >= level : v_old <= level;
+      const bool past_new =
+          b.input_direction >= 0 ? v_new >= level : v_new <= level;
+      if (!past_old && !past_new) continue;
+      if (past_old) {
+        // Parked at/past threshold (the simultaneity recovery): fires at
+        // whatever time this step settles on, and — crucially — does NOT
+        // enter the subdivision decision, or its step-start tc would mask a
+        // genuine mid-step crossing of another buffer.
+        crossings.emplace_back(state.time, k);
+        continue;
       }
+      const double tc =
+          state.time + dt * (level - v_old) / (v_new - v_old);
+      crossings.emplace_back(tc, k);
+      earliest_event = std::min(earliest_event, tc);
     }
+    const bool have_event = !crossings.empty();
+    const double cluster_window = 1e-6 * dt;
 
-    if (event_buffer >= 0 && earliest_event > state.time + min_dt &&
+    if (have_event && earliest_event > state.time + min_dt &&
         earliest_event < state.time + dt * (1.0 - 1e-9)) {
-      // Reject; re-take the step so it ends exactly at the crossing.
+      // Reject; re-take the step so it ends exactly at the crossing, firing
+      // the whole cluster there — parked buffers included (later crossings
+      // stay unfired and are re-detected from the shortened step's end
+      // state).
       const double dt_event =
           static_cast<double>(quantize(earliest_event - state.time)) * dt_quantum;
       assembler.transient_rhs_into(dt_event, method, state, solution);
       factorized(dt_event, method).solve_in_place(solution);
       assembler.advance_state(solution, dt_event, method, state);
-      state.buffer_fire_time[static_cast<std::size_t>(event_buffer)] = state.time;
-      breakpoints.insert(state.time);
+      for (const auto& [tc, k] : crossings)
+        if (tc <= earliest_event + cluster_window)
+          fire_buffer(static_cast<int>(k));
       be_steps_left = options.be_steps_after_breakpoint;
       record(state);
       ++steps;
@@ -298,10 +334,10 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
     const bool lands_on_breakpoint =
         std::fabs((state.time + dt) - bp_time) <= 0.5 * min_dt;
     assembler.advance_state(solution, dt, method, state);
-    if (event_buffer >= 0) {
-      // Crossing at (or numerically at) the step end: fire there.
-      state.buffer_fire_time[static_cast<std::size_t>(event_buffer)] = state.time;
-      breakpoints.insert(state.time);
+    if (have_event) {
+      // Crossing at (or numerically at) the step end — or too close to the
+      // step start to subdivide: fire every detected crossing here.
+      for (const auto& [tc, k] : crossings) fire_buffer(static_cast<int>(k));
       be_steps_left = options.be_steps_after_breakpoint;
     } else if (lands_on_breakpoint) {
       be_steps_left = options.be_steps_after_breakpoint;

@@ -9,6 +9,7 @@
 #include "core/delay_model.h"
 #include "core/two_pole.h"
 #include "numeric/sparse.h"
+#include "repbus/stage_compose.h"
 #include "runtime/thread_pool.h"
 #include "sim/ac.h"
 #include "sim/builders.h"
@@ -64,7 +65,33 @@ void apply_variable(Variable variable, double value, Scenario& scenario,
     case Variable::kReductionOrder:
       scenario.xtalk.reduction_order = static_cast<int>(value);
       break;
+    case Variable::kStaggerMode:
+      scenario.xtalk.stagger_mode = static_cast<int>(value);
+      break;
   }
+}
+
+// The coupled bus and crosstalk options of one resolved scenario — shared
+// by the crosstalk/reduced/projected/repeater-bus analyses and by run()'s
+// projection-basis seeding, so they can never disagree.
+tline::CoupledBus scenario_bus(const Scenario& scenario) {
+  const CrosstalkScenario& x = scenario.xtalk;
+  return tline::make_bus(x.bus_lines, scenario.system.line, x.cc_ratio,
+                         x.lm_ratio);
+}
+core::CrosstalkOptions scenario_crosstalk_options(const Scenario& scenario,
+                                                  const EngineOptions& options,
+                                                  sim::SolverReuse* reuse) {
+  core::CrosstalkOptions xt;
+  xt.driver_resistance = scenario.system.driver_resistance;
+  xt.load_capacitance = scenario.system.load_capacitance;
+  xt.segments = options.segments;
+  xt.shield_every = scenario.xtalk.shield_every;
+  xt.t_stop = options.t_stop;
+  xt.dt = options.dt;
+  xt.solver = options.solver;
+  xt.reuse = reuse;
+  return xt;
 }
 
 double transient_delay_of(const Scenario& scenario, const EngineOptions& options,
@@ -85,7 +112,8 @@ double transient_delay_of(const Scenario& scenario, const EngineOptions& options
 
 double evaluate_point(const Scenario& scenario, Analysis analysis,
                       const EngineOptions& options, sim::SolverReuse* reuse,
-                      mor::ConductanceReuse* mor_reuse) {
+                      mor::ConductanceReuse* mor_reuse,
+                      const mor::ArnoldiBasis* basis = nullptr) {
   switch (analysis) {
     case Analysis::kClosedFormDelay:
       return core::rlc_delay(scenario.system, options.fit);
@@ -118,22 +146,18 @@ double evaluate_point(const Scenario& scenario, Analysis analysis,
     case Analysis::kReducedDelay:
     case Analysis::kReducedNoise: {
       const CrosstalkScenario& x = scenario.xtalk;
-      const tline::CoupledBus bus =
-          tline::make_bus(x.bus_lines, scenario.system.line, x.cc_ratio,
-                          x.lm_ratio);
-      core::CrosstalkOptions xt;
-      xt.driver_resistance = scenario.system.driver_resistance;
-      xt.load_capacitance = scenario.system.load_capacitance;
-      xt.segments = options.segments;
-      xt.shield_every = x.shield_every;
-      xt.t_stop = options.t_stop;
-      xt.dt = options.dt;
-      xt.solver = options.solver;
-      xt.reuse = reuse;
+      const tline::CoupledBus bus = scenario_bus(scenario);
+      const core::CrosstalkOptions xt =
+          scenario_crosstalk_options(scenario, options, reuse);
       if (analysis == Analysis::kReducedDelay ||
           analysis == Analysis::kReducedNoise) {
-        const core::CrosstalkMetrics m = core::analyze_crosstalk_reduced(
-            bus, x.pattern, xt, x.reduction_order, mor_reuse);
+        // Basis-reuse sweeps (EngineOptions::reuse_projection) re-evaluate
+        // the recorded nominal projection; otherwise a fresh per-point
+        // reduction over the shared symbolic G factorization.
+        const core::CrosstalkMetrics m =
+            basis ? core::analyze_crosstalk_projected(bus, x.pattern, xt, *basis)
+                  : core::analyze_crosstalk_reduced(bus, x.pattern, xt,
+                                                    x.reduction_order, mor_reuse);
         return analysis == Analysis::kReducedNoise
                    ? m.peak_noise
                    : m.victim_delay_50.value_or(kNaN);
@@ -144,6 +168,30 @@ double evaluate_point(const Scenario& scenario, Analysis analysis,
       return analysis == Analysis::kCrosstalkDelay
                  ? m.victim_delay_50.value_or(kNaN)
                  : m.delay_pushout.value_or(kNaN);
+    }
+    case Analysis::kBusRepeaterDelay:
+    case Analysis::kBusRepeaterNoise: {
+      const CrosstalkScenario& x = scenario.xtalk;
+      // A kStaggerMode axis is range-checked by SweepSpec::validate, but a
+      // bad BASE scenario would otherwise cast to an out-of-range enum and
+      // silently behave as kUniform.
+      if (x.stagger_mode < 0 || x.stagger_mode > 2)
+        throw std::invalid_argument(
+            "SweepEngine: stagger_mode must be 0, 1, or 2 (repbus::Placement)");
+      repbus::RepeaterBusSpec spec;
+      spec.bus = scenario_bus(scenario);
+      spec.sections = std::max(
+          1, static_cast<int>(std::llround(scenario.design.sections)));
+      spec.size = scenario.design.size;
+      spec.buffer = scenario.buffer;
+      spec.placement = static_cast<repbus::Placement>(x.stagger_mode);
+      spec.segments_per_section = options.segments;
+      spec.shield_every = x.shield_every;
+      const repbus::ComposedChainMetrics m = repbus::compose_bus_chain(
+          spec, x.pattern, x.reduction_order, mor_reuse);
+      return analysis == Analysis::kBusRepeaterNoise
+                 ? m.peak_noise
+                 : m.victim_delay_50.value_or(kNaN);
     }
   }
   throw std::invalid_argument("SweepEngine: unknown analysis");
@@ -162,7 +210,9 @@ bool is_transient_analysis(Analysis analysis) {
 // recorded G-symbolic (mor::ConductanceReuse) seeding in run().
 bool is_reduced_analysis(Analysis analysis) {
   return analysis == Analysis::kReducedDelay ||
-         analysis == Analysis::kReducedNoise;
+         analysis == Analysis::kReducedNoise ||
+         analysis == Analysis::kBusRepeaterDelay ||
+         analysis == Analysis::kBusRepeaterNoise;
 }
 
 }  // namespace
@@ -183,6 +233,7 @@ const char* variable_name(Variable variable) {
     case Variable::kSwitchingPattern: return "switching_pattern";
     case Variable::kShieldEvery: return "shield_every";
     case Variable::kReductionOrder: return "reduction_order";
+    case Variable::kStaggerMode: return "stagger_mode";
   }
   return "unknown";
 }
@@ -200,6 +251,8 @@ const char* analysis_name(Analysis analysis) {
     case Analysis::kCrosstalkPushout: return "crosstalk_pushout";
     case Analysis::kReducedDelay: return "reduced_delay";
     case Analysis::kReducedNoise: return "reduced_noise";
+    case Analysis::kBusRepeaterDelay: return "bus_repeater_delay";
+    case Analysis::kBusRepeaterNoise: return "bus_repeater_noise";
   }
   return "unknown";
 }
@@ -328,6 +381,12 @@ void SweepSpec::validate() const {
         if (v < 1.0 || v != std::floor(v))
           throw std::invalid_argument(
               "SweepSpec: reduction_order values must be integers >= 1");
+    if (axis.variable == Variable::kStaggerMode)
+      for (double v : axis.values)
+        if (v != std::floor(v) || v < 0.0 || v > 2.0)
+          throw std::invalid_argument(
+              "SweepSpec: stagger_mode values must be 0, 1, or 2 "
+              "(repbus::Placement)");
   }
 }
 
@@ -379,6 +438,13 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
   // the same reference-evaluation scheme.
   const bool seeded =
       is_transient_analysis(analysis) || is_reduced_analysis(analysis);
+  // Basis-reuse sweeps: ONE Arnoldi projection at grid point 0 (recorded
+  // below), every point re-projects onto it — no per-point factorization.
+  const bool project = impl_->options.reuse_projection &&
+                       (analysis == Analysis::kReducedDelay ||
+                        analysis == Analysis::kReducedNoise);
+  mor::ArnoldiBasis basis;
+  int basis_order = 0;  // the nominal reduction_order the basis was built at
   std::vector<sim::SolverReuse> reuse(impl_->pool.size());
   std::vector<mor::ConductanceReuse> mor_reuse(impl_->pool.size());
   std::size_t first = 0;
@@ -391,8 +457,19 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
     sim::SolverReuse reference;
     mor::ConductanceReuse mor_reference;
     const std::size_t before = numeric::sparse_lu_stats().symbolic;
-    out.values[0] = evaluate_point(spec.at(0), analysis, impl_->options,
-                                   &reference, &mor_reference);
+    if (project) {
+      const Scenario nominal = spec.at(0);
+      basis_order = nominal.xtalk.reduction_order;
+      basis = core::crosstalk_projection_basis(
+          scenario_bus(nominal), nominal.xtalk.pattern,
+          scenario_crosstalk_options(nominal, impl_->options, nullptr),
+          basis_order, &mor_reference);
+      out.values[0] = evaluate_point(nominal, analysis, impl_->options,
+                                     &reference, &mor_reference, &basis);
+    } else {
+      out.values[0] = evaluate_point(spec.at(0), analysis, impl_->options,
+                                     &reference, &mor_reference);
+    }
     symbolic += numeric::sparse_lu_stats().symbolic - before;
     for (auto& r : reuse) r = reference;
     for (auto& r : mor_reuse) r = mor_reference;
@@ -402,10 +479,17 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
   const EngineOptions& options = impl_->options;
   impl_->pool.parallel_for(n - first, [&](std::size_t i, std::size_t worker) {
     const std::size_t flat = i + first;
+    const Scenario scenario = spec.at(flat);
+    // A point whose reduction_order differs from the basis's build order
+    // cannot ride the projection (the basis FIXES q) — it gets a fresh
+    // per-point reduction at its own order, like structural mismatches do.
+    const bool point_projects =
+        project && scenario.xtalk.reduction_order == basis_order;
     const std::size_t before = numeric::sparse_lu_stats().symbolic;
-    out.values[flat] = evaluate_point(spec.at(flat), analysis, options,
+    out.values[flat] = evaluate_point(scenario, analysis, options,
                                       seeded ? &reuse[worker] : nullptr,
-                                      seeded ? &mor_reuse[worker] : nullptr);
+                                      seeded ? &mor_reuse[worker] : nullptr,
+                                      point_projects ? &basis : nullptr);
     symbolic.fetch_add(numeric::sparse_lu_stats().symbolic - before);
   });
 

@@ -59,6 +59,8 @@ enum class Variable {
   kShieldEvery,       // crosstalk shield insertion period (integral, >= 0;
                       // see core::CrosstalkOptions::shield_every)
   kReductionOrder,    // MOR order q of the reduced analyses (integral, >= 1)
+  kStaggerMode,       // repeater-bus placement as 0/1/2 (integral:
+                      // repbus::Placement uniform/staggered/interleaved)
 };
 const char* variable_name(Variable variable);
 
@@ -85,6 +87,10 @@ struct CrosstalkScenario {
   core::SwitchingPattern pattern = core::SwitchingPattern::kOppositePhase;
   int shield_every = 0;     // victim-anchored shield insertion (0 = none)
   int reduction_order = 4;  // MOR order q of the reduced analyses
+  // Repeater placement of the kBusRepeater* analyses, as the integer value
+  // of repbus::Placement (0 uniform, 1 staggered, 2 interleaved) — kept as
+  // an int so this header does not depend on the repbus layer.
+  int stagger_mode = 0;
 };
 
 // One fully resolved evaluation point: the canonical gate + line + load
@@ -138,6 +144,12 @@ enum class Analysis {
                      // vs dynamic simulation" game at arbitrary order q;
                      // NaN for kQuietVictim
   kReducedNoise,     // reduced-order analytic peak victim noise, V
+  kBusRepeaterDelay, // stage-composed repeater-bus victim delay at the
+                     // scenario's (h, k, stagger_mode, shield_every) under
+                     // its pattern (repbus::compose_bus_chain; the engine's
+                     // `segments` knob is ladder cells PER STAGE here);
+                     // NaN for kQuietVictim
+  kBusRepeaterNoise, // stage-composed worst per-stage victim noise, V
 };
 const char* analysis_name(Analysis analysis);
 
@@ -153,6 +165,15 @@ struct EngineOptions {
   double ac_f_lo = 1e6;
   double ac_f_hi = 1e13;
   core::DelayFitConstants fit = core::kPaperFit;
+  // Reduced-model REUSE across the sweep (kReducedDelay/kReducedNoise):
+  // project an Arnoldi basis once at grid point 0 and re-evaluate only the
+  // projected q x q pencil per point (core::analyze_crosstalk_projected) —
+  // no per-point LU at all. Exact at point 0, an approximation elsewhere;
+  // points whose circuit is structurally different (bus width, shields,
+  // segments) or whose reduction_order differs from point 0's (the basis
+  // fixes q) fall back to fresh per-point reductions automatically.
+  // Results remain bit-identical at every thread count.
+  bool reuse_projection = false;
 };
 
 struct SweepResult {

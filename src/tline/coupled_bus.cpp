@@ -1,6 +1,8 @@
 #include "tline/coupled_bus.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <numbers>
 #include <stdexcept>
 #include <string>
@@ -29,6 +31,26 @@ double CoupledBus::pair_lm(int j) const {
                          : mutual_inductance;
 }
 
+double CoupledBus::coupling_cc(int i, int j) const {
+  if (i < 0 || j < 0 || i >= lines || j >= lines || i == j)
+    throw std::invalid_argument("CoupledBus::coupling_cc: bad line pair");
+  if (full_coupling())
+    return full_cc.rows() > 0 ? full_cc(static_cast<std::size_t>(i),
+                                        static_cast<std::size_t>(j))
+                              : 0.0;
+  return std::abs(i - j) == 1 ? pair_cc(std::min(i, j)) : 0.0;
+}
+
+double CoupledBus::coupling_lm(int i, int j) const {
+  if (i < 0 || j < 0 || i >= lines || j >= lines || i == j)
+    throw std::invalid_argument("CoupledBus::coupling_lm: bad line pair");
+  if (full_coupling())
+    return full_lm.rows() > 0 ? full_lm(static_cast<std::size_t>(i),
+                                        static_cast<std::size_t>(j))
+                              : 0.0;
+  return std::abs(i - j) == 1 ? pair_lm(std::min(i, j)) : 0.0;
+}
+
 double CoupledBus::cc_ratio() const {
   return coupling_capacitance / line.total_capacitance;
 }
@@ -39,13 +61,11 @@ double CoupledBus::lm_ratio() const {
 
 CoupledBus make_bus(int lines, const LineParams& line, double cc_ratio,
                     double lm_ratio) {
-  const CoupledBus bus{lines,
-                       line,
-                       cc_ratio * line.total_capacitance,
-                       lm_ratio * line.total_inductance,
-                       {},
-                       {},
-                       {}};
+  CoupledBus bus;
+  bus.lines = lines;
+  bus.line = line;
+  bus.coupling_capacitance = cc_ratio * line.total_capacitance;
+  bus.mutual_inductance = lm_ratio * line.total_inductance;
   validate(bus);
   return bus;
 }
@@ -63,6 +83,40 @@ CoupledBus make_bus(const std::vector<LineParams>& lines,
   bus.line_params = lines;
   bus.pair_capacitance = pair_cc;
   bus.pair_inductance = pair_lm;
+  validate(bus);
+  return bus;
+}
+
+CoupledBus make_full_bus(const std::vector<LineParams>& lines,
+                         const numeric::RealMatrix& cc,
+                         const numeric::RealMatrix& lm) {
+  if (lines.size() < 2)
+    throw std::invalid_argument("make_full_bus: need at least 2 lines");
+  const std::size_t n = lines.size();
+  // Shape check BEFORE the mirror extraction below reads any entry —
+  // validate() re-checks, but it runs after this function has already
+  // indexed the matrices.
+  for (const numeric::RealMatrix* m : {&cc, &lm})
+    if (m->rows() != 0 && (m->rows() != n || m->cols() != n))
+      throw std::invalid_argument(
+          "make_full_bus: coupling matrices must be lines x lines (or empty)");
+  // Per-pair vectors mirror the first off-diagonals so adjacency-only
+  // readers (and the heterogeneous validation path) stay consistent.
+  std::vector<double> adj_cc(n - 1, 0.0), adj_lm(n - 1, 0.0);
+  for (std::size_t j = 0; j + 1 < n; ++j) {
+    if (cc.rows() > 0) adj_cc[j] = cc(j, j + 1);
+    if (lm.rows() > 0) adj_lm[j] = lm(j, j + 1);
+  }
+  CoupledBus bus;
+  bus.lines = static_cast<int>(n);
+  bus.line = lines.front();
+  bus.coupling_capacitance = adj_cc.front();
+  bus.mutual_inductance = adj_lm.front();
+  bus.line_params = lines;
+  bus.pair_capacitance = std::move(adj_cc);
+  bus.pair_inductance = std::move(adj_lm);
+  bus.full_cc = cc;
+  bus.full_lm = lm;
   validate(bus);
   return bus;
 }
@@ -95,6 +149,70 @@ bool mutual_chain_positive_definite(const std::vector<double>& self,
   return true;
 }
 
+namespace {
+
+// Full-coupling checks: shape, symmetry, finiteness, zero diagonals, cc >= 0,
+// mirror consistency with the adjacent-pair vectors, and positive
+// definiteness of the full inductance matrix diag(Li) + Lm via the general
+// dense LDLt (numeric::symmetric_positive_definite) — the beyond-
+// nearest-neighbor generalization of the tridiagonal check.
+void validate_full_coupling(const CoupledBus& bus) {
+  const std::size_t n = static_cast<std::size_t>(bus.lines);
+  if (!bus.heterogeneous())
+    throw std::invalid_argument(
+        "CoupledBus: full coupling matrices require the heterogeneous "
+        "representation (use make_bus(lines, cc, lm))");
+  const auto check_matrix = [&](const numeric::RealMatrix& m, const char* what,
+                                bool nonnegative,
+                                const std::vector<double>& mirror) {
+    if (m.rows() == 0) return;  // absent: no coupling of this kind
+    if (m.rows() != n || m.cols() != n)
+      throw std::invalid_argument(std::string("CoupledBus: ") + what +
+                                  " must be lines x lines");
+    for (std::size_t i = 0; i < n; ++i) {
+      if (m(i, i) != 0.0)
+        throw std::invalid_argument(std::string("CoupledBus: ") + what +
+                                    " must have a zero diagonal (self terms "
+                                    "live in the per-line totals)");
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!std::isfinite(m(i, j)))
+          throw std::invalid_argument(std::string("CoupledBus: ") + what +
+                                      " entries must be finite");
+        if (m(i, j) != m(j, i))
+          throw std::invalid_argument(std::string("CoupledBus: ") + what +
+                                      " must be symmetric");
+        if (nonnegative && m(i, j) < 0.0)
+          throw std::invalid_argument(std::string("CoupledBus: ") + what +
+                                      " entries must be >= 0");
+      }
+    }
+    for (std::size_t j = 0; j + 1 < n; ++j)
+      if (m(j, j + 1) != mirror[j])
+        throw std::invalid_argument(std::string("CoupledBus: ") + what +
+                                    " first off-diagonal must mirror the "
+                                    "adjacent-pair vector");
+  };
+  // Lm entries are also required >= 0: Circuit::add_mutual only stamps
+  // coupling coefficients in [0, 1), so a negative mutual could never reach
+  // the simulator anyway.
+  check_matrix(bus.full_cc, "full_cc", /*nonnegative=*/true, bus.pair_capacitance);
+  check_matrix(bus.full_lm, "full_lm", /*nonnegative=*/true, bus.pair_inductance);
+
+  numeric::RealMatrix inductance(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inductance(i, i) = bus.line_params[i].total_inductance;
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && bus.full_lm.rows() > 0) inductance(i, j) = bus.full_lm(i, j);
+  }
+  if (!numeric::symmetric_positive_definite(inductance))
+    throw std::invalid_argument(
+        "CoupledBus: the full inductance matrix (per-line L on the diagonal, "
+        "full_lm off it) is not positive definite — the bus is "
+        "unphysical/unstable. Reduce the mutual inductances.");
+}
+
+}  // namespace
+
 void validate(const CoupledBus& bus) {
   if (bus.lines < 2)
     throw std::invalid_argument("CoupledBus: lines must be >= 2");
@@ -121,13 +239,23 @@ void validate(const CoupledBus& bus) {
       if (!std::isfinite(lm) || lm < 0.0)
         throw std::invalid_argument(
             "CoupledBus: pair_inductance entries must be finite and >= 0");
-    if (!mutual_chain_positive_definite(self, bus.pair_inductance))
+    if (bus.full_coupling()) {
+      // Full matrices supersede the tridiagonal test: the general dense LDLt
+      // validates every pair's mutual at once.
+      validate_full_coupling(bus);
+    } else if (!mutual_chain_positive_definite(self, bus.pair_inductance)) {
       throw std::invalid_argument(
           "CoupledBus: the per-segment inductance matrix (per-line L on the "
           "diagonal, per-pair Lm off it) is not positive definite — the bus "
           "is unphysical/unstable. Reduce the mutual inductances.");
+    }
     return;
   }
+
+  if (bus.full_coupling())
+    throw std::invalid_argument(
+        "CoupledBus: full coupling matrices require the heterogeneous "
+        "representation (use make_bus(lines, cc, lm))");
 
   validate(bus.line);
   if (!std::isfinite(bus.coupling_capacitance) || bus.coupling_capacitance < 0.0)

@@ -26,11 +26,13 @@
 #include <string>
 #include <vector>
 
+#include "numeric/matrix.h"
 #include "tline/rlc.h"
 
 namespace rlcsim::tline {
 
-// N parallel RLC lines with nearest-neighbor coupling.
+// N parallel RLC lines with nearest-neighbor coupling, optionally extended
+// to FULL coupling matrices (every pair, not just adjacent ones).
 struct CoupledBus {
   int lines = 2;                      // N >= 2
   LineParams line;                    // uniform totals (line 0 when hetero)
@@ -43,12 +45,28 @@ struct CoupledBus {
   std::vector<double> pair_capacitance;    // per-adjacent-pair Cc, F
   std::vector<double> pair_inductance;     // per-adjacent-pair Lm, H
 
+  // Full (beyond nearest-neighbor) coupling: lines x lines symmetric
+  // matrices of pair totals, zero diagonal — Cc between every pair and Lm
+  // between every pair. Empty (0 x 0) = nearest-neighbor only. When
+  // non-empty, the pair_* vectors mirror their first off-diagonals so
+  // adjacency-only readers stay valid, and validation switches from the
+  // tridiagonal LDLt to a general dense LDLt on the full inductance matrix
+  // diag(Li) + Lm (numeric::symmetric_positive_definite).
+  numeric::RealMatrix full_cc;
+  numeric::RealMatrix full_lm;
+
   bool heterogeneous() const { return !line_params.empty(); }
+  bool full_coupling() const { return full_cc.rows() > 0 || full_lm.rows() > 0; }
   // Per-line / per-pair accessors valid for BOTH flavors (pair j couples
   // lines j and j+1).
   const LineParams& line_at(int i) const;
   double pair_cc(int j) const;
   double pair_lm(int j) const;
+  // Coupling totals between ANY two distinct lines, valid for every flavor:
+  // the matrix entry when full matrices are present, the adjacent-pair total
+  // when |i - j| == 1, and 0 otherwise.
+  double coupling_cc(int i, int j) const;
+  double coupling_lm(int i, int j) const;
 
   double cc_ratio() const;  // Cc / Ct (uniform fields)
   double lm_ratio() const;  // Lm / Lt == per-segment coupling coefficient k
@@ -68,6 +86,19 @@ CoupledBus make_bus(int lines, const LineParams& line, double cc_ratio,
 CoupledBus make_bus(const std::vector<LineParams>& lines,
                     const std::vector<double>& pair_cc,
                     const std::vector<double>& pair_lm);
+
+// Builds a FULL-coupling bus from per-line totals and dense lines x lines
+// coupling matrices (symmetric, zero diagonal; all entries >= 0): every pair
+// of lines is capacitively and inductively coupled, the planar-bus
+// generalization where second- and third-neighbor terms matter. The full
+// inductance matrix diag(Li) + lm must be positive definite (general LDLt —
+// the dense generalization of the tridiagonal nearest-neighbor check). An
+// empty (0 x 0) matrix means no coupling of that kind. Validates before
+// returning. (A distinct name, not a make_bus overload: braced-list call
+// sites would be ambiguous between matrices and the per-pair vectors.)
+CoupledBus make_full_bus(const std::vector<LineParams>& lines,
+                         const numeric::RealMatrix& cc,
+                         const numeric::RealMatrix& lm);
 
 // Largest admissible Lm/Lt for a UNIFORM N-line bus: the per-segment
 // nearest-neighbor inductance matrix (tridiagonal Toeplitz, eigenvalues

@@ -70,7 +70,10 @@ TEST(CoupledBus, ValidationRejectsBadFields) {
   EXPECT_THROW(tline::make_bus(3, kLine, 0.1, -0.1), std::invalid_argument);
   // k >= 1 would make the segment inductance matrix singular/indefinite.
   EXPECT_THROW(tline::make_bus(3, kLine, 0.1, 1.0), std::invalid_argument);
-  tline::CoupledBus nan_bus{3, kLine, std::nan(""), 0.0};
+  tline::CoupledBus nan_bus;
+  nan_bus.lines = 3;
+  nan_bus.line = kLine;
+  nan_bus.coupling_capacitance = std::nan("");
   EXPECT_THROW(tline::validate(nan_bus), std::invalid_argument);
   // The line itself is validated too (RC-only lines are rejected).
   EXPECT_THROW(tline::make_bus(3, {100.0, 0.0, 1e-12}, 0.1, 0.0),
@@ -533,6 +536,187 @@ TEST(TwoPoleRegression, ExtremeDampingThrowsInsteadOfUnbracketedBrent) {
   // Large-but-representable damping still works: response ~ 1 - e^{-t/b1}.
   const core::TwoPoleModel large(1.0, 1e-8);
   EXPECT_NEAR(large.threshold_delay(0.5), std::log(2.0), 1e-2);
+}
+
+// ---------------------------------------------------------------------------
+// Full (beyond nearest-neighbor) coupling matrices
+// ---------------------------------------------------------------------------
+
+namespace fullbus {
+
+numeric::RealMatrix coupling_matrix(int n, double adjacent, double second = 0.0) {
+  numeric::RealMatrix m(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (std::abs(i - j) == 1) m(i, j) = adjacent;
+      if (std::abs(i - j) == 2) m(i, j) = second;
+    }
+  return m;
+}
+
+}  // namespace fullbus
+
+TEST(FullCouplingBus, AccessorsAndMirrors) {
+  const std::vector<tline::LineParams> lines(4, kLine);
+  const tline::CoupledBus bus = tline::make_full_bus(
+      lines, fullbus::coupling_matrix(4, 0.3e-12, 0.05e-12),
+      fullbus::coupling_matrix(4, 0.8e-9, 0.2e-9));
+  ASSERT_TRUE(bus.full_coupling());
+  ASSERT_TRUE(bus.heterogeneous());
+  // Adjacent-pair readers still see the first off-diagonal...
+  EXPECT_DOUBLE_EQ(bus.pair_cc(1), 0.3e-12);
+  EXPECT_DOUBLE_EQ(bus.pair_lm(2), 0.8e-9);
+  // ... and the any-pair accessors see the whole matrix.
+  EXPECT_DOUBLE_EQ(bus.coupling_cc(0, 2), 0.05e-12);
+  EXPECT_DOUBLE_EQ(bus.coupling_lm(1, 3), 0.2e-9);
+  EXPECT_DOUBLE_EQ(bus.coupling_cc(0, 3), 0.0);
+  // Nearest-neighbor buses answer 0 beyond the neighbors.
+  const tline::CoupledBus nn = tline::make_bus(4, kLine, 0.3, 0.16);
+  EXPECT_DOUBLE_EQ(nn.coupling_cc(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(nn.coupling_cc(1, 2), 0.3 * kLine.total_capacitance);
+}
+
+TEST(FullCouplingBus, ShapeMismatchIsRejectedUpFront) {
+  // The mirror extraction must NOT index a wrongly-shaped matrix before the
+  // size check runs (used to be an out-of-bounds read, caught by ASan).
+  const std::vector<tline::LineParams> lines(5, kLine);
+  EXPECT_THROW(tline::make_full_bus(lines, fullbus::coupling_matrix(3, 0.1e-12), {}),
+               std::invalid_argument);
+  EXPECT_THROW(tline::make_full_bus(lines, {}, fullbus::coupling_matrix(7, 0.1e-9)),
+               std::invalid_argument);
+}
+
+TEST(FullCouplingBus, GeneralLdltValidation) {
+  const std::vector<tline::LineParams> lines(4, kLine);
+  // Asymmetric matrix rejected.
+  numeric::RealMatrix bad = fullbus::coupling_matrix(4, 0.3e-12);
+  bad(0, 1) = 0.4e-12;
+  EXPECT_THROW(tline::make_full_bus(lines, bad, {}), std::invalid_argument);
+  // Nonzero diagonal rejected (self terms live in the line totals).
+  bad = fullbus::coupling_matrix(4, 0.3e-12);
+  bad(1, 1) = 1e-15;
+  EXPECT_THROW(tline::make_full_bus(lines, bad, {}), std::invalid_argument);
+  // Negative coupling rejected.
+  bad = fullbus::coupling_matrix(4, 0.3e-12);
+  bad(2, 3) = bad(3, 2) = -1e-15;
+  EXPECT_THROW(tline::make_full_bus(lines, bad, {}), std::invalid_argument);
+  // An adjacent-only mutual matrix right AT the tridiagonal stability bound
+  // is indefinite; the general dense LDLt must reject it like the
+  // tridiagonal test does.
+  const double lm_limit = tline::max_lm_ratio(4) * kLine.total_inductance;
+  EXPECT_THROW(
+      tline::make_full_bus(lines, {}, fullbus::coupling_matrix(4, 1.01 * lm_limit)),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      tline::make_full_bus(lines, {}, fullbus::coupling_matrix(4, 0.9 * lm_limit)));
+  // An indefinite FULL matrix whose adjacent terms alone would pass the
+  // tridiagonal test (a = 0.6 Lt < 0.618 Lt bound, but the strong second-
+  // neighbor terms drive the (1,-1,-1,1) mode negative: 4 - 2a - 4s < 0) —
+  // only the dense LDLt catches it.
+  const double lt = kLine.total_inductance;
+  EXPECT_NO_THROW(tline::make_full_bus(lines, {}, fullbus::coupling_matrix(4, 0.6 * lt)));
+  EXPECT_THROW(
+      tline::make_full_bus(lines, {}, fullbus::coupling_matrix(4, 0.6 * lt, 0.75 * lt)),
+      std::invalid_argument);
+}
+
+TEST(FullCouplingBus, AdjacentOnlyMatricesMatchNearestNeighborPath) {
+  // A full-coupling bus whose matrices carry only the first off-diagonal is
+  // ELECTRICALLY the nearest-neighbor bus: identical stamps, identical
+  // results, bit for bit — the fast path is intact.
+  const tline::CoupledBus nn = tline::make_bus(
+      {kLine, kLine, kLine}, {0.3e-12, 0.3e-12}, {0.8e-9, 0.8e-9});
+  const tline::CoupledBus full = tline::make_full_bus(
+      {kLine, kLine, kLine}, fullbus::coupling_matrix(3, 0.3e-12),
+      fullbus::coupling_matrix(3, 0.8e-9));
+  const auto opt = options_for(12);
+  const auto a =
+      core::analyze_crosstalk(nn, core::SwitchingPattern::kOppositePhase, opt);
+  const auto b =
+      core::analyze_crosstalk(full, core::SwitchingPattern::kOppositePhase, opt);
+  ASSERT_TRUE(a.victim_delay_50 && b.victim_delay_50);
+  EXPECT_DOUBLE_EQ(*a.victim_delay_50, *b.victim_delay_50);
+  EXPECT_DOUBLE_EQ(a.peak_noise, b.peak_noise);
+}
+
+TEST(FullCouplingBus, SecondNeighborCouplingRaisesVictimNoise) {
+  // On a 5-line bus the victim's second neighbors (lines 0 and 4) switch
+  // too: giving them a DIRECT path to the victim must raise the quiet-victim
+  // noise over the nearest-neighbor model, in both the transient and the
+  // reduced analytic paths.
+  const std::vector<tline::LineParams> lines(5, kLine);
+  const tline::CoupledBus nn = tline::make_full_bus(
+      lines, fullbus::coupling_matrix(5, 0.3e-12), fullbus::coupling_matrix(5, 0.5e-9));
+  const tline::CoupledBus full = tline::make_full_bus(
+      lines, fullbus::coupling_matrix(5, 0.3e-12, 0.12e-12),
+      fullbus::coupling_matrix(5, 0.5e-9, 0.2e-9));
+  const auto opt = options_for(12);
+  const auto nn_noise =
+      core::analyze_crosstalk(nn, core::SwitchingPattern::kQuietVictim, opt);
+  const auto full_noise =
+      core::analyze_crosstalk(full, core::SwitchingPattern::kQuietVictim, opt);
+  EXPECT_GT(full_noise.peak_noise, 1.1 * nn_noise.peak_noise);
+  const auto reduced_nn = core::analyze_crosstalk_reduced(
+      nn, core::SwitchingPattern::kQuietVictim, opt, 4);
+  const auto reduced_full = core::analyze_crosstalk_reduced(
+      full, core::SwitchingPattern::kQuietVictim, opt, 4);
+  EXPECT_GT(reduced_full.peak_noise, 1.1 * reduced_nn.peak_noise);
+  // The reduced path tracks the transient on the full-coupling bus too.
+  EXPECT_NEAR(reduced_full.peak_noise, full_noise.peak_noise,
+              0.15 * full_noise.peak_noise);
+}
+
+// ---------------------------------------------------------------------------
+// Ramp/slow-edge aggressor support (the reduced path must honor slew)
+// ---------------------------------------------------------------------------
+
+TEST(RampAggressor, SlowEdgeQuenchesNoiseAndReducedPathHonorsIt) {
+  // Capacitive crosstalk is a dV/dt effect: an aggressor edge much slower
+  // than the line's own time constants couples far less noise. The reduced
+  // path used to drive ideal steps whatever the built source's slew — this
+  // pins the fix: with a slow edge, (a) the transient noise drops by > 2x,
+  // and (b) the reduced path tracks the transient, not the step value.
+  const tline::CoupledBus bus = tline::make_bus(2, kLine, 0.5, 0.2);
+  auto fast = options_for(24);
+  auto slow = fast;
+  slow.source_rise = 2e-9;  // ~10x the line's RC scale: a genuinely slow edge
+
+  const double step_noise =
+      core::analyze_crosstalk(bus, core::SwitchingPattern::kQuietVictim, fast)
+          .peak_noise;
+  const double ramp_noise =
+      core::analyze_crosstalk(bus, core::SwitchingPattern::kQuietVictim, slow)
+          .peak_noise;
+  ASSERT_GT(step_noise, 2.0 * ramp_noise);
+
+  const double reduced_step =
+      core::analyze_crosstalk_reduced(bus, core::SwitchingPattern::kQuietVictim,
+                                      fast, 4)
+          .peak_noise;
+  const double reduced_ramp =
+      core::analyze_crosstalk_reduced(bus, core::SwitchingPattern::kQuietVictim,
+                                      slow, 4)
+          .peak_noise;
+  // The reduced value follows the slew (would fail by > 2x if the ramp were
+  // silently replaced by a step)...
+  EXPECT_NEAR(reduced_ramp, ramp_noise, 0.15 * ramp_noise);
+  // ... and reproduces the step/ramp ratio of the transient.
+  EXPECT_GT(reduced_step, 2.0 * reduced_ramp);
+}
+
+TEST(RampAggressor, SlowEdgeSoftensTheMillerCorners) {
+  // With a slow shared input edge the same-/opposite-phase delay spread
+  // narrows; transient and reduced paths must agree on the slow-edge delay.
+  const tline::CoupledBus bus = tline::make_bus(3, kLine, 0.4, 0.2);
+  auto slow = options_for(24);
+  slow.source_rise = 1e-9;
+  const auto transient = core::analyze_crosstalk(
+      bus, core::SwitchingPattern::kOppositePhase, slow);
+  const auto reduced = core::analyze_crosstalk_reduced(
+      bus, core::SwitchingPattern::kOppositePhase, slow, 4);
+  ASSERT_TRUE(transient.victim_delay_50 && reduced.victim_delay_50);
+  EXPECT_NEAR(*reduced.victim_delay_50, *transient.victim_delay_50,
+              0.03 * *transient.victim_delay_50);
 }
 
 }  // namespace

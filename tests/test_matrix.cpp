@@ -142,4 +142,36 @@ TEST_P(LuResidual, ResidualSmall) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, LuResidual, ::testing::Values(1, 2, 5, 20, 80, 200));
 
+TEST(Ldlt, PositiveDefiniteTest) {
+  using rlcsim::numeric::RealMatrix;
+  using rlcsim::numeric::symmetric_positive_definite;
+  // Diagonally dominant symmetric: PD.
+  RealMatrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = (i == j) ? 4.0 : 1.0;
+  EXPECT_TRUE(symmetric_positive_definite(a));
+  // Tridiagonal Toeplitz 1 + 2k cos(j pi / (n+1)): indefinite at k = 0.8
+  // for n = 3 (2 * 0.8 * cos(pi/4) > 1) — the case the tline layer rejects.
+  RealMatrix t(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    t(i, i) = 1.0;
+    if (i + 1 < 3) t(i, i + 1) = t(i + 1, i) = 0.8;
+  }
+  EXPECT_FALSE(symmetric_positive_definite(t));
+  for (std::size_t i = 0; i + 1 < 3; ++i) t(i, i + 1) = t(i + 1, i) = 0.5;
+  EXPECT_TRUE(symmetric_positive_definite(t));
+  // Semi-definite (zero eigenvalue) is NOT positive definite.
+  RealMatrix s(2, 2);
+  s(0, 0) = s(0, 1) = s(1, 0) = s(1, 1) = 1.0;
+  EXPECT_FALSE(symmetric_positive_definite(s));
+  // Shape/symmetry violations throw.
+  EXPECT_THROW(symmetric_positive_definite(RealMatrix(2, 3)),
+               std::invalid_argument);
+  RealMatrix asym(2, 2);
+  asym(0, 0) = asym(1, 1) = 1.0;
+  asym(0, 1) = 0.5;
+  asym(1, 0) = -0.5;
+  EXPECT_THROW(symmetric_positive_definite(asym), std::invalid_argument);
+}
+
 }  // namespace

@@ -103,11 +103,26 @@ TEST(InitialState, PopulatesFromDcSolution) {
 TEST(BufferDrive, SwitchesAtFireTime) {
   Buffer b;
   b.vdd = 2.5;
+  b.output_v1 = 2.5;  // the builder methods set this; a raw Buffer must too
   const double inf = std::numeric_limits<double>::infinity();
   EXPECT_DOUBLE_EQ(MnaAssembler::buffer_drive(b, inf, 1e9), 0.0);
   EXPECT_DOUBLE_EQ(MnaAssembler::buffer_drive(b, 1e-9, 0.5e-9), 0.0);
-  EXPECT_DOUBLE_EQ(MnaAssembler::buffer_drive(b, 1e-9, 1e-9), 2.5);
+  // The value AT the fire instant is the pre-switch level (the StepSpec
+  // convention, so a fire at t keeps the t-epsilon drive).
+  EXPECT_DOUBLE_EQ(MnaAssembler::buffer_drive(b, 1e-9, 1e-9), 0.0);
   EXPECT_DOUBLE_EQ(MnaAssembler::buffer_drive(b, 1e-9, 2e-9), 2.5);
+}
+
+TEST(BufferDrive, RampedAndInvertingEdges) {
+  Buffer b;
+  b.vdd = 1.0;
+  b.output_v0 = 1.0;  // inverting: high before fire
+  b.output_v1 = 0.0;
+  b.output_rise = 2e-10;
+  EXPECT_DOUBLE_EQ(MnaAssembler::buffer_drive(b, 1e-9, 0.0), 1.0);
+  EXPECT_NEAR(MnaAssembler::buffer_drive(b, 1e-9, 1.1e-9), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(MnaAssembler::buffer_drive(b, 1e-9, 1.2e-9), 0.0);
+  EXPECT_DOUBLE_EQ(MnaAssembler::buffer_drive(b, 1e-9, 5e-9), 0.0);
 }
 
 TEST(Assembler, RejectsInvalidCircuit) {
