@@ -1,6 +1,7 @@
 #include "mor/response.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -88,6 +89,56 @@ double AnalyticResponse::value(double t) const {
   return v;
 }
 
+namespace {
+// Block width of the batched coarse scans. Stack lanes only — the pole loop
+// is hoisted OUTSIDE the lane loop, so each (pole, coefficient) pair is
+// loaded once per block instead of once per sample.
+constexpr std::size_t kScanBlock = 8;
+}  // namespace
+
+void AnalyticResponse::values(const double* times, double* out,
+                              std::size_t count) const {
+  for (std::size_t base = 0; base < count; base += kScanBlock) {
+    const std::size_t w = std::min(kScanBlock, count - base);
+    const double* t = times + base;
+    double* o = out + base;
+    for (std::size_t i = 0; i < w; ++i) o[i] = dc_offset_;
+    std::array<double, kScanBlock> ts;
+    std::array<Complex, kScanBlock> sum_a, sum_b;
+    for (const auto& c : contributions_) {
+      for (std::size_t i = 0; i < w; ++i) ts[i] = t[i] - c.delay;
+      sum_a.fill(Complex(0.0));
+      if (c.rise == 0.0) {
+        for (const auto& [p, a] : c.terms)
+          for (std::size_t i = 0; i < w; ++i)
+            if (ts[i] > 0.0) sum_a[i] += a * std::exp(p * ts[i]);
+        for (std::size_t i = 0; i < w; ++i)
+          if (ts[i] > 0.0) o[i] += c.delta * (c.dc + sum_a[i].real());
+        continue;
+      }
+      // Ramp lanes carry BOTH z integrals — z(ts) and z(ts - rise) — through
+      // one pass over the terms, each behind its own exact-onset guard so a
+      // lane straddling the onset accumulates precisely what the scalar z
+      // lambda would (nothing before it, the same term order after).
+      sum_b.fill(Complex(0.0));
+      for (const auto& [p, a] : c.terms) {
+        for (std::size_t i = 0; i < w; ++i) {
+          if (ts[i] > 0.0) sum_a[i] += a * (std::exp(p * ts[i]) - 1.0);
+          const double tau = ts[i] - c.rise;
+          if (tau > 0.0) sum_b[i] += a * (std::exp(p * tau) - 1.0);
+        }
+      }
+      for (std::size_t i = 0; i < w; ++i) {
+        if (ts[i] <= 0.0) continue;
+        const double z_on = c.dc * ts[i] + sum_a[i].real();
+        const double tau = ts[i] - c.rise;
+        const double z_off = tau <= 0.0 ? 0.0 : c.dc * tau + sum_b[i].real();
+        o[i] += c.delta * (z_on - z_off) / c.rise;
+      }
+    }
+  }
+}
+
 double AnalyticResponse::final_value() const {
   double v = dc_offset_;
   for (const auto& c : contributions_) v += c.delta * c.dc;
@@ -119,23 +170,34 @@ std::optional<double> AnalyticResponse::first_crossing(double level,
     }
     double prev_t = t_from;
     double prev_v = value(prev_t);
-    for (std::size_t i = 1; i <= samples; ++i) {
-      const double t = t_from + window * static_cast<double>(i) /
-                                    static_cast<double>(samples);
-      const double v = value(t);
-      const bool rising = prev_v < level && v >= level;
-      const bool falling = prev_v > level && v <= level;
-      if ((direction >= 0 && rising) || (direction <= 0 && falling)) {
-        // Absolute x tolerance scaled to the time window: the default
-        // 1e-12 is meant for O(1) roots and would stop 3 decades early on
-        // nanosecond-scale crossings.
-        numeric::RootOptions tolerance;
-        tolerance.x_tolerance = 1e-14 * window;
-        return numeric::brent([&](double x) { return value(x) - level; },
-                              prev_t, t, tolerance);
+    // Coarse scan in blocks: sample times are batch-evaluated (values() is
+    // bit-identical to per-sample value() calls), then the bracket test
+    // walks the block scalar — so the bracket found, and the Brent result
+    // refined from it, match the sample-at-a-time scan exactly.
+    std::array<double, 8> block_t, block_v;
+    for (std::size_t i = 1; i <= samples; i += block_t.size()) {
+      const std::size_t w = std::min(block_t.size(), samples - i + 1);
+      for (std::size_t k = 0; k < w; ++k)
+        block_t[k] = t_from + window * static_cast<double>(i + k) /
+                                  static_cast<double>(samples);
+      values(block_t.data(), block_v.data(), w);
+      for (std::size_t k = 0; k < w; ++k) {
+        const double t = block_t[k];
+        const double v = block_v[k];
+        const bool rising = prev_v < level && v >= level;
+        const bool falling = prev_v > level && v <= level;
+        if ((direction >= 0 && rising) || (direction <= 0 && falling)) {
+          // Absolute x tolerance scaled to the time window: the default
+          // 1e-12 is meant for O(1) roots and would stop 3 decades early on
+          // nanosecond-scale crossings.
+          numeric::RootOptions tolerance;
+          tolerance.x_tolerance = 1e-14 * window;
+          return numeric::brent([&](double x) { return value(x) - level; },
+                                prev_t, t, tolerance);
+        }
+        prev_t = t;
+        prev_v = v;
       }
-      prev_t = t;
-      prev_v = v;
     }
     window *= 4.0;
   }
@@ -172,17 +234,23 @@ ResponseMetrics AnalyticResponse::measure(double drive_lo, double drive_hi,
   }
   double max_v = value(0.0), min_v = max_v;
   std::size_t max_i = 0, min_i = 0;
-  for (std::size_t i = 1; i <= samples; ++i) {
-    const double t =
-        horizon * static_cast<double>(i) / static_cast<double>(samples);
-    const double v = value(t);
-    if (v > max_v) {
-      max_v = v;
-      max_i = i;
-    }
-    if (v < min_v) {
-      min_v = v;
-      min_i = i;
+  std::array<double, 8> block_t, block_v;
+  for (std::size_t i = 1; i <= samples; i += block_t.size()) {
+    const std::size_t w = std::min(block_t.size(), samples - i + 1);
+    for (std::size_t k = 0; k < w; ++k)
+      block_t[k] = horizon * static_cast<double>(i + k) /
+                   static_cast<double>(samples);
+    values(block_t.data(), block_v.data(), w);
+    for (std::size_t k = 0; k < w; ++k) {
+      const double v = block_v[k];
+      if (v > max_v) {
+        max_v = v;
+        max_i = i + k;
+      }
+      if (v < min_v) {
+        min_v = v;
+        min_i = i + k;
+      }
     }
   }
   const auto refine = [&](std::size_t i, int sign, double coarse) {

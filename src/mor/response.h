@@ -58,6 +58,14 @@ class AnalyticResponse {
                 double start = 0.0);
 
   double value(double t) const;
+  // Batched evaluation: out[i] = value(times[i]) for `count` samples,
+  // evaluated ONE POLE-LOOP PASS PER CONTRIBUTION across a block of lanes
+  // (internally chunked to 8) instead of re-walking every contribution's
+  // term list per sample — the amortization the coarse crossing/extrema
+  // scans ride. Per-sample results are bit-identical to value(): each lane
+  // accumulates dc offset, contributions, and pole terms in the exact
+  // scalar order, with the same exact-zero onset guards.
+  void values(const double* times, double* out, std::size_t count) const;
   double initial_value() const { return value(0.0); }
   double final_value() const;
 

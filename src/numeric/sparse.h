@@ -117,9 +117,15 @@ std::vector<int> rcm_ordering(const SparsePattern& pattern);
 // sweep must perform exactly ONE symbolic analysis however many frequency
 // points it visits). Thread-local: each thread sees only its own work, so
 // concurrent sweeps never race. Reset with `sparse_lu_stats() = {};`.
+//
+// Batch accounting: a W-lane SparseLuBatch::refactor counts as W numeric
+// passes (one per lane), so the counters stay comparable across lane widths;
+// a lane that hits the zero-pivot ejection counts under ejected_lanes and
+// its scalar-fallback factorization adds to symbolic/numeric as usual.
 struct SparseLuStats {
   std::size_t symbolic = 0;  // full factorizations (pattern + pivot search)
   std::size_t numeric = 0;   // total numeric passes (full + refactor)
+  std::size_t ejected_lanes = 0;  // batch lanes ejected to the scalar path
 };
 
 SparseLuStats& sparse_lu_stats();
@@ -165,6 +171,10 @@ class SparseLu {
   std::size_t factor_nnz() const { return li_.size() + ui_.size(); }
 
  private:
+  // The scenario-batched value layer replays this factorization's recorded
+  // elimination sequence for W value lanes at once (numeric/sparse_batch.h).
+  friend class SparseLuBatch;
+
   void build_csc(const SparseMatrix<T>& a);
   void full_factor(const SparseMatrix<T>& a);
   bool numeric_refactor(const SparseMatrix<T>& a);

@@ -109,6 +109,14 @@ void Circuit::add_capacitor(const std::string& n1, const std::string& n2, double
   capacitors_.push_back({node(n1), node(n2), c, initial_voltage, std::move(name)});
 }
 
+void Circuit::add_structural_capacitor(const std::string& n1, const std::string& n2,
+                                       double c, double initial_voltage,
+                                       std::string name) {
+  if (!(c >= 0.0) || !std::isfinite(c))
+    throw std::invalid_argument("capacitor '" + name + "': capacitance must be >= 0");
+  capacitors_.push_back({node(n1), node(n2), c, initial_voltage, std::move(name)});
+}
+
 void Circuit::add_inductor(const std::string& n1, const std::string& n2, double l,
                            double initial_current, std::string name) {
   if (!(l > 0.0) || !std::isfinite(l))

@@ -148,6 +148,13 @@ class Circuit {
                     std::string name = {});
   void add_capacitor(const std::string& n1, const std::string& n2, double c,
                      double initial_voltage = 0.0, std::string name = {});
+  // add_capacitor that also admits c == 0: a STRUCTURAL capacitor occupies
+  // its MNA slots (so topologically identical circuits whose coupling values
+  // include 0 share one sparsity pattern) while contributing nothing
+  // numerically — every companion-model term is proportional to c.
+  void add_structural_capacitor(const std::string& n1, const std::string& n2,
+                                double c, double initial_voltage = 0.0,
+                                std::string name = {});
   void add_inductor(const std::string& n1, const std::string& n2, double l,
                     double initial_current = 0.0, std::string name = {});
   void add_voltage_source(const std::string& positive, const std::string& negative,

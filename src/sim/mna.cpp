@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "numeric/sparse_batch.h"
+
 namespace rlcsim::sim {
 namespace {
 
@@ -138,6 +140,20 @@ void MnaAssembler::system_values(std::complex<double> scale,
     out[static_cast<std::size_t>(g_slots_[k])] += g_triplets_[k].value;
   for (std::size_t k = 0; k < c_triplets_.size(); ++k)
     out[static_cast<std::size_t>(c_slots_[k])] += scale * c_triplets_[k].value;
+}
+
+void MnaAssembler::stamp_values_into(double scale, numeric::BatchedValues& out,
+                                     std::size_t lane) const {
+  if (out.slots() != static_cast<std::size_t>(pattern_->nnz()))
+    throw std::invalid_argument(
+        "MnaAssembler::stamp_values_into: slot count does not match the "
+        "system pattern");
+  out.clear_lane(lane);
+  for (std::size_t k = 0; k < g_triplets_.size(); ++k)
+    out.at(static_cast<std::size_t>(g_slots_[k]), lane) += g_triplets_[k].value;
+  for (std::size_t k = 0; k < c_triplets_.size(); ++k)
+    out.at(static_cast<std::size_t>(c_slots_[k]), lane) +=
+        scale * c_triplets_[k].value;
 }
 
 void MnaAssembler::conductance_values(std::vector<double>& out) const {

@@ -31,6 +31,10 @@
 #include "numeric/sparse.h"
 #include "sim/circuit.h"
 
+namespace rlcsim::numeric {
+class BatchedValues;  // numeric/sparse_batch.h
+}
+
 namespace rlcsim::sim {
 
 enum class Integrator {
@@ -81,6 +85,14 @@ class MnaAssembler {
   void system_values(double scale, std::vector<double>& out) const;
   void system_values(std::complex<double> scale,
                      std::vector<std::complex<double>>& out) const;
+
+  // Scenario-batched stamping seam: writes G + scale*C into ONE lane of a
+  // BatchedValues whose slot count is system_pattern()->nnz(), with the
+  // exact accumulation order of system_values() — the lane's contents are
+  // bit-identical to the scalar value vector, so a SparseLuBatch refactor
+  // over W stamped lanes reproduces W scalar refactors exactly.
+  void stamp_values_into(double scale, numeric::BatchedValues& out,
+                         std::size_t lane) const;
 
   // Companion-model transient scale factor/dt for the C block.
   static double transient_scale(double dt, Integrator method);

@@ -1,0 +1,50 @@
+// Scenario-batched transient stepping.
+//
+// The sweep engine's transient hot path runs W topologically identical
+// circuits that differ only in element VALUES, on one shared time grid
+// (explicit t_stop/dt, no buffers, identical source breakpoints). This
+// entry point steps all W of them in lockstep: per step it assembles W
+// right-hand sides, performs ONE batched numeric refactor/solve over the
+// recorded symbolic factorization (numeric::SparseLuBatch, lane-major SoA
+// values the autovectorizer turns into SIMD), and records only the single
+// node the caller asked about — instead of W independent scalar runs each
+// recording every node.
+//
+// Bit-identity contract: every per-lane number is produced by the same
+// arithmetic, in the same order, as the scalar run_until_crossing path —
+// the batched kernels guarantee it per solve (see numeric/sparse_batch.h),
+// the stamping seam guarantees it per matrix (MnaAssembler::
+// stamp_values_into), and the shared step-size sequence is state-
+// independent for buffer-free circuits. A lane that does not cross within
+// the shared horizon falls back to the scalar auto-extend attempts exactly
+// as run_until_crossing would (the failed first window is discarded there
+// too), so batched sweep results are memcmp-equal to scalar ones.
+//
+// Eligibility is checked, not assumed: a batch whose lanes cannot share the
+// grid (structural pattern mismatch, buffers, dense-solver sizes, missing
+// recorded symbolics, per-scenario horizons, differing breakpoint sets)
+// returns std::nullopt and the caller runs the points scalar.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/circuit.h"
+#include "sim/transient.h"
+
+namespace rlcsim::sim {
+
+// First rising crossing of `level` at `node`, per lane, for W = 1/4/8
+// circuits stepped as one batch. Requires options.reuse populated with the
+// recorded system + DC patterns and symbolic factorizations every lane
+// structurally matches (the sweep engine's point-0 seeding provides this).
+// Returns std::nullopt when the batch is ineligible — the caller must then
+// evaluate the points through the scalar path; throws (like the scalar
+// path) only for failures the scalar path would also throw for, e.g. a lane
+// that never crosses within the auto-extended horizon.
+std::optional<std::vector<double>> run_batched_crossings(
+    const std::vector<Circuit>& circuits, const std::string& node, double level,
+    const TransientOptions& options, const char* context);
+
+}  // namespace rlcsim::sim

@@ -9,10 +9,12 @@
 #include "core/delay_model.h"
 #include "core/two_pole.h"
 #include "numeric/sparse.h"
+#include "numeric/sparse_batch.h"
 #include "repbus/stage_compose.h"
 #include "runtime/thread_pool.h"
 #include "sim/ac.h"
 #include "sim/builders.h"
+#include "sim/transient_batch.h"
 
 namespace rlcsim::sweep {
 namespace {
@@ -401,8 +403,10 @@ struct SweepEngine::Impl {
                        const std::vector<sim::SolverReuse>& reuse,
                        const std::vector<mor::ConductanceReuse>& mor_reuse,
                        const std::atomic<std::size_t>& symbolic,
+                       const std::atomic<std::size_t>& ejected,
                        std::chrono::steady_clock::time_point started) {
     out.symbolic_factorizations = symbolic.load();
+    out.ejected_lanes = ejected.load();
     for (const auto& r : reuse) out.solver_reuse_hits += r.reuse_hits;
     for (const auto& r : mor_reuse) out.solver_reuse_hits += r.reuse_hits;
     out.elapsed_seconds =
@@ -432,6 +436,7 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
   out.threads_used = impl_->pool.size();
   out.values.assign(n, kNaN);
   std::atomic<std::size_t> symbolic{0};
+  std::atomic<std::size_t> ejected{0};
 
   // Transient analyses replay a recorded (system + DC) symbolic pair;
   // reduced analyses replay a recorded G symbolic. Both seeding paths share
@@ -477,6 +482,62 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
   }
 
   const EngineOptions& options = impl_->options;
+
+  // Scenario-batched tiling (kTransientDelay): hand workers tiles of
+  // `lane_width` compatible points and step each tile as ONE SIMD batch.
+  // Requires an explicit shared horizon — per-scenario default horizons
+  // preclude a shared step grid — and a seeded reference (first == 1).
+  std::size_t lane_width = 1;
+  if (analysis == Analysis::kTransientDelay && options.t_stop > 0.0) {
+    lane_width = options.lanes != 0 ? options.lanes : numeric::default_lane_width();
+    if (!numeric::is_supported_lane_width(lane_width))
+      throw std::invalid_argument(
+          "SweepEngine: EngineOptions::lanes must be 1, 4, or 8");
+  }
+
+  if (lane_width > 1) {
+    const std::size_t tiles = (n - first + lane_width - 1) / lane_width;
+    impl_->pool.parallel_for(tiles, [&](std::size_t tile, std::size_t worker) {
+      const std::size_t begin = first + tile * lane_width;
+      const std::size_t count = std::min(lane_width, n - begin);
+      const std::size_t before = numeric::sparse_lu_stats().symbolic;
+      const std::size_t ejected_before = numeric::sparse_lu_stats().ejected_lanes;
+      bool batched = false;
+      if (count == lane_width) {
+        std::vector<sim::Circuit> circuits;
+        circuits.reserve(count);
+        for (std::size_t k = 0; k < count; ++k)
+          circuits.push_back(sim::build_gate_line_load(
+              spec.at(begin + k).system, options.segments));
+        sim::TransientOptions transient;
+        transient.t_stop = options.t_stop;
+        transient.dt = options.dt;
+        transient.solver = options.solver;
+        transient.reuse = &reuse[worker];
+        const auto crossings = sim::run_batched_crossings(
+            circuits, "out", 0.5, transient, "SweepEngine transient_delay");
+        if (crossings) {
+          for (std::size_t k = 0; k < count; ++k)
+            out.values[begin + k] = (*crossings)[k];
+          batched = true;
+        }
+      }
+      // Remainder tiles (grid size not divisible by the lane width) and
+      // ineligible batches evaluate scalar, point by point — bit-identical
+      // to the batch by the batched-solver contract.
+      if (!batched) {
+        for (std::size_t k = 0; k < count; ++k)
+          out.values[begin + k] =
+              evaluate_point(spec.at(begin + k), analysis, options,
+                             &reuse[worker], &mor_reuse[worker]);
+      }
+      symbolic.fetch_add(numeric::sparse_lu_stats().symbolic - before);
+      ejected.fetch_add(numeric::sparse_lu_stats().ejected_lanes - ejected_before);
+    });
+    Impl::finalize(out, n, reuse, mor_reuse, symbolic, ejected, started);
+    return out;
+  }
+
   impl_->pool.parallel_for(n - first, [&](std::size_t i, std::size_t worker) {
     const std::size_t flat = i + first;
     const Scenario scenario = spec.at(flat);
@@ -493,7 +554,7 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
     symbolic.fetch_add(numeric::sparse_lu_stats().symbolic - before);
   });
 
-  Impl::finalize(out, n, reuse, mor_reuse, symbolic, started);
+  Impl::finalize(out, n, reuse, mor_reuse, symbolic, ejected, started);
   return out;
 }
 
@@ -505,6 +566,7 @@ SweepResult SweepEngine::run_custom(
   out.threads_used = impl_->pool.size();
   out.values.assign(n, kNaN);
   std::atomic<std::size_t> symbolic{0};
+  std::atomic<std::size_t> ejected{0};
   std::vector<sim::SolverReuse> reuse(impl_->pool.size());
   std::vector<mor::ConductanceReuse> mor_reuse(impl_->pool.size());
 
@@ -515,7 +577,7 @@ SweepResult SweepEngine::run_custom(
     symbolic.fetch_add(numeric::sparse_lu_stats().symbolic - before);
   });
 
-  Impl::finalize(out, n, reuse, mor_reuse, symbolic, started);
+  Impl::finalize(out, n, reuse, mor_reuse, symbolic, ejected, started);
   return out;
 }
 

@@ -161,6 +161,16 @@ struct EngineOptions {
   double t_stop = 0.0;
   double dt = 0.0;
   sim::SolverKind solver = sim::SolverKind::kAuto;
+  // Scenario-batched transient lanes (kTransientDelay sweeps): workers take
+  // TILES of this many grid points and step them as one SIMD batch
+  // (sim/transient_batch.h) instead of point-by-point. 0 resolves through
+  // numeric::default_lane_width() — the RLCSIM_LANES knob — and explicit
+  // values must be 1, 4, or 8. Batching engages only with an explicit
+  // t_stop > 0 (per-scenario default horizons preclude a shared step grid);
+  // ineligible tiles and the non-divisible remainder fall back to the
+  // scalar per-point path. Results are bit-identical at every lane width
+  // and every thread count.
+  std::size_t lanes = 0;
   // AC bandwidth search window, Hz.
   double ac_f_lo = 1e6;
   double ac_f_hi = 1e13;
@@ -184,6 +194,10 @@ struct SweepResult {
   // — however many points and threads).
   std::size_t symbolic_factorizations = 0;
   std::size_t solver_reuse_hits = 0;  // runs that replayed a recorded symbolic
+  // Batch lanes ejected to the scalar zero-pivot fallback across the sweep
+  // (0 on the scalar path; a nonzero count on a batched sweep is legal but
+  // worth surfacing — every ejection is a full scalar refactorization).
+  std::size_t ejected_lanes = 0;
   double elapsed_seconds = 0.0;
   double points_per_second = 0.0;
 };

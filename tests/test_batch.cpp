@@ -1,0 +1,384 @@
+// Batched solver core (numeric/sparse_batch.h + the seams above it): the
+// whole feature rests on ONE claim — a W-lane batch produces bit-identical
+// numbers to W independent scalar runs — so these tests compare raw bytes
+// (memcmp), not tolerances: solver lanes vs scalar SparseLu (including an
+// engineered zero-pivot ejection), batched AnalyticResponse evaluation vs
+// the scalar closed form, and batched transient sweeps across every
+// (lane width, thread count) combination including tile remainders and NaN
+// points. Plus the zero-coupling pattern regression: a coupling axis through
+// 0 must keep ONE sparsity pattern (2 symbolic factorizations per sweep).
+#include "numeric/sparse_batch.h"
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/crosstalk.h"
+#include "mor/reduce.h"
+#include "mor/response.h"
+#include "numeric/sparse.h"
+#include "sim/builders.h"
+#include "sim/mna.h"
+#include "sweep/sweep.h"
+
+namespace {
+
+using namespace rlcsim;
+using numeric::BatchedValues;
+using numeric::RealSparse;
+using numeric::RealSparseLu;
+using numeric::SparseLuBatch;
+
+// Bitwise double-vector comparison: NaN == NaN, +0 != -0.
+void expect_bits_equal(const std::vector<double>& a,
+                       const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (!a.empty())
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+        << what;
+}
+
+// Deterministic random diagonally-bumped sparse system (the ladder-like
+// shape every MNA matrix here has: strong diagonal, scattered off-diagonals).
+std::vector<numeric::Triplet<double>> random_system(int n, double density,
+                                                    unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> value(-1.0, 1.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::vector<numeric::Triplet<double>> t;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j)
+        t.push_back({i, j, 2.0 + value(rng)});
+      else if (coin(rng) < density)
+        t.push_back({i, j, value(rng)});
+    }
+  return t;
+}
+
+TEST(BatchedValuesTest, RejectsUnsupportedLaneWidths) {
+  for (std::size_t lanes : {std::size_t{0}, std::size_t{2}, std::size_t{3},
+                            std::size_t{5}, std::size_t{16}}) {
+    EXPECT_THROW(BatchedValues(4, lanes), std::invalid_argument) << lanes;
+  }
+  EXPECT_TRUE(numeric::is_supported_lane_width(1));
+  EXPECT_TRUE(numeric::is_supported_lane_width(4));
+  EXPECT_TRUE(numeric::is_supported_lane_width(8));
+  EXPECT_FALSE(numeric::is_supported_lane_width(2));
+}
+
+TEST(BatchedValuesTest, LaneTransfersRoundTrip) {
+  BatchedValues v(3, 4);
+  v.set_lane(2, {1.0, 2.0, 3.0});
+  EXPECT_EQ(v.at(1, 2), 2.0);
+  std::vector<double> out;
+  v.extract_lane(2, out);
+  EXPECT_EQ(out, (std::vector<double>{1.0, 2.0, 3.0}));
+  v.clear_lane(2);
+  v.extract_lane(2, out);
+  EXPECT_EQ(out, (std::vector<double>{0.0, 0.0, 0.0}));
+  EXPECT_THROW(v.set_lane(4, {0.0, 0.0, 0.0}), std::out_of_range);
+  EXPECT_THROW(v.set_lane(0, {0.0}), std::invalid_argument);
+}
+
+// The core property: refactor + solve of W value lanes over one donor
+// factorization is byte-for-byte the W scalar refactor + solve results.
+TEST(SparseLuBatchTest, BitIdenticalToScalarLanes) {
+  for (const int n : {7, 23, 60}) {
+    for (const std::size_t lanes : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+      const auto base = random_system(n, 4.0 / n, 17u + static_cast<unsigned>(n));
+      const RealSparse donor_matrix(n, base);
+      const RealSparseLu donor(donor_matrix);
+      const std::size_t nnz = static_cast<std::size_t>(donor_matrix.nnz());
+
+      // Per-lane variants: same pattern, perturbed values (lane 0 keeps the
+      // donor's own values — the "same matrix" lane must reproduce it too).
+      std::mt19937 rng(99u + static_cast<unsigned>(n));
+      std::uniform_real_distribution<double> bump(0.5, 1.5);
+      std::vector<std::vector<double>> lane_values(lanes, donor_matrix.values());
+      std::vector<std::vector<double>> lane_rhs(lanes);
+      for (std::size_t w = 0; w < lanes; ++w) {
+        if (w > 0)
+          for (double& x : lane_values[w]) x *= bump(rng);
+        lane_rhs[w].resize(static_cast<std::size_t>(n));
+        for (double& x : lane_rhs[w]) x = bump(rng) - 1.0;
+      }
+
+      BatchedValues values(nnz, lanes), rhs(static_cast<std::size_t>(n), lanes);
+      for (std::size_t w = 0; w < lanes; ++w) {
+        values.set_lane(w, lane_values[w]);
+        rhs.set_lane(w, lane_rhs[w]);
+      }
+      SparseLuBatch batch(donor, lanes);
+      batch.refactor(values);
+      EXPECT_EQ(batch.ejected_lane_count(), 0u);
+      batch.solve_in_place(rhs);
+
+      for (std::size_t w = 0; w < lanes; ++w) {
+        RealSparseLu scalar(donor);  // copy: same recorded symbolic analysis
+        scalar.refactor(RealSparse(donor_matrix.pattern_ptr(), lane_values[w]));
+        const std::vector<double> expected = scalar.solve(lane_rhs[w]);
+        std::vector<double> got;
+        rhs.extract_lane(w, got);
+        expect_bits_equal(expected, got, "solver lane");
+      }
+    }
+  }
+}
+
+// A lane whose values turn the recorded pivot exactly zero must eject to
+// the scalar path alone (scalar refactor re-pivots there), leaving every
+// other lane batched — and the stats must account for all of it.
+TEST(SparseLuBatchTest, ZeroPivotLaneEjectsIndividually) {
+  // [[5, 1], [1, 1]] without RCM: |5| > |1| makes row 0 the recorded first
+  // pivot unambiguously, so a lane with a00 = 0 hits an exactly-zero stale
+  // pivot — while its matrix [[0, 1], [1, 1]] stays nonsingular for the
+  // re-pivoting scalar fallback.
+  const RealSparse donor_matrix(
+      2, {{0, 0, 5.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 1.0}});
+  RealSparseLu::Options no_reorder;
+  no_reorder.reorder = false;
+  const RealSparseLu donor(donor_matrix, no_reorder);
+  const std::size_t lanes = 4;
+
+  std::vector<std::vector<double>> lane_values(lanes, donor_matrix.values());
+  for (double& x : lane_values[2])
+    if (x == 5.0) x = 0.0;  // lane 2: zero where the recorded pivot sits
+  for (double& x : lane_values[3]) x *= 1.5;
+
+  BatchedValues values(static_cast<std::size_t>(donor_matrix.nnz()), lanes);
+  for (std::size_t w = 0; w < lanes; ++w) values.set_lane(w, lane_values[w]);
+
+  numeric::sparse_lu_stats() = {};
+  SparseLuBatch batch(donor, lanes);
+  batch.refactor(values);
+  EXPECT_EQ(batch.ejected_lane_count(), 1u);
+  EXPECT_FALSE(batch.lane_ejected(0));
+  EXPECT_TRUE(batch.lane_ejected(2));
+  // 3 batched numeric passes + the ejected lane's full scalar
+  // refactorization (1 symbolic + 1 numeric).
+  EXPECT_EQ(numeric::sparse_lu_stats().ejected_lanes, 1u);
+  EXPECT_EQ(numeric::sparse_lu_stats().symbolic, 1u);
+  EXPECT_EQ(numeric::sparse_lu_stats().numeric, lanes);
+
+  BatchedValues rhs(2, lanes);
+  const std::vector<double> b{1.0, 2.0};
+  for (std::size_t w = 0; w < lanes; ++w) rhs.set_lane(w, b);
+  batch.solve_in_place(rhs);
+  for (std::size_t w = 0; w < lanes; ++w) {
+    RealSparseLu scalar(donor);
+    scalar.refactor(RealSparse(donor_matrix.pattern_ptr(), lane_values[w]));
+    std::vector<double> got;
+    rhs.extract_lane(w, got);
+    expect_bits_equal(scalar.solve(b), got, "ejected-lane solve");
+  }
+}
+
+// ----------------------------------------------------- AnalyticResponse
+
+mor::PoleResidueModel oscillatory_model() {
+  mor::PoleResidueModel model;
+  model.poles = {{-1.0e9, 0.0}, {-4.0e8, 3.0e9}, {-4.0e8, -3.0e9}};
+  model.residues = {{1.2e9, 0.0}, {-0.6e9, 2.0e8}, {-0.6e9, -2.0e8}};
+  model.dc_gain = 0.9;
+  model.delay = 2.0e-10;
+  return model;
+}
+
+TEST(AnalyticResponseBatch, ValuesBitIdenticalToScalarEvaluation) {
+  mor::AnalyticResponse response(0.05);
+  response.add_step(oscillatory_model(), 1.0);
+  response.add_ramp(oscillatory_model(), -0.4, /*rise=*/3.0e-10,
+                    /*start=*/1.0e-10);
+
+  // 257 samples (non-multiple of the 8-wide block) spanning the pre-onset
+  // zeros, the onset edges, the ramp window, and the settled tail.
+  const std::size_t count = 257;
+  std::vector<double> times(count), batched(count), scalar(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    times[i] = 3.0e-9 * static_cast<double>(i) / static_cast<double>(count - 1);
+    scalar[i] = response.value(times[i]);
+  }
+  response.values(times.data(), batched.data(), count);
+  expect_bits_equal(scalar, batched, "analytic response block");
+
+  // Odd partial block on its own.
+  std::vector<double> small(13);
+  response.values(times.data(), small.data(), 13);
+  for (std::size_t i = 0; i < 13; ++i) EXPECT_EQ(small[i], scalar[i]);
+}
+
+TEST(AnalyticResponseBatch, FirstCrossingStillRefinesExactly) {
+  // Single-pole step 1 - exp(-t/tau): the blocked coarse scan must bracket
+  // and Brent-refine the same crossing, tau * ln(2).
+  const double tau = 1.0e-9;
+  mor::PoleResidueModel model;
+  model.poles = {{-1.0 / tau, 0.0}};
+  model.residues = {{1.0 / tau, 0.0}};
+  model.dc_gain = 1.0;
+  mor::AnalyticResponse response;
+  response.add_step(model, 1.0);
+  const auto crossing = response.first_crossing(0.5, +1);
+  ASSERT_TRUE(crossing.has_value());
+  EXPECT_NEAR(*crossing, tau * std::log(2.0), 1e-6 * tau);
+  const auto metrics = response.measure(0.0, 1.0);
+  ASSERT_TRUE(metrics.delay_50.has_value());
+  EXPECT_EQ(*metrics.delay_50, *crossing);
+}
+
+// ------------------------------------------------------------- sweeps
+
+// The grid of the existing sweep tests: 27 points — deliberately NOT a
+// multiple of 4 or 8, so every batched run exercises a remainder tile.
+sweep::SweepSpec small_grid() {
+  sweep::SweepSpec spec;
+  spec.base.system = {500.0, {1000.0, 1e-7, 1e-12}, 0.5e-12};
+  spec.axes = {
+      sweep::values(sweep::Variable::kDriverResistance, {200.0, 500.0, 900.0}),
+      sweep::logspace(sweep::Variable::kLineInductance, 1e-8, 1e-6, 3),
+      sweep::values(sweep::Variable::kLoadCapacitance, {0.1e-12, 0.5e-12, 1e-12}),
+  };
+  return spec;
+}
+
+sweep::EngineOptions batch_options(std::size_t threads, std::size_t lanes,
+                                   const sweep::SweepSpec& spec) {
+  sweep::EngineOptions options;
+  options.threads = threads;
+  options.lanes = lanes;
+  options.segments = 25;
+  // Batching needs the shared grid an explicit t_stop provides: the largest
+  // per-scenario default horizon keeps every point's crossing inside it.
+  for (std::size_t i = 0; i < spec.size(); ++i)
+    options.t_stop = std::max(
+        options.t_stop, sim::default_transient_horizon(spec.at(i).system));
+  options.dt = options.t_stop / 2000.0;
+  return options;
+}
+
+TEST(SweepBatch, TransientSweepBitIdenticalAcrossLanesAndThreads) {
+  const sweep::SweepSpec spec = small_grid();
+  const sweep::SweepEngine reference(batch_options(1, 1, spec));
+  const auto scalar = reference.run(spec, sweep::Analysis::kTransientDelay);
+  ASSERT_EQ(scalar.values.size(), spec.size());
+  for (double v : scalar.values) EXPECT_TRUE(std::isfinite(v));
+
+  for (const std::size_t lanes : {std::size_t{4}, std::size_t{8}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+      const sweep::SweepEngine engine(batch_options(threads, lanes, spec));
+      const auto batched = engine.run(spec, sweep::Analysis::kTransientDelay);
+      expect_bits_equal(scalar.values, batched.values, "batched sweep");
+      // Symbolic-reuse contract is unchanged by batching: one system + one
+      // DC analysis for the whole sweep.
+      EXPECT_EQ(batched.symbolic_factorizations, 2u)
+          << lanes << " lanes, " << threads << " threads";
+    }
+  }
+}
+
+TEST(SweepBatch, TinyGridFallsThroughScalar) {
+  // 2 points < any batch width: the undersized tile must fall through to
+  // the scalar path and still match a lanes=1 engine bitwise.
+  sweep::SweepSpec spec;
+  spec.base.system = {500.0, {1000.0, 1e-7, 1e-12}, 0.5e-12};
+  spec.axes = {
+      sweep::values(sweep::Variable::kDriverResistance, {300.0, 800.0})};
+  const sweep::SweepEngine scalar_engine(batch_options(1, 1, spec));
+  const sweep::SweepEngine batch_engine(batch_options(2, 8, spec));
+  const auto a = scalar_engine.run(spec, sweep::Analysis::kTransientDelay);
+  const auto b = batch_engine.run(spec, sweep::Analysis::kTransientDelay);
+  expect_bits_equal(a.values, b.values, "undersized tile");
+}
+
+TEST(SweepBatch, RejectsUnsupportedLaneCount) {
+  sweep::SweepSpec spec = small_grid();
+  sweep::EngineOptions options = batch_options(1, 1, spec);
+  options.lanes = 3;
+  const sweep::SweepEngine engine(options);
+  EXPECT_THROW(engine.run(spec, sweep::Analysis::kTransientDelay),
+               std::invalid_argument);
+}
+
+TEST(SweepBatch, NaNPointsStayDeterministicAcrossLanesAndThreads) {
+  // A switching-pattern axis with a quiet victim yields NaN delay points;
+  // bitwise determinism must hold through them at every (lanes, threads).
+  sweep::SweepSpec spec;
+  spec.base.system = {500.0, {1000.0, 1e-7, 1e-12}, 0.5e-12};
+  spec.base.xtalk.bus_lines = 3;
+  spec.base.xtalk.cc_ratio = 0.4;
+  spec.axes = {
+      sweep::switching_patterns({core::SwitchingPattern::kQuietVictim,
+                                 core::SwitchingPattern::kSamePhase,
+                                 core::SwitchingPattern::kOppositePhase}),
+      sweep::values(sweep::Variable::kDriverResistance, {300.0, 800.0}),
+  };
+  sweep::EngineOptions base;
+  base.segments = 12;
+  const sweep::SweepEngine reference(base);
+  const auto scalar = reference.run(spec, sweep::Analysis::kCrosstalkDelay);
+  ASSERT_EQ(scalar.values.size(), 6u);
+  EXPECT_TRUE(std::isnan(scalar.values[0]));  // quiet victim
+  EXPECT_TRUE(std::isfinite(scalar.values[2]));
+
+  for (const std::size_t lanes : {std::size_t{4}, std::size_t{8}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+      sweep::EngineOptions options = base;
+      options.threads = threads;
+      options.lanes = lanes;
+      const sweep::SweepEngine engine(options);
+      const auto result = engine.run(spec, sweep::Analysis::kCrosstalkDelay);
+      expect_bits_equal(scalar.values, result.values, "NaN-point sweep");
+    }
+  }
+}
+
+// ------------------------------------------- zero-coupling pattern fork
+
+TEST(ZeroCouplingPattern, StructuralStampsKeepOnePattern) {
+  const tline::LineParams line{1000.0, 1e-7, 1e-12};
+  const auto bus_of = [&](double cc_ratio) {
+    return tline::make_bus(2, line, cc_ratio, 0.0);
+  };
+  const auto circuit_of = [&](double cc_ratio, sim::StampOptions stamp) {
+    sim::Circuit c;
+    c.add_resistor("in0", "0", 50.0, "g0");
+    c.add_resistor("in1", "0", 50.0, "g1");
+    sim::add_coupled_bus(c, "bus", {"in0", "in1"}, {"out0", "out1"},
+                         bus_of(cc_ratio), 6, stamp);
+    return c;
+  };
+  const sim::MnaAssembler zero(circuit_of(0.0, {}));
+  const sim::MnaAssembler coupled(circuit_of(0.5, {}));
+  EXPECT_EQ(zero.system_pattern()->row_ptr, coupled.system_pattern()->row_ptr);
+  EXPECT_EQ(zero.system_pattern()->col_idx, coupled.system_pattern()->col_idx);
+
+  // The escape hatch restores the value-dependent (pruned) pattern.
+  sim::StampOptions prune;
+  prune.prune_zeros = true;
+  const sim::MnaAssembler pruned(circuit_of(0.0, prune));
+  EXPECT_LT(pruned.system_pattern()->nnz(), zero.system_pattern()->nnz());
+}
+
+// The acceptance regression: a coupling axis whose range INCLUDES 0 stays
+// on the 1-symbolic-factorization-per-matrix-kind contract (2 total).
+TEST(ZeroCouplingPattern, SweepThroughZeroKeepsTwoFactorizations) {
+  sweep::SweepSpec spec;
+  spec.base.system = {500.0, {1000.0, 1e-7, 1e-12}, 0.5e-12};
+  spec.base.xtalk.bus_lines = 3;
+  spec.axes = {
+      sweep::values(sweep::Variable::kCouplingCapRatio, {0.0, 0.3, 0.6})};
+  sweep::EngineOptions options;
+  options.segments = 12;
+  options.threads = 1;
+  const sweep::SweepEngine engine(options);
+  const auto result = engine.run(spec, sweep::Analysis::kCrosstalkNoise);
+  ASSERT_EQ(result.values.size(), 3u);
+  for (double v : result.values) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_EQ(result.symbolic_factorizations, 2u);
+}
+
+}  // namespace

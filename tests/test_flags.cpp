@@ -1,42 +1,57 @@
-// Environment / command-line knob hardening: RLCSIM_THREADS and the shared
-// bench --threads parser must REJECT junk with a clear message instead of
-// silently defaulting (a typo'd thread count quietly becoming "all cores"
-// or an empty scaling study is the regression these pin down).
+// Environment / command-line knob hardening: RLCSIM_THREADS, RLCSIM_LANES
+// and the shared bench --threads parser must REJECT junk with a clear
+// message instead of silently defaulting (a typo'd thread count quietly
+// becoming "all cores" or an empty scaling study is the regression these
+// pin down).
 #include <cstdlib>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
 
 #include "../bench/bench_util.h"
+#include "numeric/sparse_batch.h"
 #include "runtime/thread_pool.h"
 
 namespace {
 
 using rlcsim::runtime::default_thread_count;
 
-// Scoped RLCSIM_THREADS override; restores the previous state. Tests using
-// it run single-threaded (gtest default), so setenv is race-free here.
-class ScopedThreadsEnv {
+// Scoped environment-variable override; restores the previous state. Tests
+// using it run single-threaded (gtest default), so setenv is race-free here.
+class ScopedEnv {
  public:
-  explicit ScopedThreadsEnv(const char* value) {
-    const char* old = std::getenv("RLCSIM_THREADS");
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
     had_old_ = old != nullptr;
     if (had_old_) old_ = old;
     if (value)
-      ::setenv("RLCSIM_THREADS", value, 1);
+      ::setenv(name, value, 1);
     else
-      ::unsetenv("RLCSIM_THREADS");
+      ::unsetenv(name);
   }
-  ~ScopedThreadsEnv() {
+  ~ScopedEnv() {
     if (had_old_)
-      ::setenv("RLCSIM_THREADS", old_.c_str(), 1);
+      ::setenv(name_.c_str(), old_.c_str(), 1);
     else
-      ::unsetenv("RLCSIM_THREADS");
+      ::unsetenv(name_.c_str());
   }
 
  private:
+  std::string name_;
   bool had_old_ = false;
   std::string old_;
+};
+
+class ScopedThreadsEnv : public ScopedEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value)
+      : ScopedEnv("RLCSIM_THREADS", value) {}
+};
+
+class ScopedLanesEnv : public ScopedEnv {
+ public:
+  explicit ScopedLanesEnv(const char* value)
+      : ScopedEnv("RLCSIM_LANES", value) {}
 };
 
 TEST(ThreadsEnv, PositiveIntegerIsHonored) {
@@ -70,6 +85,45 @@ TEST(ThreadsEnv, JunkThrowsWithTheOffendingValue) {
       FAIL() << "expected std::invalid_argument for RLCSIM_THREADS=" << bad;
     } catch (const std::invalid_argument& error) {
       EXPECT_NE(std::string(error.what()).find("RLCSIM_THREADS"),
+                std::string::npos);
+      EXPECT_NE(std::string(error.what()).find(bad), std::string::npos);
+    }
+  }
+}
+
+TEST(LanesEnv, SupportedWidthsAreHonored) {
+  {
+    ScopedLanesEnv env("1");
+    EXPECT_EQ(rlcsim::numeric::default_lane_width(), 1u);
+  }
+  {
+    ScopedLanesEnv env("4");
+    EXPECT_EQ(rlcsim::numeric::default_lane_width(), 4u);
+  }
+  {
+    ScopedLanesEnv env("8");
+    EXPECT_EQ(rlcsim::numeric::default_lane_width(), 8u);
+  }
+}
+
+TEST(LanesEnv, UnsetEmptyAndAutoPickTheWidestKernel) {
+  for (const char* value : {static_cast<const char*>(nullptr), "", "auto"}) {
+    ScopedLanesEnv env(value);
+    EXPECT_EQ(rlcsim::numeric::default_lane_width(), 8u);
+  }
+}
+
+TEST(LanesEnv, JunkThrowsWithTheOffendingValue) {
+  // Unsupported widths are junk too: "2" silently meaning "some default"
+  // is exactly what an override knob must not do.
+  for (const char* bad : {"abc", "2", "3", "16", "0", "-4", "4x", "8.0",
+                          "1e1", " 4 ", "99999999999999999999"}) {
+    ScopedLanesEnv env(bad);
+    try {
+      (void)rlcsim::numeric::default_lane_width();
+      FAIL() << "expected std::invalid_argument for RLCSIM_LANES=" << bad;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("RLCSIM_LANES"),
                 std::string::npos);
       EXPECT_NE(std::string(error.what()).find(bad), std::string::npos);
     }
