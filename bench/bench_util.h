@@ -61,22 +61,28 @@ inline void scaling_run_json(std::size_t threads, double seconds,
 }
 
 // One per-(lanes, threads) record of the batched-sweep bench's JSON "runs"
-// array: scaling_run_json's fields plus the lane width and the batch
-// ejection counter (SweepResult::ejected_lanes — every ejection is a full
-// scalar refactorization, so a nonzero count explains a throughput dip).
+// array: scaling_run_json's fields plus the lane width, the batch ejection
+// counter (SweepResult::ejected_lanes — every ejection is a full scalar
+// refactorization, so a nonzero count explains a throughput dip), and the
+// batched/scalar point split (SweepResult::batched_points/scalar_points —
+// the accounting that keeps the batch's silent scalar fallback honest).
 inline void batch_run_json(std::size_t lanes, std::size_t threads,
                            double seconds, double points_per_second,
                            double speedup, std::size_t symbolic_factorizations,
                            std::size_t solver_reuse_hits,
-                           std::size_t ejected_lanes, bool identical,
+                           std::size_t ejected_lanes,
+                           std::size_t batched_points,
+                           std::size_t scalar_points, bool identical,
                            bool last) {
   std::printf("    {\"lanes\": %zu, \"threads\": %zu, \"seconds\": %.3f, "
               "\"points_per_second\": %.1f, \"speedup_vs_scalar\": %.2f, "
               "\"symbolic_factorizations\": %zu, \"solver_reuse_hits\": %zu, "
-              "\"ejected_lanes\": %zu, \"bit_identical_to_first\": %s}%s\n",
+              "\"ejected_lanes\": %zu, \"batched_points\": %zu, "
+              "\"scalar_points\": %zu, \"bit_identical_to_first\": %s}%s\n",
               lanes, threads, seconds, points_per_second, speedup,
               symbolic_factorizations, solver_reuse_hits, ejected_lanes,
-              identical ? "true" : "false", last ? "" : ",");
+              batched_points, scalar_points, identical ? "true" : "false",
+              last ? "" : ",");
 }
 
 inline void title(const std::string& text) {

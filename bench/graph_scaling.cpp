@@ -1,0 +1,248 @@
+// Timing-graph engine gates + scaling. Emits one JSON document; the EXIT
+// STATUS is the CI gate (0 = pass, 1 = a gate failed, 2 = usage error):
+//
+//   1. DETERMINISM — evaluating the same graph at 1/2/3 threads returns
+//      BIT-IDENTICAL results (every arrival, slew, noise, and chain metric
+//      compared as raw bytes). The levelized parallel evaluation owns no
+//      shared mutable state, so this is exact, not a tolerance.
+//   2. CHAIN EQUIVALENCE — a repeatered-bus chain evaluated as a path of
+//      graph nodes reproduces repbus::compose_bus_chain BIT-FOR-BIT across
+//      placements x switching patterns (both run the same chain-walk
+//      helpers; the graph embedding must not perturb a single operation).
+//   3. H-TREE ACCURACY — per-sink arrival and slew of a >= 15-stage clock
+//      H-tree (structurally imbalanced, so skew is nonzero) within 3% of
+//      the cascaded full-MNA oracle, and the skew disagreement within 3% of
+//      the mean sink arrival.
+//
+// Plus nodes/sec scaling of a deep synthetic fanout tree per thread count.
+//
+// Usage: graph_scaling [--fast] [--threads a,b,c]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/h_tree.h"
+#include "graph/timing_graph.h"
+#include "repbus/stage_compose.h"
+#include "tline/coupled_bus.h"
+
+using namespace rlcsim;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(double)) == 0);
+}
+
+bool identical_chain(const repbus::ComposedChainMetrics& a,
+                     const repbus::ComposedChainMetrics& b) {
+  if (a.victim_delay_50.has_value() != b.victim_delay_50.has_value())
+    return false;
+  if (a.victim_delay_50 && !bits_equal(*a.victim_delay_50, *b.victim_delay_50))
+    return false;
+  return bits_equal(a.peak_noise, b.peak_noise) &&
+         bits_equal(a.victim_fire_times, b.victim_fire_times) &&
+         a.glitch_fired == b.glitch_fired &&
+         a.glitch_depth == b.glitch_depth &&
+         a.glitch_boundaries == b.glitch_boundaries;
+}
+
+bool identical_graph(const graph::GraphResult& a,
+                     const graph::GraphResult& b) {
+  if (a.nodes.size() != b.nodes.size() || a.chains.size() != b.chains.size())
+    return false;
+  for (std::size_t k = 0; k < a.nodes.size(); ++k) {
+    const graph::NodeMetrics& m = a.nodes[k];
+    const graph::NodeMetrics& n = b.nodes[k];
+    if (!bits_equal(m.arrival, n.arrival) ||
+        !bits_equal(m.peak_noise, n.peak_noise) ||
+        m.slew.size() != n.slew.size())
+      return false;
+    for (std::size_t s = 0; s < m.slew.size(); ++s) {
+      if (m.slew[s].has_value() != n.slew[s].has_value()) return false;
+      if (m.slew[s] && !bits_equal(*m.slew[s], *n.slew[s])) return false;
+    }
+  }
+  for (std::size_t c = 0; c < a.chains.size(); ++c)
+    if (!identical_chain(a.chains[c], b.chains[c])) return false;
+  return true;
+}
+
+// The repbus_frontier bus: 5 coupled Table-1 lines, R0 C0 = 15 ps repeaters.
+repbus::RepeaterBusSpec chain_spec(repbus::Placement placement, bool fast) {
+  repbus::RepeaterBusSpec spec;
+  spec.bus = tline::make_bus(5, {500.0, 1e-8, 1e-12}, 0.4, 0.25);
+  spec.sections = 4;
+  spec.size = 32.0;
+  spec.buffer = {3000.0, 5e-15, 1.0, 0.0};
+  spec.placement = placement;
+  spec.segments_per_section = fast ? 8 : 12;
+  return spec;
+}
+
+graph::HTreeSpec tree_spec(bool fast) {
+  graph::HTreeSpec spec;
+  spec.levels = fast ? 4 : 5;  // 15 / 31 stages
+  spec.root_line = {150.0, 5e-10, 3e-13};
+  spec.taper = 0.6;
+  spec.buffer = {3000.0, 5e-15, 1.0, 0.0};
+  spec.size = 32.0;
+  spec.source_rise = 2e-11;
+  spec.segments_per_branch = fast ? 6 : 8;
+  spec.sink_capacitance = 2e-14;
+  spec.sink_imbalance = 0.15;
+  spec.order = 4;
+  return spec;
+}
+
+bool gate(const char* name, double value, double limit, bool* pass,
+          bool last) {
+  const bool ok = value <= limit;
+  if (!ok) *pass = false;
+  std::printf("    {\"gate\": \"%s\", \"value\": %.4f, \"limit\": %.4f, "
+              "\"pass\": %s}%s\n",
+              name, value, limit, ok ? "true" : "false", last ? "" : ",");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  std::vector<std::size_t> threads = {1, 2, 3};
+  try {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--fast") == 0) {
+        fast = true;
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        threads = benchutil::parse_thread_list(argv[++i]);
+      } else {
+        std::fprintf(stderr, "graph_scaling: unknown argument \"%s\"\n",
+                     argv[i]);
+        return 2;
+      }
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "graph_scaling: %s\n", error.what());
+    return 2;
+  }
+
+  bool pass = true;
+  std::printf("{\n  \"bench\": \"graph_scaling\",\n");
+  std::printf("  \"fast\": %s,\n", fast ? "true" : "false");
+
+  // ---------------------------------------- 2. chain equivalence (bitwise)
+  const repbus::Placement placements[] = {repbus::Placement::kUniform,
+                                          repbus::Placement::kStaggered,
+                                          repbus::Placement::kInterleaved};
+  const core::SwitchingPattern patterns[] = {
+      core::SwitchingPattern::kSamePhase,
+      core::SwitchingPattern::kOppositePhase,
+      core::SwitchingPattern::kQuietVictim};
+  bool chains_identical = true;
+  std::printf("  \"chain_equivalence\": [\n");
+  for (std::size_t p = 0; p < 3; ++p) {
+    const repbus::RepeaterBusSpec spec = chain_spec(placements[p], fast);
+    const repbus::StageModels models = repbus::build_stage_models(spec, 4);
+    for (std::size_t q = 0; q < 3; ++q) {
+      const repbus::ComposedChainMetrics composed =
+          repbus::compose_bus_chain(spec, patterns[q], models);
+      graph::TimingGraph g;
+      g.add_bus_chain(spec, patterns[q], models);
+      bool identical = true;
+      for (const std::size_t t : threads) {
+        const graph::GraphResult result = g.evaluate(t);
+        identical = identical && identical_chain(result.chains[0], composed);
+      }
+      chains_identical = chains_identical && identical;
+      std::printf("    {\"placement\": \"%s\", \"pattern\": \"%s\", "
+                  "\"bit_identical\": %s}%s\n",
+                  repbus::placement_name(placements[p]),
+                  core::switching_pattern_name(patterns[q]),
+                  identical ? "true" : "false",
+                  p == 2 && q == 2 ? "" : ",");
+    }
+  }
+  std::printf("  ],\n");
+  if (!chains_identical) pass = false;
+
+  // ------------------------------------- 3. H-tree vs cascaded-MNA oracle
+  const graph::HTreeSpec tree = tree_spec(fast);
+  const graph::HTreeComparison compare = graph::compare_h_tree(tree);
+  std::printf("  \"h_tree\": {\"levels\": %d, \"stages\": %zu, \"sinks\": "
+              "%zu,\n",
+              tree.levels, compare.stages, compare.sinks);
+  std::printf("    \"graph_skew_ps\": %.3f, \"mna_skew_ps\": %.3f,\n",
+              compare.graph_skew * 1e12, compare.mna_skew * 1e12);
+  std::printf("    \"max_arrival_err_pct\": %.3f, \"max_slew_err_pct\": "
+              "%.3f, \"skew_err_pct\": %.3f},\n",
+              100.0 * compare.max_arrival_error,
+              100.0 * compare.max_slew_error, 100.0 * compare.skew_error);
+
+  // -------------------------- 1. determinism + nodes/sec thread scaling
+  // Scaling workload: the H-tree graph (wide levels) evaluated repeatedly.
+  graph::HTreeGraph scaling_tree = graph::build_h_tree(tree);
+  std::vector<graph::GraphResult> per_thread;
+  std::printf("  \"scaling\": [\n");
+  double base_pps = 0.0;
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    const int repeats = fast ? 3 : 10;
+    double best = 1e300;
+    graph::GraphResult result;
+    for (int r = 0; r < repeats; ++r) {
+      const double t0 = now_seconds();
+      result = scaling_tree.graph.evaluate(threads[i]);
+      best = std::min(best, now_seconds() - t0);
+    }
+    const double nps =
+        static_cast<double>(result.nodes.size()) / std::max(best, 1e-12);
+    if (i == 0) base_pps = nps;
+    std::printf("    {\"threads\": %zu, \"seconds\": %.6f, "
+                "\"nodes_per_second\": %.0f, \"speedup_vs_first\": %.2f}%s\n",
+                threads[i], best, nps, base_pps > 0.0 ? nps / base_pps : 1.0,
+                i + 1 == threads.size() ? "" : ",");
+    per_thread.push_back(std::move(result));
+  }
+  std::printf("  ],\n");
+  bool deterministic = true;
+  for (std::size_t i = 1; i < per_thread.size(); ++i)
+    deterministic =
+        deterministic && identical_graph(per_thread[0], per_thread[i]);
+  if (!deterministic) pass = false;
+  std::printf("  \"determinism\": {\"bit_identical_across_threads\": %s},\n",
+              deterministic ? "true" : "false");
+  std::printf("  \"chain_bit_identical\": %s,\n",
+              chains_identical ? "true" : "false");
+
+  // ----------------------------------------------------------------- gates
+  std::printf("  \"gates\": [\n");
+  gate("h_tree_max_arrival_err_pct", 100.0 * compare.max_arrival_error, 3.0,
+       &pass, false);
+  gate("h_tree_max_slew_err_pct", 100.0 * compare.max_slew_error, 3.0, &pass,
+       false);
+  gate("h_tree_skew_err_pct", 100.0 * compare.skew_error, 3.0, &pass, false);
+  // Boolean gates framed as 0/1 ratios so `value <= limit` reads uniformly.
+  gate("chain_equivalence_failures", chains_identical ? 0.0 : 1.0, 0.0, &pass,
+       false);
+  gate("thread_determinism_failures", deterministic ? 0.0 : 1.0, 0.0, &pass,
+       true);
+  std::printf("  ],\n");
+  std::printf("  \"pass\": %s\n}\n", pass ? "true" : "false");
+  return pass ? 0 : 1;
+}

@@ -131,15 +131,23 @@ int main(int argc, char** argv) {
         repbus::simulate_bus_chain(spec, core::SwitchingPattern::kQuietVictim);
     mna_seconds += now_seconds() - t1;
     t1 = now_seconds();
-    (void)repbus::compose_bus_chain(spec, core::SwitchingPattern::kQuietVictim,
-                                    models);
+    const repbus::ComposedChainMetrics quiet_composed = repbus::compose_bus_chain(
+        spec, core::SwitchingPattern::kQuietVictim, models);
     composed_seconds += now_seconds() - t1;
     if (placements[p] == repbus::Placement::kUniform)
       uniform_noise_mna = quiet.peak_noise;
     if (placements[p] == repbus::Placement::kStaggered)
       staggered_noise_mna = quiet.peak_noise;
-    std::printf("], \"quiet_noise_mna_v\": %.4f, \"area\": %.0f}%s\n",
-                quiet.peak_noise, repbus::repeater_area(spec),
+    // Glitch propagation is part of the quiet-victim record now: a fired
+    // quiet-armed repeater means the noise number describes a glitched net.
+    std::printf("], \"quiet_noise_mna_v\": %.4f, "
+                "\"glitch_fired_mna\": %s, \"glitch_depth_mna\": %d, "
+                "\"glitch_fired_composed\": %s, \"glitch_depth_composed\": %d, "
+                "\"area\": %.0f}%s\n",
+                quiet.peak_noise, quiet.glitch_fired ? "true" : "false",
+                quiet.glitch_depth,
+                quiet_composed.glitch_fired ? "true" : "false",
+                quiet_composed.glitch_depth, repbus::repeater_area(spec),
                 p + 1 < 3 ? "," : "");
   }
   std::printf("  ],\n");

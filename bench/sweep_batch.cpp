@@ -59,6 +59,10 @@ struct WorkloadOutcome {
   bool all_identical = true;
   // points/sec by (lanes, threads), in kConfigs order.
   std::vector<double> pps;
+  // batched_points / total by (lanes, threads), in kConfigs order — the
+  // fallback-accounting gate input (a batch that silently degrades to
+  // scalar shows up here, not just as a throughput dip).
+  std::vector<double> batched_fraction;
 };
 
 // Runs one (spec, analysis) workload across kConfigs, printing its JSON
@@ -107,13 +111,19 @@ WorkloadOutcome run_workload(const char* workload, const sweep::SweepSpec& spec,
     if (c == 0) base_pps = best.points_per_second;
     outcome.all_identical = outcome.all_identical && identical;
     outcome.pps.push_back(best.points_per_second);
+    const std::size_t total = best.batched_points + best.scalar_points;
+    outcome.batched_fraction.push_back(
+        total > 0 ? static_cast<double>(best.batched_points) /
+                        static_cast<double>(total)
+                  : 0.0);
 
     benchutil::batch_run_json(
         kConfigs[c].lanes, kConfigs[c].threads, best.elapsed_seconds,
         best.points_per_second,
         base_pps > 0.0 ? best.points_per_second / base_pps : 1.0,
         best.symbolic_factorizations, best.solver_reuse_hits,
-        best.ejected_lanes, identical, c + 1 == kConfigs.size());
+        best.ejected_lanes, best.batched_points, best.scalar_points,
+        identical, c + 1 == kConfigs.size());
   }
 
   std::printf("      ],\n");
@@ -243,15 +253,29 @@ int main(int argc, char** argv) {
       table1.pps[0] > 0.0 ? table1.pps[2] / table1.pps[0] : 0.0;
   const bool speedup_ok = fast || w8_speedup >= 4.0;
 
+  // Fallback-accounting gate (active in --fast too — it is a correctness
+  // property, not a throughput one): on the batch-eligible table1_transient
+  // workload every W > 1 config must actually batch >= 90% of its points.
+  // Silent per-point scalar fallback used to be invisible; now it fails CI.
+  double min_batched_fraction = 1.0;
+  for (std::size_t c = 0; c < kConfigs.size(); ++c)
+    if (kConfigs[c].lanes > 1)
+      min_batched_fraction =
+          std::min(min_batched_fraction, table1.batched_fraction[c]);
+  const bool batched_ok = min_batched_fraction >= 0.9;
+
   std::printf("  ],\n");
   std::printf("  \"gates\": {\n");
   std::printf("    \"bit_identical\": %s,\n", identical ? "true" : "false");
   std::printf("    \"transient_speedup_w8_vs_w1\": %.2f,\n", w8_speedup);
   std::printf("    \"speedup_gate\": \"%s\",\n",
               fast ? "skipped (--fast)" : ">= 4.0 at W=8, threads=1");
+  std::printf("    \"transient_min_batched_fraction\": %.3f,\n",
+              min_batched_fraction);
+  std::printf("    \"batched_fraction_gate\": \">= 0.9 at W > 1\",\n");
   std::printf("    \"pass\": %s\n",
-              identical && speedup_ok ? "true" : "false");
+              identical && speedup_ok && batched_ok ? "true" : "false");
   std::printf("  }\n");
   std::printf("}\n");
-  return identical && speedup_ok ? 0 : 1;
+  return identical && speedup_ok && batched_ok ? 0 : 1;
 }

@@ -13,48 +13,69 @@
 namespace rlcsim::core {
 namespace {
 
-// Initial level, swing, and rise of one driver, read from the BUILT
-// circuit's actual source spec — the single source of truth shared with the
-// transient path, so the two analyses of the identical circuit can never
-// desynchronize if build_coupled_bus's drive table changes. Slew is decoded
-// from EVERY spec kind that carries one: a step's linear rise, a pulse's
-// leading edge, and a two-point PWL ramp all map onto
-// AnalyticResponse::add_ramp (the reduced path used to drive ideal steps
-// regardless — a slow-edge aggressor's noise was overstated by 2x and more).
-struct DriveSignal {
-  double initial = 0.0;  // level just before t = 0
-  double swing = 0.0;    // switching amplitude at t = 0
-  double rise = 0.0;     // linear ramp duration (0 = ideal step)
+// One driver's waveform decoded EXACTLY into a sum of linear edges, read
+// from the BUILT circuit's actual source spec — the single source of truth
+// shared with the transient path, so the two analyses of the identical
+// circuit can never desynchronize if build_coupled_bus's drive table (or a
+// drive override) changes. Every piecewise-linear finite spec kind maps
+// losslessly: a step is one edge, a finite pulse is its leading edge plus
+// the opposite-sign trailing edge, and an N-point PWL is one edge per
+// value-changing segment. Shapes with NO finite linear-edge superposition —
+// periodic pulse trains — and malformed PWL time axes throw instead of
+// being silently collapsed to a single ramp (a trailing edge dropped here
+// used to vanish from the reduced metrics without a trace).
+struct DriveEdge {
+  double delta = 0.0;  // voltage moved by this edge
+  double rise = 0.0;   // linear edge duration (0 = ideal step)
+  double start = 0.0;  // absolute onset time, >= 0
 };
-DriveSignal drive_signal(const sim::SourceSpec& spec) {
-  if (const auto* dc = std::get_if<sim::DcSpec>(&spec))
-    return {dc->value, 0.0, 0.0};
+struct DriveDecode {
+  double initial = 0.0;  // level just before the first edge
+  std::vector<DriveEdge> edges;  // in onset order
+};
+DriveDecode decode_drive(const sim::SourceSpec& spec) {
+  if (const auto* dc = std::get_if<sim::DcSpec>(&spec)) return {dc->value, {}};
   if (const auto* step = std::get_if<sim::StepSpec>(&spec)) {
-    if (step->delay != 0.0)
+    if (step->delay < 0.0)
       throw std::invalid_argument(
-          "analyze_crosstalk_reduced: delayed step drives are not supported");
-    return {step->v0, step->v1 - step->v0, step->rise};
+          "analyze_crosstalk_reduced: step delay must be >= 0");
+    DriveDecode d{step->v0, {}};
+    if (step->v1 != step->v0)
+      d.edges.push_back({step->v1 - step->v0, step->rise, step->delay});
+    return d;
   }
   if (const auto* pulse = std::get_if<sim::PulseSpec>(&spec)) {
-    // Only the pulse's LEADING edge is modeled — the crosstalk metrics
-    // measure the first transition, and the trailing edge would need a
-    // second (delayed) contribution of the opposite sign. Keep honesty: a
-    // delayed pulse is rejected rather than silently shifted to t = 0.
-    if (pulse->delay != 0.0)
+    if (pulse->delay < 0.0)
       throw std::invalid_argument(
-          "analyze_crosstalk_reduced: delayed pulse drives are not supported");
-    return {pulse->v0, pulse->v1 - pulse->v0, pulse->rise};
+          "analyze_crosstalk_reduced: pulse delay must be >= 0");
+    if (pulse->period > 0.0)
+      throw std::invalid_argument(
+          "analyze_crosstalk_reduced: periodic pulse trains have no finite "
+          "edge superposition; use the transient path");
+    DriveDecode d{pulse->v0, {}};
+    const double swing = pulse->v1 - pulse->v0;
+    if (swing != 0.0) {
+      d.edges.push_back({swing, pulse->rise, pulse->delay});
+      d.edges.push_back({-swing, pulse->fall,
+                         pulse->delay + pulse->rise + pulse->width});
+    }
+    return d;
   }
   const auto& pwl = std::get<sim::PwlSpec>(spec);
-  // A two-point PWL from t = 0 is exactly a ramp; anything richer has no
-  // single-slew decode and must use the transient path.
-  if (pwl.points.size() == 2 && pwl.points.front().first == 0.0)
-    return {pwl.points.front().second,
-            pwl.points.back().second - pwl.points.front().second,
-            pwl.points.back().first};
-  throw std::invalid_argument(
-      "analyze_crosstalk_reduced: only DC, step, pulse (leading edge), and "
-      "two-point-ramp PWL drives are supported");
+  if (pwl.points.empty()) return {0.0, {}};
+  DriveDecode d{pwl.points.front().second, {}};
+  if (pwl.points.front().first < 0.0)
+    throw std::invalid_argument(
+        "analyze_crosstalk_reduced: PWL times must be >= 0");
+  for (std::size_t i = 1; i < pwl.points.size(); ++i) {
+    const auto& [t0, v0] = pwl.points[i - 1];
+    const auto& [t1, v1] = pwl.points[i];
+    if (!(t1 > t0))
+      throw std::invalid_argument(
+          "analyze_crosstalk_reduced: PWL times must be strictly increasing");
+    if (v1 != v0) d.edges.push_back({v1 - v0, t1 - t0, t0});
+  }
+  return d;
 }
 
 // The push-out reference shared by the transient and reduced paths:
@@ -81,6 +102,29 @@ void validate_options(const tline::CoupledBus& bus,
   if (options.shield_every < 0)
     throw std::invalid_argument(std::string(context) +
                                 ": shield_every must be >= 0");
+  if (!options.drive_overrides.empty() &&
+      options.drive_overrides.size() != static_cast<std::size_t>(bus.lines))
+    throw std::invalid_argument(
+        std::string(context) +
+        ": drive_overrides must be empty or have one entry per line");
+}
+
+// The canonical pattern circuit, with any drive overrides swapped in. EVERY
+// analysis path (transient, reduced, projected, basis build) goes through
+// here, so an override can never reach one path and not another.
+sim::Circuit build_pattern_bus(const tline::CoupledBus& bus,
+                               SwitchingPattern pattern,
+                               const CrosstalkOptions& options) {
+  sim::Circuit circuit = sim::build_coupled_bus(
+      bus,
+      pattern_drives(bus.lines, bus.victim_index(), pattern,
+                     options.shield_every),
+      options.driver_resistance, options.load_capacitance, options.segments,
+      options.vdd, options.source_rise);
+  for (std::size_t i = 0; i < options.drive_overrides.size(); ++i)
+    if (options.drive_overrides[i])
+      circuit.set_voltage_source_spec(i, *options.drive_overrides[i]);
+  return circuit;
 }
 
 }  // namespace
@@ -135,10 +179,7 @@ CrosstalkMetrics analyze_crosstalk(const tline::CoupledBus& bus,
   const tline::GateLineLoad isolated{options.driver_resistance,
                                      bus.line_at(victim_line),
                                      options.load_capacitance};
-  const sim::Circuit circuit = sim::build_coupled_bus(
-      bus, pattern_drives(bus.lines, victim_line, pattern, options.shield_every),
-      options.driver_resistance, options.load_capacitance, options.segments,
-      options.vdd, options.source_rise);
+  const sim::Circuit circuit = build_pattern_bus(bus, pattern, options);
   const std::string victim_node =
       "line" + std::to_string(victim_line) + ".out";
   const bool victim_switches = pattern != SwitchingPattern::kQuietVictim;
@@ -202,15 +243,14 @@ CrosstalkMetrics measure_superposition(
   double initial_dc = 0.0;
   struct Contribution {
     mor::PoleResidueModel model;
-    double swing = 0.0;
-    double rise = 0.0;
+    std::vector<DriveEdge> edges;
   };
   std::vector<Contribution> contributions;
   for (int i = 0; i < bus.lines; ++i) {
-    const DriveSignal signal = drive_signal(
+    const DriveDecode signal = decode_drive(
         circuit.voltage_sources()[static_cast<std::size_t>(i)].spec);
-    if (signal.swing != 0.0) {
-      Contribution c{transfer_of(i), signal.swing, signal.rise};
+    if (!signal.edges.empty()) {
+      Contribution c{transfer_of(i), signal.edges};
       // The model's DC gain IS moment 0 (pinned exactly by both reduction
       // routes), so the pre-switch level rides the same number.
       initial_dc += signal.initial * c.model.dc_gain;
@@ -225,10 +265,15 @@ CrosstalkMetrics measure_superposition(
   CrosstalkMetrics metrics;
   mor::AnalyticResponse shifted(initial_dc);
   for (const auto& c : contributions) {
-    if (c.rise > 0.0)
-      shifted.add_ramp(c.model, c.swing, c.rise);
-    else
-      shifted.add_step(c.model, c.swing);
+    // Exact superposition: one shifted contribution per linear edge of the
+    // decoded drive (a step/ramp today, a pulse's two edges or an N-point
+    // PWL's N-1 edges just as well).
+    for (const DriveEdge& edge : c.edges) {
+      if (edge.rise > 0.0)
+        shifted.add_ramp(c.model, edge.delta, edge.rise, edge.start);
+      else
+        shifted.add_step(c.model, edge.delta, edge.start);
+    }
   }
 
   // One measurement pass serves both delay and noise (rise metrics are not
@@ -265,10 +310,7 @@ CrosstalkMetrics analyze_crosstalk_reduced(const tline::CoupledBus& bus,
     throw std::invalid_argument("analyze_crosstalk_reduced: order must be >= 1");
 
   const int victim_line = bus.victim_index();
-  const sim::Circuit circuit = sim::build_coupled_bus(
-      bus, pattern_drives(bus.lines, victim_line, pattern, options.shield_every),
-      options.driver_resistance, options.load_capacitance, options.segments,
-      options.vdd, options.source_rise);
+  const sim::Circuit circuit = build_pattern_bus(bus, pattern, options);
   const std::string victim_node =
       "line" + std::to_string(victim_line) + ".out";
 
@@ -318,10 +360,7 @@ mor::ArnoldiBasis crosstalk_projection_basis(const tline::CoupledBus& bus,
         "crosstalk_projection_basis: order must be >= 1");
 
   const int victim_line = bus.victim_index();
-  const sim::Circuit circuit = sim::build_coupled_bus(
-      bus, pattern_drives(bus.lines, victim_line, pattern, options.shield_every),
-      options.driver_resistance, options.load_capacitance, options.segments,
-      options.vdd, options.source_rise);
+  const sim::Circuit circuit = build_pattern_bus(bus, pattern, options);
   const std::string victim_node =
       "line" + std::to_string(victim_line) + ".out";
   const sim::MnaAssembler mna(circuit);
@@ -344,10 +383,7 @@ CrosstalkMetrics analyze_crosstalk_projected(const tline::CoupledBus& bus,
     throw std::invalid_argument("analyze_crosstalk_projected: empty basis");
 
   const int victim_line = bus.victim_index();
-  const sim::Circuit circuit = sim::build_coupled_bus(
-      bus, pattern_drives(bus.lines, victim_line, pattern, options.shield_every),
-      options.driver_resistance, options.load_capacitance, options.segments,
-      options.vdd, options.source_rise);
+  const sim::Circuit circuit = build_pattern_bus(bus, pattern, options);
   const std::string victim_node =
       "line" + std::to_string(victim_line) + ".out";
   const sim::MnaAssembler mna(circuit);

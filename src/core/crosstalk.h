@@ -62,6 +62,16 @@ struct CrosstalkOptions {
   // 0 = ideal steps. Honored identically by the transient path (StepSpec
   // rise) and the reduced/analytic paths (AnalyticResponse::add_ramp).
   double source_rise = 0.0;
+  // Per-line driver-spec overrides (empty = the pattern's canonical drive
+  // table; otherwise exactly one optional entry per line). An engaged entry
+  // replaces line i's voltage-source spec after the bus circuit is built —
+  // the seam for drive libraries richer than step/ramp: multi-segment PWL
+  // edges, finite pulses. Honored IDENTICALLY by the transient and the
+  // reduced/projected paths: the reduced decode is exact piecewise
+  // superposition (one ramp contribution per linear piece), and it THROWS
+  // std::invalid_argument on shapes with no finite superposition (periodic
+  // pulse trains) or malformed specs rather than silently approximating.
+  std::vector<std::optional<sim::SourceSpec>> drive_overrides;
   // Transient discretization; 0 picks per-scenario defaults
   // (sim::default_transient_horizon of the isolated line; dt = t_stop/4000).
   double t_stop = 0.0;

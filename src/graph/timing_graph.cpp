@@ -1,0 +1,230 @@
+#include "graph/timing_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "mor/response.h"
+#include "runtime/thread_pool.h"
+#include "sim/mna.h"
+
+namespace rlcsim::graph {
+
+StageModel reduce_stage(const sim::Circuit& circuit,
+                        const std::vector<std::string>& outputs, int order,
+                        double max_delay, mor::ConductanceReuse* reuse) {
+  if (order < 1)
+    throw std::invalid_argument("reduce_stage: order must be >= 1");
+  if (outputs.empty())
+    throw std::invalid_argument("reduce_stage: at least one output required");
+  if (circuit.voltage_sources().size() != 1 ||
+      !circuit.current_sources().empty() || !circuit.buffers().empty())
+    throw std::invalid_argument(
+        "reduce_stage: the stage circuit must contain exactly one voltage "
+        "source (the driver) and no other sources or buffers");
+
+  const sim::MnaAssembler mna(circuit);
+  const mor::LinearSystem linear = mor::make_linear_system(mna, outputs);
+  const mor::MomentGenerator generator(linear, reuse);
+
+  StageModel model;
+  model.outputs = outputs;
+  model.transfer.reserve(outputs.size());
+  model.dc.reserve(outputs.size());
+  for (std::size_t s = 0; s < outputs.size(); ++s) {
+    const std::vector<double> moments = generator.transfer_moments(
+        linear.outputs[s], linear.inputs[0], 2 * order);
+    model.dc.push_back(moments[0]);
+    model.transfer.push_back(mor::reduce_transfer(moments, order, max_delay));
+  }
+  return model;
+}
+
+int TimingGraph::fanin_of(const NodeRecord& record) const {
+  if (record.chain < 0) return record.stage.fanin.node;
+  return record.chain_stage == 1
+             ? -1
+             : chains_[static_cast<std::size_t>(record.chain)].first_node +
+                   record.chain_stage - 2;
+}
+
+int TimingGraph::add_stage(StageNode node) {
+  if (node.model.transfer.empty() ||
+      node.model.transfer.size() != node.model.dc.size())
+    throw std::invalid_argument(
+        "TimingGraph: stage model needs matching, non-empty transfer and dc "
+        "tables");
+  if (node.pre == node.post)
+    throw std::invalid_argument(
+        "TimingGraph: a stage driver must transition (pre != post)");
+  if (!(node.ramp >= 0.0) || !std::isfinite(node.ramp))
+    throw std::invalid_argument("TimingGraph: ramp must be finite and >= 0");
+  if (!(node.vdd > 0.0))
+    throw std::invalid_argument("TimingGraph: vdd must be > 0");
+  // DAG by construction: a fanin may only name an ALREADY-ADDED node, so a
+  // cycle (including a self-edge) cannot be expressed at all.
+  if (node.fanin.node < -1 ||
+      node.fanin.node >= static_cast<int>(nodes_.size()))
+    throw std::invalid_argument(
+        "TimingGraph: fanin must reference an already-added node (or -1 for "
+        "the primary input)");
+  if (node.fanin.node >= 0) {
+    const NodeRecord& fanin =
+        nodes_[static_cast<std::size_t>(node.fanin.node)];
+    const int outputs =
+        fanin.chain >= 0
+            ? chains_[static_cast<std::size_t>(fanin.chain)].spec.bus.lines
+            : static_cast<int>(fanin.stage.model.transfer.size());
+    if (node.fanin.output < 0 || node.fanin.output >= outputs)
+      throw std::invalid_argument(
+          "TimingGraph: fanin output out of range for node " +
+          std::to_string(node.fanin.node));
+  } else if (node.fanin.output != 0) {
+    throw std::invalid_argument(
+        "TimingGraph: the primary input has a single output (0)");
+  }
+  NodeRecord record;
+  record.stage = std::move(node);
+  nodes_.push_back(std::move(record));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int TimingGraph::add_bus_chain(const repbus::RepeaterBusSpec& spec,
+                               core::SwitchingPattern pattern,
+                               repbus::StageModels models) {
+  // Validation (spec fields + model/geometry compatibility) is exactly
+  // make_chain_walk's; the walk itself is rebuilt against the graph-owned
+  // copies at evaluate time.
+  (void)repbus::make_chain_walk(spec, pattern, models);
+  ChainRecord chain;
+  chain.spec = spec;
+  chain.pattern = pattern;
+  chain.models = std::move(models);
+  chain.first_node = static_cast<int>(nodes_.size());
+  const int id = static_cast<int>(chains_.size());
+  chains_.push_back(std::move(chain));
+  for (int stage = 1; stage <= spec.sections; ++stage) {
+    NodeRecord record;
+    record.chain = id;
+    record.chain_stage = stage;
+    nodes_.push_back(std::move(record));
+  }
+  return id;
+}
+
+namespace {
+
+// Running state of one chain, carried node to node along the chain's path.
+struct ChainScratch {
+  std::vector<repbus::StageLineState> state;
+  repbus::ComposedChainMetrics metrics;
+};
+
+}  // namespace
+
+GraphResult TimingGraph::evaluate(std::size_t threads) const {
+  const std::size_t n = nodes_.size();
+  GraphResult out;
+  out.nodes.resize(n);
+  out.chains.resize(chains_.size());
+
+  // Topological levelization: level = 1 + level(fanin). Fanins always
+  // precede their nodes (DAG by construction), so one forward pass settles
+  // every level.
+  std::vector<std::size_t> level(n, 0);
+  std::size_t max_level = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const int fanin = fanin_of(nodes_[k]);
+    level[k] = fanin < 0 ? 0 : level[static_cast<std::size_t>(fanin)] + 1;
+    max_level = std::max(max_level, level[k]);
+  }
+  std::vector<std::vector<std::size_t>> buckets(n == 0 ? 0 : max_level + 1);
+  for (std::size_t k = 0; k < n; ++k) buckets[level[k]].push_back(k);
+  out.levels = buckets.size();
+
+  // The chain walks hold pointers into chains_, which is immutable here.
+  std::vector<repbus::ChainWalk> walks;
+  walks.reserve(chains_.size());
+  for (const ChainRecord& chain : chains_)
+    walks.push_back(
+        repbus::make_chain_walk(chain.spec, chain.pattern, chain.models));
+  std::vector<ChainScratch> scratch(n);
+
+  runtime::ThreadPool pool(threads);
+  out.threads_used = pool.size();
+
+  for (const std::vector<std::size_t>& bucket : buckets) {
+    // One level at a time; within a level every node writes ONLY its own
+    // slots (out.nodes[k], scratch[k]) and reads only completed levels —
+    // the determinism contract needs nothing further.
+    pool.parallel_for(bucket.size(), [&](std::size_t b, std::size_t) {
+      const std::size_t k = bucket[b];
+      const NodeRecord& record = nodes_[k];
+      if (record.chain >= 0) {
+        const repbus::ChainWalk& walk =
+            walks[static_cast<std::size_t>(record.chain)];
+        ChainScratch local;
+        if (record.chain_stage == 1) {
+          local.state = repbus::initial_chain_state(walk);
+          local.metrics.victim_fire_times.push_back(0.0);
+        } else {
+          local = scratch[k - 1];  // the previous chain node, one level up
+        }
+        const repbus::ChainStageResult result = repbus::evaluate_chain_stage(
+            walk, local.state, record.chain_stage);
+        repbus::accumulate_chain_stage(walk, result, record.chain_stage,
+                                       local.state, local.metrics);
+        out.nodes[k].arrival = result.next_t;
+        out.nodes[k].peak_noise = result.victim_noise;
+        scratch[k] = std::move(local);
+      } else {
+        const StageNode& node = record.stage;
+        const double t_fire =
+            node.fanin.node < 0
+                ? 0.0
+                : out.nodes[static_cast<std::size_t>(node.fanin.node)]
+                      .arrival[static_cast<std::size_t>(node.fanin.output)];
+        NodeMetrics& metrics = out.nodes[k];
+        const std::size_t outputs = node.model.transfer.size();
+        metrics.arrival.resize(outputs);
+        metrics.slew.resize(outputs);
+        const double delta = node.post - node.pre;
+        for (std::size_t s = 0; s < outputs; ++s) {
+          mor::AnalyticResponse response(node.pre * node.model.dc[s]);
+          if (node.ramp > 0.0)
+            response.add_ramp(node.model.transfer[s], delta, node.ramp,
+                              t_fire);
+          else
+            response.add_step(node.model.transfer[s], delta, t_fire);
+          const double lo = node.pre * node.model.dc[s];
+          const double hi = response.final_value();
+          const int direction = hi > lo ? +1 : -1;
+          const auto crossing =
+              response.first_crossing(0.5 * (lo + hi), direction);
+          if (!crossing)
+            throw std::runtime_error(
+                "TimingGraph: node " + std::to_string(k) + " output " +
+                node.model.outputs[s] +
+                " never crossed 50% within the (auto-extended) window");
+          metrics.arrival[s] = *crossing;
+          const mor::ResponseMetrics measured =
+              response.measure(lo, hi, /*want_rise=*/true);
+          metrics.slew[s] = measured.rise_10_90;
+          metrics.peak_noise =
+              std::max(metrics.peak_noise, measured.peak_noise);
+        }
+      }
+    });
+  }
+
+  for (std::size_t c = 0; c < chains_.size(); ++c) {
+    const ChainRecord& chain = chains_[c];
+    const std::size_t last = static_cast<std::size_t>(
+        chain.first_node + chain.spec.sections - 1);
+    out.chains[c] = scratch[last].metrics;
+  }
+  return out;
+}
+
+}  // namespace rlcsim::graph

@@ -217,6 +217,7 @@ BusChainCircuit build_bus_chain(const RepeaterBusSpec& spec,
                                    direction, out_pre, out_post, buffer_edge,
                                    spec.vdd, 0.5,
                                    tag + ".buf" + std::to_string(g));
+      chain.buffer_info.push_back({i, static_cast<int>(b), !switching});
       if (inverting) polarity = -polarity;
       wire = {out_pre, switching ? out_post : out_pre};
     }
@@ -305,19 +306,41 @@ ChainMetrics simulate_bus_chain(const RepeaterBusSpec& spec,
   transient.reuse = reuse;
 
   ChainMetrics metrics;
-  sim::Trace trace;
+  sim::TransientResult result;
   if (victim_switches) {
-    const sim::DelayRun run =
+    sim::DelayRun run =
         sim::run_until_crossing(chain.circuit, node, 0.5 * spec.vdd, transient,
                                 "simulate_bus_chain");
-    trace = run.result.waveforms.trace(node);
+    result = std::move(run.result);
     metrics.victim_delay_50 = run.crossing;
   } else {
-    trace = sim::run_transient(chain.circuit, transient).waveforms.trace(node);
+    result = sim::run_transient(chain.circuit, transient);
   }
+  const sim::Trace trace = result.waveforms.trace(node);
   const double hi = victim_switches ? spec.vdd : 0.0;
   metrics.peak_noise =
       std::max({0.0, -trace.min_value(), trace.max_value() - hi});
+
+  // Glitch scan: every fired quiet-armed repeater (finite fire time) is a
+  // coupled-noise spike that crossed threshold and now drives a full swing
+  // downstream. Report the deepest-propagating line's fired boundaries.
+  std::vector<std::vector<int>> fired_per_line(
+      static_cast<std::size_t>(spec.bus.lines));
+  for (std::size_t k = 0; k < chain.buffer_info.size(); ++k) {
+    const ChainBufferInfo& info = chain.buffer_info[k];
+    if (info.quiet_armed && std::isfinite(result.buffer_fire_times[k]))
+      fired_per_line[static_cast<std::size_t>(info.line)].push_back(
+          info.boundary);
+  }
+  for (auto& fired : fired_per_line) {
+    if (fired.empty()) continue;
+    metrics.glitch_fired = true;
+    std::sort(fired.begin(), fired.end());
+    if (static_cast<int>(fired.size()) > metrics.glitch_depth) {
+      metrics.glitch_depth = static_cast<int>(fired.size());
+      metrics.glitch_boundaries = fired;
+    }
+  }
   return metrics;
 }
 

@@ -105,6 +105,17 @@ int repeaters_on_line(const RepeaterBusSpec& spec, int line);
 // equal-area axis of every placement comparison.
 double repeater_area(const RepeaterBusSpec& spec);
 
+// Per-repeater bookkeeping, aligned with circuit.buffers() (same order):
+// which line and interior stage boundary each repeater cuts, and whether it
+// is quiet-armed — its wire never switches, so the buffer waits toward the
+// opposite rail and coupled noise past threshold fires it (the glitch-
+// propagation hazard).
+struct ChainBufferInfo {
+  int line = 0;
+  int boundary = 0;  // 1-based interior boundary index (= stage it starts)
+  bool quiet_armed = false;
+};
+
 // The chain circuit plus the bookkeeping needed to measure it.
 struct BusChainCircuit {
   sim::Circuit circuit;
@@ -112,6 +123,7 @@ struct BusChainCircuit {
   // Far-end signal polarity per line: +1 = the external transition arrives
   // upright, -1 = inverted (odd number of inverting repeaters on the line).
   std::vector<int> far_polarity;
+  std::vector<ChainBufferInfo> buffer_info;
   int victim = 0;
 };
 
@@ -127,6 +139,16 @@ struct ChainMetrics {
   std::optional<double> victim_delay_50;
   // Victim receiver excursion outside its drive envelope, volts.
   double peak_noise = 0.0;
+  // Glitch propagation: a quiet-armed repeater fired on coupled noise past
+  // threshold. Once one fires it drives a FULL SWING downstream, so the
+  // victim's receiver numbers describe a glitched net, not a quiet one —
+  // which is why this is reported instead of silently folded into
+  // peak_noise. `glitch_boundaries` lists the fired quiet-armed boundaries
+  // (1-based stage indices, sorted) on the deepest-propagating line;
+  // `glitch_depth` is their count — how many stages the glitch traversed.
+  bool glitch_fired = false;
+  int glitch_depth = 0;
+  std::vector<int> glitch_boundaries;
 };
 
 // Simulates the chain and measures the victim. t_stop/dt = 0 pick automatic

@@ -97,9 +97,27 @@ StageModels build_stage_models(const RepeaterBusSpec& spec, int order,
   return models;
 }
 
-ComposedChainMetrics compose_bus_chain(const RepeaterBusSpec& spec,
-                                       core::SwitchingPattern pattern,
-                                       const StageModels& models) {
+namespace {
+
+bool walk_is_signal(const ChainWalk& walk, int i) {
+  return walk.drives[static_cast<std::size_t>(i)] !=
+         sim::BusDrive::kShieldGrounded;
+}
+
+const mor::PoleResidueModel& walk_model_at(const ChainWalk& walk, int i, int j) {
+  return walk.models
+      ->transfer[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+}
+
+double walk_dc_at(const ChainWalk& walk, int i, int j) {
+  return walk.models->dc[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+}
+
+}  // namespace
+
+ChainWalk make_chain_walk(const RepeaterBusSpec& spec,
+                          core::SwitchingPattern pattern,
+                          const StageModels& models) {
   validate(spec);
   const int lines = spec.bus.lines;
   if (models.lines != lines || models.sections != spec.sections ||
@@ -107,143 +125,203 @@ ComposedChainMetrics compose_bus_chain(const RepeaterBusSpec& spec,
     throw std::invalid_argument(
         "compose_bus_chain: stage models built for a different chain "
         "geometry (bus width, sections, or shield layout)");
-  const int victim = spec.bus.victim_index();
-  const double vdd = spec.vdd;
-  const double buffer_edge = resolved_buffer_rise(spec);
-  const bool staggered = spec.placement == Placement::kStaggered;
-  const bool interleaved = spec.placement == Placement::kInterleaved;
-  const std::vector<sim::BusDrive> drives =
-      core::pattern_drives(lines, victim, pattern, spec.shield_every);
-  const auto is_signal = [&](int i) {
-    return drives[static_cast<std::size_t>(i)] != sim::BusDrive::kShieldGrounded;
-  };
-  const auto model_at = [&](int i, int j) -> const mor::PoleResidueModel& {
-    return models.transfer[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
-  };
-  const auto dc_at = [&](int i, int j) {
-    return models.dc[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
-  };
-
-  // Per-line drive state entering the current stage.
-  struct LineState {
-    double pre = 0.0;   // wire level before the transition
-    double post = 0.0;  // ... after it (pre == post: quiet)
-    double t = 0.0;     // absolute fire time of this stage's driver
-    double ramp = 0.0;  // driver edge duration
-    double pitch = 0.0; // last measured per-stage delay (stagger smearing)
-  };
+  ChainWalk walk;
+  walk.spec = &spec;
+  walk.models = &models;
+  walk.victim = spec.bus.victim_index();
+  walk.vdd = spec.vdd;
+  walk.buffer_edge = resolved_buffer_rise(spec);
+  walk.staggered = spec.placement == Placement::kStaggered;
+  walk.interleaved = spec.placement == Placement::kInterleaved;
+  walk.drives =
+      core::pattern_drives(lines, walk.victim, pattern, spec.shield_every);
+  walk.victim_switches = pattern != core::SwitchingPattern::kQuietVictim;
+  walk.victim_quiet_level =
+      drive_levels(walk.drives[static_cast<std::size_t>(walk.victim)], walk.vdd)
+          .pre;
 
   // Initial per-stage pitch estimate (needed before the first stage has
   // been measured): the victim's own section 50% delay under a unit step.
-  double pitch_estimate = 0.0;
-  {
-    mor::AnalyticResponse self;
-    self.add_step(model_at(victim, victim), 1.0);
-    pitch_estimate =
-        self.first_crossing(0.5 * dc_at(victim, victim), +1)
-            .value_or(spec.bus.line_at(victim).section(spec.sections)
-                          .time_of_flight());
-  }
+  mor::AnalyticResponse self;
+  self.add_step(walk_model_at(walk, walk.victim, walk.victim), 1.0);
+  walk.pitch_estimate =
+      self.first_crossing(0.5 * walk_dc_at(walk, walk.victim, walk.victim), +1)
+          .value_or(spec.bus.line_at(walk.victim)
+                        .section(spec.sections)
+                        .time_of_flight());
+  return walk;
+}
 
-  std::vector<LineState> state(static_cast<std::size_t>(lines));
+std::vector<StageLineState> initial_chain_state(const ChainWalk& walk) {
+  const RepeaterBusSpec& spec = *walk.spec;
+  const int lines = spec.bus.lines;
+  std::vector<StageLineState> state(static_cast<std::size_t>(lines));
   for (int i = 0; i < lines; ++i) {
-    const DriveLevels levels = drive_levels(drives[static_cast<std::size_t>(i)], vdd);
-    LineState& s = state[static_cast<std::size_t>(i)];
-    const bool invert_first = interleaved && is_alternate_line(i, victim) &&
-                              is_signal(i);
-    s.pre = invert_first ? vdd - levels.pre : levels.pre;
-    s.post = invert_first ? vdd - levels.post : levels.post;
+    const DriveLevels levels =
+        drive_levels(walk.drives[static_cast<std::size_t>(i)], walk.vdd);
+    StageLineState& s = state[static_cast<std::size_t>(i)];
+    const bool invert_first = walk.interleaved &&
+                              is_alternate_line(i, walk.victim) &&
+                              walk_is_signal(walk, i);
+    s.pre = invert_first ? walk.vdd - levels.pre : levels.pre;
+    s.post = invert_first ? walk.vdd - levels.post : levels.post;
     s.t = 0.0;
     s.ramp = spec.source_rise;
-    s.pitch = pitch_estimate;
+    s.pitch = walk.pitch_estimate;
   }
+  return state;
+}
 
+ChainStageResult evaluate_chain_stage(const ChainWalk& walk,
+                                      const std::vector<StageLineState>& state,
+                                      int stage) {
+  const RepeaterBusSpec& spec = *walk.spec;
+  const int lines = spec.bus.lines;
+  const int victim = walk.victim;
+  ChainStageResult result;
+  result.next_t.assign(static_cast<std::size_t>(lines), 0.0);
+  for (int i = 0; i < lines; ++i) {
+    if (!walk_is_signal(walk, i)) continue;
+    const StageLineState& si = state[static_cast<std::size_t>(i)];
+    const bool switching = si.pre != si.post;
+    if (!switching && i != victim) continue;  // nothing to measure
+
+    // The line's stage output: DC offset from every driver's pre-switch
+    // level, plus each switching driver's ramp started at its absolute
+    // fire time. Staggered cross-parity pairs smear each contribution
+    // over two half-weight onsets at t -/+ pitch/2 (the adjacent span
+    // straddles two of the driver's stages).
+    double dc0 = 0.0;
+    for (int j = 0; j < lines; ++j)
+      dc0 += state[static_cast<std::size_t>(j)].pre * walk_dc_at(walk, i, j);
+    mor::AnalyticResponse response(dc0);
+    for (int j = 0; j < lines; ++j) {
+      const StageLineState& sj = state[static_cast<std::size_t>(j)];
+      if (sj.pre == sj.post || !walk_is_signal(walk, j)) continue;
+      const double delta = sj.post - sj.pre;
+      if (walk.staggered &&
+          is_alternate_line(i, victim) != is_alternate_line(j, victim)) {
+        response.add_ramp(walk_model_at(walk, i, j), 0.5 * delta, sj.ramp,
+                          std::max(0.0, sj.t - 0.5 * sj.pitch));
+        response.add_ramp(walk_model_at(walk, i, j), 0.5 * delta, sj.ramp,
+                          sj.t + 0.5 * sj.pitch);
+      } else {
+        response.add_ramp(walk_model_at(walk, i, j), delta, sj.ramp, sj.t);
+      }
+    }
+
+    if (i == victim) {
+      const mor::ResponseMetrics measured =
+          response.measure(dc0, response.final_value(), /*want_rise=*/false);
+      if (si.glitched) {
+        // A glitched victim is a full-swing net: report its excursion
+        // against the ORIGINAL quiet level, exactly what the MNA receiver
+        // metric shows once the quiet-armed buffers have fired.
+        const double quiet = walk.victim_quiet_level;
+        result.victim_noise = std::max(
+            {0.0, measured.peak_value - quiet, quiet - measured.min_value});
+      } else {
+        result.victim_noise = measured.peak_noise;
+      }
+      if (switching) {
+        if (!measured.delay_50)
+          throw std::runtime_error(
+              "compose_bus_chain: victim stage " + std::to_string(stage) +
+              " never crossed 50% within the (auto-extended) window");
+        result.next_t[static_cast<std::size_t>(i)] = *measured.delay_50;
+      } else if (stage < spec.sections) {
+        // The stage output feeds a quiet-armed repeater (bus_chain stamps
+        // the same arming): coupled noise past its threshold in the armed
+        // direction fires it.
+        const int direction =
+            walk.victim_quiet_level < 0.5 * walk.vdd ? +1 : -1;
+        const auto fired = response.first_crossing(0.5 * walk.vdd, direction);
+        if (fired) {
+          result.glitch_fired = true;
+          result.glitch_time = *fired;
+        }
+      }
+    } else {
+      const double final_value = response.final_value();
+      const double level = 0.5 * (dc0 + final_value);
+      const int direction = si.post > si.pre ? +1 : -1;
+      const auto crossing = response.first_crossing(level, direction);
+      if (!crossing)
+        throw std::runtime_error(
+            "compose_bus_chain: line " + std::to_string(i) + " stage " +
+            std::to_string(stage) +
+            " never crossed 50% within the (auto-extended) window");
+      result.next_t[static_cast<std::size_t>(i)] = *crossing;
+    }
+  }
+  return result;
+}
+
+void advance_chain_state(const ChainWalk& walk, const ChainStageResult& result,
+                         std::vector<StageLineState>& state) {
+  const RepeaterBusSpec& spec = *walk.spec;
+  const int lines = spec.bus.lines;
+  // Measured crossings become the next stage's fire times, the buffer edge
+  // becomes the drive ramp, and inverting repeaters flip the next stage's
+  // levels. A fired quiet-armed boundary drives the victim to the opposite
+  // rail, as the MNA buffer does.
+  for (int i = 0; i < lines; ++i) {
+    if (!walk_is_signal(walk, i)) continue;
+    StageLineState& s = state[static_cast<std::size_t>(i)];
+    const bool invert = walk.interleaved && is_alternate_line(i, walk.victim);
+    if (i == walk.victim && result.glitch_fired) {
+      s.post = walk.vdd - s.pre;
+      s.pitch = std::max(result.glitch_time - s.t, 0.0);
+      s.t = result.glitch_time;
+      s.ramp = walk.buffer_edge;
+      s.glitched = true;
+    } else if (s.pre != s.post) {
+      const double t50 = result.next_t[static_cast<std::size_t>(i)];
+      s.pitch = std::max(t50 - s.t, 0.0);
+      s.t = t50;
+      s.ramp = walk.buffer_edge;
+    }
+    const double pre = invert ? walk.vdd - s.pre : s.pre;
+    const double post = invert ? walk.vdd - s.post : s.post;
+    s.pre = pre;
+    s.post = post;
+  }
+}
+
+bool accumulate_chain_stage(const ChainWalk& walk,
+                            const ChainStageResult& result, int stage,
+                            std::vector<StageLineState>& state,
+                            ComposedChainMetrics& metrics) {
+  const RepeaterBusSpec& spec = *walk.spec;
+  const std::size_t victim = static_cast<std::size_t>(walk.victim);
+  metrics.peak_noise = std::max(metrics.peak_noise, result.victim_noise);
+  // Boundary `stage` fired: either the first quiet-armed firing, or the
+  // full swing of an already-glitched victim arriving at the next boundary.
+  if (result.glitch_fired ||
+      (state[victim].glitched && stage < spec.sections)) {
+    metrics.glitch_fired = true;
+    metrics.glitch_boundaries.push_back(stage);
+    metrics.glitch_depth = static_cast<int>(metrics.glitch_boundaries.size());
+  }
+  if (stage == spec.sections) {
+    if (walk.victim_switches) metrics.victim_delay_50 = result.next_t[victim];
+    return false;
+  }
+  advance_chain_state(walk, result, state);
+  metrics.victim_fire_times.push_back(state[victim].t);
+  return true;
+}
+
+ComposedChainMetrics compose_bus_chain(const RepeaterBusSpec& spec,
+                                       core::SwitchingPattern pattern,
+                                       const StageModels& models) {
+  const ChainWalk walk = make_chain_walk(spec, pattern, models);
+  std::vector<StageLineState> state = initial_chain_state(walk);
   ComposedChainMetrics metrics;
   metrics.victim_fire_times.push_back(0.0);
-  const bool victim_switches = pattern != core::SwitchingPattern::kQuietVictim;
-
   for (int stage = 1; stage <= spec.sections; ++stage) {
-    std::vector<double> next_t(static_cast<std::size_t>(lines), 0.0);
-    for (int i = 0; i < lines; ++i) {
-      if (!is_signal(i)) continue;
-      const LineState& si = state[static_cast<std::size_t>(i)];
-      const bool switching = si.pre != si.post;
-      if (!switching && i != victim) continue;  // nothing to measure
-
-      // The line's stage output: DC offset from every driver's pre-switch
-      // level, plus each switching driver's ramp started at its absolute
-      // fire time. Staggered cross-parity pairs smear each contribution
-      // over two half-weight onsets at t -/+ pitch/2 (the adjacent span
-      // straddles two of the driver's stages).
-      double dc0 = 0.0;
-      for (int j = 0; j < lines; ++j)
-        dc0 += state[static_cast<std::size_t>(j)].pre * dc_at(i, j);
-      mor::AnalyticResponse response(dc0);
-      for (int j = 0; j < lines; ++j) {
-        const LineState& sj = state[static_cast<std::size_t>(j)];
-        if (sj.pre == sj.post || !is_signal(j)) continue;
-        const double delta = sj.post - sj.pre;
-        if (staggered &&
-            is_alternate_line(i, victim) != is_alternate_line(j, victim)) {
-          response.add_ramp(model_at(i, j), 0.5 * delta, sj.ramp,
-                            std::max(0.0, sj.t - 0.5 * sj.pitch));
-          response.add_ramp(model_at(i, j), 0.5 * delta, sj.ramp,
-                            sj.t + 0.5 * sj.pitch);
-        } else {
-          response.add_ramp(model_at(i, j), delta, sj.ramp, sj.t);
-        }
-      }
-
-      if (i == victim) {
-        const mor::ResponseMetrics measured =
-            response.measure(dc0, response.final_value(), /*want_rise=*/false);
-        metrics.peak_noise = std::max(metrics.peak_noise, measured.peak_noise);
-        if (switching) {
-          if (!measured.delay_50)
-            throw std::runtime_error(
-                "compose_bus_chain: victim stage " + std::to_string(stage) +
-                " never crossed 50% within the (auto-extended) window");
-          next_t[static_cast<std::size_t>(i)] = *measured.delay_50;
-        }
-      } else {
-        const double final_value = response.final_value();
-        const double level = 0.5 * (dc0 + final_value);
-        const int direction = si.post > si.pre ? +1 : -1;
-        const auto crossing = response.first_crossing(level, direction);
-        if (!crossing)
-          throw std::runtime_error(
-              "compose_bus_chain: line " + std::to_string(i) + " stage " +
-              std::to_string(stage) +
-              " never crossed 50% within the (auto-extended) window");
-        next_t[static_cast<std::size_t>(i)] = *crossing;
-      }
-    }
-
-    if (stage == spec.sections) {
-      if (victim_switches)
-        metrics.victim_delay_50 = next_t[static_cast<std::size_t>(victim)];
-      break;
-    }
-
-    // Advance: measured crossings become the next stage's fire times, the
-    // buffer edge becomes the drive ramp, and inverting repeaters flip the
-    // next stage's levels.
-    for (int i = 0; i < lines; ++i) {
-      if (!is_signal(i)) continue;
-      LineState& s = state[static_cast<std::size_t>(i)];
-      const bool invert = interleaved && is_alternate_line(i, victim);
-      if (s.pre != s.post) {
-        const double t50 = next_t[static_cast<std::size_t>(i)];
-        s.pitch = std::max(t50 - s.t, 0.0);
-        s.t = t50;
-        s.ramp = buffer_edge;
-      }
-      const double pre = invert ? vdd - s.pre : s.pre;
-      const double post = invert ? vdd - s.post : s.post;
-      s.pre = pre;
-      s.post = post;
-    }
-    metrics.victim_fire_times.push_back(state[static_cast<std::size_t>(victim)].t);
+    const ChainStageResult result = evaluate_chain_stage(walk, state, stage);
+    if (!accumulate_chain_stage(walk, result, stage, state, metrics)) break;
   }
   return metrics;
 }

@@ -7,6 +7,20 @@
 
 namespace rlcsim::sim {
 
+void add_pi_segment(Circuit& circuit, const std::string& tag,
+                    const std::string& near, const std::string& far,
+                    double r_seg, double l_seg, double c_half) {
+  circuit.add_capacitor(near, "0", c_half, 0.0, tag + ".cn");
+  if (l_seg > 0.0) {
+    const std::string mid = tag + ".m";
+    circuit.add_resistor(near, mid, r_seg, tag + ".r");
+    circuit.add_inductor(mid, far, l_seg, 0.0, tag + ".l");
+  } else {
+    circuit.add_resistor(near, far, r_seg, tag + ".r");
+  }
+  circuit.add_capacitor(far, "0", c_half, 0.0, tag + ".cf");
+}
+
 void add_rlc_ladder(Circuit& circuit, const std::string& prefix, const std::string& in,
                     const std::string& out, const tline::LineParams& line,
                     int segments) {
@@ -21,17 +35,45 @@ void add_rlc_ladder(Circuit& circuit, const std::string& prefix, const std::stri
   for (int i = 0; i < segments; ++i) {
     const std::string tag = prefix + "." + std::to_string(i);
     const std::string far = (i == segments - 1) ? out : prefix + ".n" + std::to_string(i);
-    circuit.add_capacitor(near, "0", c_half, 0.0, tag + ".cn");
-    if (l_seg > 0.0) {
-      const std::string mid = tag + ".m";
-      circuit.add_resistor(near, mid, r_seg, tag + ".r");
-      circuit.add_inductor(mid, far, l_seg, 0.0, tag + ".l");
-    } else {
-      circuit.add_resistor(near, far, r_seg, tag + ".r");
-    }
-    circuit.add_capacitor(far, "0", c_half, 0.0, tag + ".cf");
+    add_pi_segment(circuit, tag, near, far, r_seg, l_seg, c_half);
     near = far;
   }
+}
+
+void validate(const WireTree& tree) {
+  if (tree.branches.empty())
+    throw std::invalid_argument("WireTree: tree has no branches");
+  for (std::size_t k = 0; k < tree.branches.size(); ++k) {
+    const WireBranch& branch = tree.branches[k];
+    const std::string where = "WireTree: branch " + std::to_string(k);
+    if (branch.parent < -1 || branch.parent >= static_cast<int>(k))
+      throw std::invalid_argument(where +
+                                  ": parent must precede the branch (-1 = root)");
+    if (branch.segments < 1)
+      throw std::invalid_argument(where + ": segments must be >= 1");
+    if (!(branch.sink_capacitance >= 0.0) ||
+        !std::isfinite(branch.sink_capacitance))
+      throw std::invalid_argument(where + ": sink capacitance must be >= 0");
+    tline::validate_rc(branch.line);
+  }
+}
+
+void add_wire_tree(Circuit& circuit, const std::string& prefix,
+                   const std::string& in, const WireTree& tree,
+                   std::vector<std::string>* ends) {
+  validate(tree);
+  std::vector<std::string> far_nodes(tree.branches.size());
+  for (std::size_t k = 0; k < tree.branches.size(); ++k) {
+    const WireBranch& branch = tree.branches[k];
+    const std::string tag = prefix + ".b" + std::to_string(k);
+    const std::string& start = branch.parent < 0 ? in : far_nodes[branch.parent];
+    const std::string end = tag + ".end";
+    add_rlc_ladder(circuit, tag, start, end, branch.line, branch.segments);
+    if (branch.sink_capacitance > 0.0)
+      circuit.add_capacitor(end, "0", branch.sink_capacitance, 0.0, tag + ".cs");
+    far_nodes[k] = end;
+  }
+  if (ends) *ends = std::move(far_nodes);
 }
 
 Circuit build_gate_line_load(const tline::GateLineLoad& system, int segments,

@@ -14,11 +14,51 @@
 
 namespace rlcsim::sim {
 
+// One lumped-pi segment stamped between two EXISTING nodes: shunt c_half at
+// each end, series r_seg then l_seg (l_seg == 0 skips the inductor and its
+// midpoint node). This is the per-element stamping primitive — ladders,
+// coupled buses, and branching wire trees all compose it over their own node
+// graphs instead of each hand-rolling the element loop.
+void add_pi_segment(Circuit& circuit, const std::string& tag,
+                    const std::string& near, const std::string& far,
+                    double r_seg, double l_seg, double c_half);
+
 // Appends an N-segment lumped-pi RLC ladder between `in` and `out`.
 // Each segment: shunt Ct/2N at the near node, series Rt/N then Lt/N, shunt
 // Ct/2N at the far node. Internal nodes are "<prefix>.mN"/"<prefix>.nN".
 void add_rlc_ladder(Circuit& circuit, const std::string& prefix, const std::string& in,
                     const std::string& out, const tline::LineParams& line, int segments);
+
+// ------------------------------------------------- branching wire trees
+// Per-element topology stamping beyond point-to-point ladders: a branching
+// interconnect tree (multi-sink fanout nets, clock-tree stages). Branch k
+// starts where its parent branch ends (parent == -1 roots at the driven
+// input) and runs its own RLC totals over `segments` ladder cells to its far
+// node. Multiple branches sharing one parent make that parent's far node a
+// branch point; `sink_capacitance` models a receiver gate or the next
+// stage's buffer input at the branch's far end.
+struct WireBranch {
+  int parent = -1;                // index of the upstream branch; -1 = root
+  tline::LineParams line;         // this branch's own totals
+  int segments = 1;
+  double sink_capacitance = 0.0;  // explicit load at the far end, F (>= 0)
+};
+struct WireTree {
+  std::vector<WireBranch> branches;
+};
+
+// Throws std::invalid_argument (naming the branch) on empty trees, a parent
+// index that does not precede the branch (the topological-order contract —
+// it also makes cycles unrepresentable), bad segment counts, negative sink
+// loads, or invalid line totals.
+void validate(const WireTree& tree);
+
+// Stamps the tree rooted at `in`. Branch k's far node is "<prefix>.b<k>.end"
+// (collected in `ends`, one per branch, when non-null): leaf ends are the
+// tree's sinks, but interior branch points are addressable outputs too.
+void add_wire_tree(Circuit& circuit, const std::string& prefix,
+                   const std::string& in, const WireTree& tree,
+                   std::vector<std::string>* ends = nullptr);
 
 // Builds the canonical system: step source (0 -> vdd at t=0, linear rise
 // `source_rise`) behind Rtr, driving the ladder into CL. Nodes: "vin" (ideal

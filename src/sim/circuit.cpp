@@ -139,6 +139,13 @@ void Circuit::add_current_source(const std::string& from, const std::string& to,
   isources_.push_back({node(from), node(to), std::move(spec), std::move(name)});
 }
 
+void Circuit::set_voltage_source_spec(std::size_t index, SourceSpec spec) {
+  if (index >= vsources_.size())
+    throw std::out_of_range("set_voltage_source_spec: no voltage source at index " +
+                            std::to_string(index));
+  vsources_[index].spec = std::move(spec);
+}
+
 void Circuit::add_buffer(const std::string& input, const std::string& output,
                          double output_resistance, double input_capacitance,
                          double vdd, double threshold, std::string name) {

@@ -161,6 +161,12 @@ class Circuit {
                           SourceSpec spec, std::string name = {});
   void add_current_source(const std::string& from, const std::string& to,
                           SourceSpec spec, std::string name = {});
+  // Replaces the spec of an already-added voltage source (element index, the
+  // order of voltage_sources()). The drive-override seam: analyses build a
+  // canonical testbench, then swap in richer per-line drives (multi-segment
+  // PWL, pulses) the builder's drive tables cannot express. Topology and
+  // sparsity pattern are untouched. Throws std::out_of_range on a bad index.
+  void set_voltage_source_spec(std::size_t index, SourceSpec spec);
   void add_buffer(const std::string& input, const std::string& output,
                   double output_resistance, double input_capacitance, double vdd = 1.0,
                   double threshold = 0.5, std::string name = {});

@@ -437,6 +437,8 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
   out.values.assign(n, kNaN);
   std::atomic<std::size_t> symbolic{0};
   std::atomic<std::size_t> ejected{0};
+  std::atomic<std::size_t> batched_points{0};
+  std::atomic<std::size_t> scalar_points{0};
 
   // Transient analyses replay a recorded (system + DC) symbolic pair;
   // reduced analyses replay a recorded G symbolic. Both seeding paths share
@@ -478,6 +480,7 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
     symbolic += numeric::sparse_lu_stats().symbolic - before;
     for (auto& r : reuse) r = reference;
     for (auto& r : mor_reuse) r = mor_reference;
+    scalar_points += 1;  // the reference point is always evaluated scalar
     first = 1;
   }
 
@@ -531,13 +534,17 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
               evaluate_point(spec.at(begin + k), analysis, options,
                              &reuse[worker], &mor_reuse[worker]);
       }
+      (batched ? batched_points : scalar_points).fetch_add(count);
       symbolic.fetch_add(numeric::sparse_lu_stats().symbolic - before);
       ejected.fetch_add(numeric::sparse_lu_stats().ejected_lanes - ejected_before);
     });
+    out.batched_points = batched_points.load();
+    out.scalar_points = scalar_points.load();
     Impl::finalize(out, n, reuse, mor_reuse, symbolic, ejected, started);
     return out;
   }
 
+  scalar_points += n - first;  // the non-tiled path is scalar point by point
   impl_->pool.parallel_for(n - first, [&](std::size_t i, std::size_t worker) {
     const std::size_t flat = i + first;
     const Scenario scenario = spec.at(flat);
@@ -554,6 +561,8 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
     symbolic.fetch_add(numeric::sparse_lu_stats().symbolic - before);
   });
 
+  out.batched_points = batched_points.load();
+  out.scalar_points = scalar_points.load();
   Impl::finalize(out, n, reuse, mor_reuse, symbolic, ejected, started);
   return out;
 }
@@ -577,6 +586,7 @@ SweepResult SweepEngine::run_custom(
     symbolic.fetch_add(numeric::sparse_lu_stats().symbolic - before);
   });
 
+  out.scalar_points = n;  // custom evaluators never batch
   Impl::finalize(out, n, reuse, mor_reuse, symbolic, ejected, started);
   return out;
 }

@@ -198,6 +198,15 @@ struct SweepResult {
   // (0 on the scalar path; a nonzero count on a batched sweep is legal but
   // worth surfacing — every ejection is a full scalar refactorization).
   std::size_t ejected_lanes = 0;
+  // Where each grid point was actually evaluated: through the W-wide SIMD
+  // batch, or on the scalar per-point path (the seeded reference point,
+  // remainder tiles, and any tile the batcher declined). Always sums to
+  // values.size(). The accounting exists because the fallback is SILENT by
+  // design (bit-identical results) — an eligibility regression would erase
+  // the batched speedup with every test green; bench/sweep_batch gates a
+  // minimum batched fraction on these counters instead.
+  std::size_t batched_points = 0;
+  std::size_t scalar_points = 0;
   double elapsed_seconds = 0.0;
   double points_per_second = 0.0;
 };

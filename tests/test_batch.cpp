@@ -294,6 +294,36 @@ TEST(SweepBatch, TinyGridFallsThroughScalar) {
   expect_bits_equal(a.values, b.values, "undersized tile");
 }
 
+TEST(SweepBatch, PointAccountingSumsAndSplitsHonestly) {
+  // The batched/scalar split is the only witness of WHERE points ran (the
+  // fallback is bit-identical by design, so values can't tell). Regression:
+  // the counters must always sum to the grid size, a scalar engine must
+  // report zero batched points, and a batched engine on the 27-point grid
+  // must batch the 3 full tiles (the seeded reference point and the
+  // remainder ride the scalar path).
+  const sweep::SweepSpec spec = small_grid();
+  const sweep::SweepEngine scalar(batch_options(1, 1, spec));
+  const auto a = scalar.run(spec, sweep::Analysis::kTransientDelay);
+  EXPECT_EQ(a.batched_points, 0u);
+  EXPECT_EQ(a.scalar_points, spec.size());
+
+  for (const std::size_t lanes : {std::size_t{4}, std::size_t{8}}) {
+    const sweep::SweepEngine engine(batch_options(2, lanes, spec));
+    const auto b = engine.run(spec, sweep::Analysis::kTransientDelay);
+    EXPECT_EQ(b.batched_points + b.scalar_points, spec.size()) << lanes;
+    EXPECT_GE(b.batched_points, 24u) << lanes;  // 3 full tiles of 8 / 6 of 4
+    EXPECT_EQ(b.ejected_lanes, 0u) << lanes;
+  }
+
+  // run_custom has no batch path: everything is a scalar point.
+  const auto c = scalar.run_custom(
+      17, [](std::size_t i, sweep::SweepEngine::PointContext&) {
+        return static_cast<double>(i);
+      });
+  EXPECT_EQ(c.batched_points, 0u);
+  EXPECT_EQ(c.scalar_points, 17u);
+}
+
 TEST(SweepBatch, RejectsUnsupportedLaneCount) {
   sweep::SweepSpec spec = small_grid();
   sweep::EngineOptions options = batch_options(1, 1, spec);

@@ -704,6 +704,83 @@ TEST(RampAggressor, SlowEdgeQuenchesNoiseAndReducedPathHonorsIt) {
   EXPECT_GT(reduced_step, 2.0 * reduced_ramp);
 }
 
+// ---------------------------------------------------------------------------
+// Rich drive shapes via drive_overrides (regression: silent approximation)
+// ---------------------------------------------------------------------------
+
+// The reduced path must decode every drive shape it accepts EXACTLY (one
+// superposed ramp per linear piece) — or throw. The pre-fix decode kept a
+// pulse's leading edge and silently DROPPED the trailing one, so a reduced
+// "noise" number for a pulsed aggressor described a different waveform than
+// the transient it claimed to replace.
+
+TEST(DriveOverrides, MultiSegmentPwlIsDecodedExactly) {
+  // A stutter-step aggressor edge: rise to vdd/2, hold, finish the swing.
+  // Three linear pieces (one zero-slope), two real coupling edges.
+  const tline::CoupledBus bus = tline::make_bus(3, kLine, 0.5, 0.2);
+  auto opt = options_for(24);
+  opt.drive_overrides.assign(3, std::nullopt);
+  const sim::PwlSpec stutter{
+      {{0.0, 0.0}, {0.3e-9, 0.5}, {0.8e-9, 0.5}, {1.2e-9, 1.0}}};
+  opt.drive_overrides[0] = stutter;
+  opt.drive_overrides[2] = stutter;
+  const auto transient =
+      core::analyze_crosstalk(bus, core::SwitchingPattern::kQuietVictim, opt);
+  const auto reduced = core::analyze_crosstalk_reduced(
+      bus, core::SwitchingPattern::kQuietVictim, opt, 4);
+  EXPECT_NEAR(reduced.peak_noise, transient.peak_noise,
+              0.15 * transient.peak_noise);
+}
+
+TEST(DriveOverrides, FinitePulseKeepsTheTrailingEdge) {
+  // Slow rise (500 ps), SHARP fall (20 ps): the trailing edge dominates the
+  // coupled noise. Dropping it (the old bug) would undershoot the transient
+  // noise by far more than this tolerance.
+  const tline::CoupledBus bus = tline::make_bus(3, kLine, 0.5, 0.2);
+  auto opt = options_for(24);
+  opt.t_stop = 5e-9;  // cover the full pulse plus settling
+  opt.drive_overrides.assign(3, std::nullopt);
+  const sim::PulseSpec pulse{0.0, 1.0, 0.0, /*rise=*/500e-12,
+                             /*fall=*/20e-12, /*width=*/300e-12, /*period=*/0.0};
+  opt.drive_overrides[0] = pulse;
+  opt.drive_overrides[2] = pulse;
+  const auto transient =
+      core::analyze_crosstalk(bus, core::SwitchingPattern::kQuietVictim, opt);
+  const auto reduced = core::analyze_crosstalk_reduced(
+      bus, core::SwitchingPattern::kQuietVictim, opt, 4);
+  EXPECT_NEAR(reduced.peak_noise, transient.peak_noise,
+              0.15 * transient.peak_noise);
+}
+
+TEST(DriveOverrides, ShapesWithNoFiniteDecodeThrowInsteadOfApproximating) {
+  const tline::CoupledBus bus = tline::make_bus(3, kLine, 0.5, 0.2);
+  auto opt = options_for(12);
+  opt.t_stop = 5e-9;
+  opt.drive_overrides.assign(3, std::nullopt);
+  // A periodic train has no finite edge superposition: the transient path
+  // handles it, the reduced path must REFUSE rather than truncate.
+  sim::PulseSpec train{0.0, 1.0, 0.0, 50e-12, 50e-12, 300e-12, 2e-9};
+  opt.drive_overrides[0] = train;
+  EXPECT_NO_THROW(
+      core::analyze_crosstalk(bus, core::SwitchingPattern::kQuietVictim, opt));
+  EXPECT_THROW(core::analyze_crosstalk_reduced(
+                   bus, core::SwitchingPattern::kQuietVictim, opt, 4),
+               std::invalid_argument);
+  // Malformed PWL (non-increasing times) is rejected, not reordered.
+  opt.drive_overrides[0] = sim::PwlSpec{{{0.0, 0.0}, {1e-9, 1.0}, {1e-9, 0.5}}};
+  EXPECT_THROW(core::analyze_crosstalk_reduced(
+                   bus, core::SwitchingPattern::kQuietVictim, opt, 4),
+               std::invalid_argument);
+  // Wrong-size override tables are rejected by BOTH paths.
+  opt.drive_overrides.assign(2, std::nullopt);
+  EXPECT_THROW(
+      core::analyze_crosstalk(bus, core::SwitchingPattern::kQuietVictim, opt),
+      std::invalid_argument);
+  EXPECT_THROW(core::analyze_crosstalk_reduced(
+                   bus, core::SwitchingPattern::kQuietVictim, opt, 4),
+               std::invalid_argument);
+}
+
 TEST(RampAggressor, SlowEdgeSoftensTheMillerCorners) {
   // With a slow shared input edge the same-/opposite-phase delay spread
   // narrows; transient and reduced paths must agree on the slow-edge delay.

@@ -431,6 +431,61 @@ TEST(RepbusSweep, StaggerModeAxisAndAnalyses) {
       std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Glitch propagation on a quiet line (regression: silently missing firings)
+// ---------------------------------------------------------------------------
+
+// A quiet line's armed repeaters CAN fire on coupled noise alone — and when
+// they do, the reported "noise" is a full-rail glitched net, not a bump. The
+// pre-fix chains evaluated this correctly but REPORTED nothing: the metrics
+// carried only peak_noise, so a fired quiet-line repeater was
+// indistinguishable from a benign excursion. These pin the recording.
+TEST(GlitchPropagation, QuietArmedBuffersFireOnCoupledNoise) {
+  // Strong coupling (Cc/Ct = 3.0, Lm/Lt = 0.45 — a dense minimum-pitch bus),
+  // sharp repeater edges, moderate sizing: the victim's section noise lands
+  // above vdd/2 at every interior boundary, so the quiet-armed repeaters
+  // fire and regenerate the glitch down the whole chain.
+  repbus::RepeaterBusSpec spec;
+  spec.bus = tline::make_bus(5, kLine, /*cc_ratio=*/3.0, /*lm_ratio=*/0.45);
+  spec.sections = 4;
+  spec.size = 16.0;
+  spec.buffer = kBuf;
+  spec.segments_per_section = 10;
+  spec.buffer_rise = 1e-12;
+
+  const repbus::ChainMetrics mna =
+      repbus::simulate_bus_chain(spec, core::SwitchingPattern::kQuietVictim);
+  EXPECT_TRUE(mna.glitch_fired);
+  EXPECT_EQ(mna.glitch_depth, 3);
+  EXPECT_EQ(mna.glitch_boundaries, (std::vector<int>{1, 2, 3}));
+  // A fired chain means the receiver sees (essentially) the full rail.
+  EXPECT_GT(mna.peak_noise, 0.9);
+
+  const repbus::ComposedChainMetrics composed =
+      repbus::compose_bus_chain(spec, core::SwitchingPattern::kQuietVictim, 4);
+  EXPECT_EQ(composed.glitch_fired, mna.glitch_fired);
+  EXPECT_EQ(composed.glitch_depth, mna.glitch_depth);
+  EXPECT_EQ(composed.glitch_boundaries, mna.glitch_boundaries);
+  EXPECT_GT(composed.peak_noise, 0.9);
+}
+
+TEST(GlitchPropagation, BenignCouplingReportsNoGlitch) {
+  // The standard Cc/Ct = 0.4 bus: quiet-victim noise stays well below the
+  // repeater threshold, and BOTH paths must say so.
+  const auto spec = spec_for(5, repbus::Placement::kUniform);
+  const repbus::ChainMetrics mna =
+      repbus::simulate_bus_chain(spec, core::SwitchingPattern::kQuietVictim);
+  EXPECT_FALSE(mna.glitch_fired);
+  EXPECT_EQ(mna.glitch_depth, 0);
+  EXPECT_TRUE(mna.glitch_boundaries.empty());
+
+  const repbus::ComposedChainMetrics composed =
+      repbus::compose_bus_chain(spec, core::SwitchingPattern::kQuietVictim, 4);
+  EXPECT_FALSE(composed.glitch_fired);
+  EXPECT_EQ(composed.glitch_depth, 0);
+  EXPECT_TRUE(composed.glitch_boundaries.empty());
+}
+
 TEST(RepbusSweep, DeterministicAcrossThreadCounts) {
   sweep::SweepSpec spec;
   spec.base.system = {100.0, kLine, 50e-15};
