@@ -6,6 +6,7 @@
 #include <string>
 
 #include "mor/response.h"
+#include "numeric/fp_env.h"
 #include "runtime/thread_pool.h"
 #include "sim/mna.h"
 
@@ -124,6 +125,7 @@ struct ChainScratch {
 }  // namespace
 
 GraphResult TimingGraph::evaluate(std::size_t threads) const {
+  const numeric::fp_env_guard fp_guard("graph::TimingGraph::evaluate");
   const std::size_t n = nodes_.size();
   GraphResult out;
   out.nodes.resize(n);

@@ -1,0 +1,49 @@
+#include "numeric/fp_env.h"
+
+#include <cfenv>
+#include <cfloat>
+#include <stdexcept>
+#include <string>
+
+namespace rlcsim::numeric {
+namespace {
+
+// Subnormal probes through volatile so the checks happen in the live FP
+// environment instead of being constant-folded at compile time (the
+// compiler would fold them under the default environment and the probe
+// would never see a runtime FTZ/DAZ bit).
+bool gradual_underflow_active() {
+  // FTZ: a subnormal RESULT is flushed to zero. DBL_MIN/2 is the largest
+  // subnormal; under flush-to-zero the division produces +0.0.
+  volatile double tiny = DBL_MIN;
+  tiny = tiny / 2.0;
+  if (tiny == 0.0) return false;
+  // DAZ: a subnormal OPERAND is read as zero. Feed the subnormal back in;
+  // under denormals-are-zero the multiply sees 0.0 * 2.0.
+  tiny = tiny * 2.0;
+  return tiny == DBL_MIN;
+}
+
+}  // namespace
+
+bool fp_env_matches_contract() {
+  return std::fegetround() == FE_TONEAREST && gradual_underflow_active();
+}
+
+void check_fp_env(const char* where) {
+  if (std::fegetround() != FE_TONEAREST)
+    throw std::runtime_error(
+        std::string(where) +
+        ": FP rounding mode is not round-to-nearest; the bit-identity "
+        "contract (and every memcmp determinism gate) assumes the IEEE-754 "
+        "default environment. Something in this process called fesetround().");
+  if (!gradual_underflow_active())
+    throw std::runtime_error(
+        std::string(where) +
+        ": flush-to-zero / denormals-are-zero is enabled; subnormal "
+        "results would silently differ from the IEEE-754 default "
+        "environment the bit-identity contract assumes (check for "
+        "-ffast-math in linked code or libraries toggling MXCSR).");
+}
+
+}  // namespace rlcsim::numeric

@@ -1,12 +1,20 @@
 #include "numeric/sparse_batch.h"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
-#include <cstring>
+#include <cfloat>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "runtime/env.h"
+
+// The bit-identity contract assumes double expressions evaluate at double
+// precision; excess-precision evaluation (x87-style FLT_EVAL_METHOD == 2)
+// would round batched and scalar intermediates differently and fork the
+// memcmp-gated results. See also numeric/fp_env.h for the runtime half.
+static_assert(FLT_EVAL_METHOD == 0,
+              "rlcsim batch kernels require FLT_EVAL_METHOD == 0 "
+              "(strict double evaluation)");
 
 namespace rlcsim::numeric {
 
@@ -17,19 +25,13 @@ bool is_supported_lane_width(std::size_t lanes) {
 }
 
 std::size_t default_lane_width() {
-  const char* env = std::getenv("RLCSIM_LANES");
-  if (env == nullptr || *env == '\0') return 8;  // no override: widest kernel
-  if (std::strcmp(env, "auto") == 0) return 8;
-  errno = 0;
-  char* end = nullptr;
-  const long parsed = std::strtol(env, &end, 10);
-  const bool is_number = end != env && *end == '\0' && errno != ERANGE;
-  if (!is_number || parsed <= 0 ||
-      !is_supported_lane_width(static_cast<std::size_t>(parsed)))
-    throw std::invalid_argument(
-        std::string("RLCSIM_LANES must be 1, 4, 8, or \"auto\", got \"") + env +
-        "\"");
-  return static_cast<std::size_t>(parsed);
+  // Exact-token knob: "auto" and the supported widths, nothing else ("2"
+  // silently meaning "some default" is what an override must not do).
+  const auto parsed = runtime::parse_env_enum(
+      "RLCSIM_LANES", {{"auto", 8}, {"1", 1}, {"4", 4}, {"8", 8}},
+      "1, 4, 8, or \"auto\"");
+  return parsed ? static_cast<std::size_t>(*parsed)
+                : 8;  // no override: widest kernel
 }
 
 // ------------------------------------------------------------ BatchedValues
@@ -96,24 +98,31 @@ template <int W>
 void SparseLuBatch::refactor_kernel(const BatchedValues& values) {
   const RealSparseLu& d = donor_;
   const int n = d.n_;
-  const double* av = values.data();
-  double* x = work_.data();
-  double* lxb = lx_.data();
-  double* uxb = ux_.data();
+  // Same vectorization recipe as solve_kernel below: restrict-qualified
+  // base pointers (av/x/lxb/uxb are four distinct buffers) and
+  // `#pragma GCC unroll 1` on every lane loop so the W-trip loops stay
+  // loops long enough for the vectorizer to see them.
+  const double* __restrict const av = values.data();
+  double* __restrict const x = work_.data();
+  double* __restrict const lxb = lx_.data();
+  double* __restrict const uxb = ux_.data();
 
   for (int j = 0; j < n; ++j) {
     for (int q = d.up_[j]; q < d.up_[j + 1]; ++q) {
       double* xr = x + static_cast<std::size_t>(d.ui_[q]) * W;
+#pragma GCC unroll 1
       for (int lane = 0; lane < W; ++lane) xr[lane] = 0.0;
     }
     for (int q = d.lp_[j]; q < d.lp_[j + 1]; ++q) {
       double* xr = x + static_cast<std::size_t>(d.li_[q]) * W;
+#pragma GCC unroll 1
       for (int lane = 0; lane < W; ++lane) xr[lane] = 0.0;
     }
     for (int p = d.csc_ptr_[j]; p < d.csc_ptr_[j + 1]; ++p) {
       double* xr =
           x + static_cast<std::size_t>(d.pivot_inv_[d.csc_row_[p]]) * W;
       const double* src = av + static_cast<std::size_t>(d.csc_src_[p]) * W;
+#pragma GCC unroll 1
       for (int lane = 0; lane < W; ++lane) xr[lane] += src[lane];
     }
 
@@ -121,10 +130,12 @@ void SparseLuBatch::refactor_kernel(const BatchedValues& values) {
       const int k = d.ui_[q];
       double* ukj = uxb + static_cast<std::size_t>(q) * W;
       const double* xk = x + static_cast<std::size_t>(k) * W;
+#pragma GCC unroll 1
       for (int lane = 0; lane < W; ++lane) ukj[lane] = xk[lane];
       for (int r = d.lp_[k] + 1; r < d.lp_[k + 1]; ++r) {
         double* xr = x + static_cast<std::size_t>(d.li_[r]) * W;
         const double* lr = lxb + static_cast<std::size_t>(r) * W;
+#pragma GCC unroll 1
         for (int lane = 0; lane < W; ++lane) {
           const double u = ukj[lane];
           xr[lane] = (u != 0.0) ? xr[lane] - lr[lane] * u : xr[lane];
@@ -135,6 +146,7 @@ void SparseLuBatch::refactor_kernel(const BatchedValues& values) {
     const double* piv = x + static_cast<std::size_t>(j) * W;
     double* upiv = uxb + (static_cast<std::size_t>(d.up_[j + 1]) - 1) * W;
     double* ldiag = lxb + static_cast<std::size_t>(d.lp_[j]) * W;
+#pragma GCC unroll 1
     for (int lane = 0; lane < W; ++lane) {
       if (piv[lane] == 0.0) ejected_[static_cast<std::size_t>(lane)] = 1;
       upiv[lane] = piv[lane];
@@ -143,6 +155,7 @@ void SparseLuBatch::refactor_kernel(const BatchedValues& values) {
     for (int r = d.lp_[j] + 1; r < d.lp_[j + 1]; ++r) {
       double* lr = lxb + static_cast<std::size_t>(r) * W;
       const double* xr = x + static_cast<std::size_t>(d.li_[r]) * W;
+#pragma GCC unroll 1
       for (int lane = 0; lane < W; ++lane) lr[lane] = xr[lane] / piv[lane];
     }
   }
@@ -213,6 +226,7 @@ void SparseLuBatch::solve_kernel(BatchedValues& xv) const {
   for (int i = 0; i < n; ++i) {
     double* dst = w + static_cast<std::size_t>(d.pivot_inv_[i]) * W;
     const double* src = x + static_cast<std::size_t>(d.perm_[i]) * W;
+#pragma GCC unroll 1
     for (int lane = 0; lane < W; ++lane) dst[lane] = src[lane];
   }
 
@@ -252,6 +266,7 @@ void SparseLuBatch::solve_kernel(BatchedValues& xv) const {
   for (int j = 0; j < n; ++j) {
     double* dst = x + static_cast<std::size_t>(d.perm_[j]) * W;
     const double* src = w + static_cast<std::size_t>(j) * W;
+#pragma GCC unroll 1
     for (int lane = 0; lane < W; ++lane) dst[lane] = src[lane];
   }
 }

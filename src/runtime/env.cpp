@@ -1,0 +1,38 @@
+#include "runtime/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace rlcsim::runtime {
+
+std::optional<long> parse_env_int(const char* name, long min_value,
+                                  long max_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || parsed < min_value ||
+      parsed > max_value)
+    throw std::invalid_argument(
+        std::string(name) + " must be an integer in [" +
+        std::to_string(min_value) + ", " + std::to_string(max_value) +
+        "], got \"" + env + "\"");
+  return parsed;
+}
+
+std::optional<long> parse_env_enum(const char* name,
+                                   std::initializer_list<EnvChoice> choices,
+                                   const char* expected) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  for (const EnvChoice& choice : choices)
+    if (std::strcmp(env, choice.token) == 0) return choice.value;
+  throw std::invalid_argument(std::string(name) + " must be " + expected +
+                              ", got \"" + env + "\"");
+}
+
+}  // namespace rlcsim::runtime

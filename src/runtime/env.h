@@ -1,0 +1,37 @@
+// Shared environment-knob parsing with the project's junk-throws contract.
+//
+// Every RLCSIM_* knob follows the same rule: unset or empty means "no
+// override", and a set-but-invalid value throws std::invalid_argument
+// naming the variable and the offending text. A typo'd knob silently
+// falling back to a default is exactly the failure mode an override must
+// not have (RLCSIM_THREADS=junk quietly becoming "all cores" was the
+// original sin these helpers consolidate the fix for).
+#pragma once
+
+#include <initializer_list>
+#include <optional>
+
+namespace rlcsim::runtime {
+
+// Integer knob: the value must parse as an integer in
+// [min_value, max_value] under strtol rules (leading whitespace is
+// accepted, the entire remainder must be consumed — "4x", "2.5", "1e3"
+// and out-of-range values all throw). Returns nullopt when `name` is
+// unset or set to the empty string.
+std::optional<long> parse_env_int(const char* name, long min_value,
+                                  long max_value);
+
+// Enum-style knob: the value must EXACTLY match one of `choices`' tokens
+// (no whitespace trimming, no numeric aliasing — " 4 " and "04" are junk
+// even if "4" is a token). `expected` is the human-readable token list
+// used in the error message, e.g. "1, 4, 8, or \"auto\"". Returns nullopt
+// when unset/empty, otherwise the matched token's mapped value.
+struct EnvChoice {
+  const char* token;
+  long value;
+};
+std::optional<long> parse_env_enum(const char* name,
+                                   std::initializer_list<EnvChoice> choices,
+                                   const char* expected);
+
+}  // namespace rlcsim::runtime

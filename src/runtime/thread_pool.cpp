@@ -1,15 +1,13 @@
 #include "runtime/thread_pool.h"
 
 #include <atomic>
-#include <cerrno>
 #include <condition_variable>
 #include <cstdint>
-#include <cstdlib>
 #include <mutex>
-#include <stdexcept>
-#include <string>
 #include <thread>
 #include <vector>
+
+#include "runtime/env.h"
 
 namespace rlcsim::runtime {
 namespace {
@@ -21,28 +19,17 @@ struct WorkerIdentity {
   const void* pool = nullptr;
   std::size_t worker = 0;
 };
-thread_local WorkerIdentity tls_identity;
+// Worker identity is per-thread by definition; see the lint allowlist
+// rationale in tools/lint/rlcsim_lint.cpp.
+thread_local WorkerIdentity tls_identity;  // rlcsim-lint: allow(thread-local)
 
 }  // namespace
 
 std::size_t default_thread_count() {
-  const char* env = std::getenv("RLCSIM_THREADS");
   // Unset or empty means "no override"; anything else must be a positive
-  // integer. A typo'd value silently falling back to hardware_concurrency
-  // is exactly the failure mode a thread-count knob must not have, so junk
-  // is an error, not a default.
-  if (env && *env != '\0') {
-    errno = 0;
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end == env || *end != '\0' || errno == ERANGE || parsed <= 0 ||
-        parsed > 65536)
-      throw std::invalid_argument(
-          std::string("RLCSIM_THREADS must be a positive integer (<= 65536), "
-                      "got \"") +
-          env + "\"");
-    return static_cast<std::size_t>(parsed);
-  }
+  // integer (parse_env_int carries the junk-throws contract).
+  if (const auto parsed = parse_env_int("RLCSIM_THREADS", 1, 65536))
+    return static_cast<std::size_t>(*parsed);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
 }

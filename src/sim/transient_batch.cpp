@@ -1,6 +1,7 @@
 #include "sim/transient_batch.h"
 
 #include <algorithm>
+#include <cfloat>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -13,6 +14,12 @@
 #include "numeric/sparse_batch.h"
 #include "sim/mna.h"
 #include "sim/waveform.h"
+
+// Batched stepping is memcmp'd against the scalar path; excess-precision
+// double evaluation would fork the two (see numeric/fp_env.h).
+static_assert(FLT_EVAL_METHOD == 0,
+              "rlcsim batch kernels require FLT_EVAL_METHOD == 0 "
+              "(strict double evaluation)");
 
 namespace rlcsim::sim {
 namespace {
@@ -388,8 +395,10 @@ std::optional<std::vector<double>> run_batched_crossings(
         double* __restrict const rj = r + vsrc_branch[k] * W;
         if (vsrc_shared[k]) {
           const double v = source_value(vsources0[k].spec, t_next);
+#pragma GCC unroll 1
           for (std::size_t lane = 0; lane < W; ++lane) rj[lane] = v;
         } else {
+#pragma GCC unroll 1
           for (std::size_t lane = 0; lane < W; ++lane)
             rj[lane] =
                 source_value(circuits[lane].voltage_sources()[k].spec, t_next);
@@ -401,14 +410,17 @@ std::optional<std::vector<double>> run_batched_crossings(
           const double i = source_value(isources0[k].spec, t_next);
           if (to != kGround) {
             double* __restrict const rn = r + static_cast<std::size_t>(to) * W;
+#pragma GCC unroll 1
             for (std::size_t lane = 0; lane < W; ++lane) rn[lane] += i;
           }
           if (from != kGround) {
             double* __restrict const rn =
                 r + static_cast<std::size_t>(from) * W;
+#pragma GCC unroll 1
             for (std::size_t lane = 0; lane < W; ++lane) rn[lane] -= i;
           }
         } else {
+#pragma GCC unroll 1
           for (std::size_t lane = 0; lane < W; ++lane) {
             const double i =
                 source_value(circuits[lane].current_sources()[k].spec, t_next);
@@ -468,6 +480,7 @@ std::optional<std::vector<double>> run_batched_crossings(
 
     const auto record = [&]() {
       times.push_back(time);
+#pragma GCC unroll 1
       for (std::size_t lane = 0; lane < W; ++lane)
         values[lane].push_back(
             nv[static_cast<std::size_t>(node_id[lane]) * W + lane]);

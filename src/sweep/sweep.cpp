@@ -8,6 +8,7 @@
 
 #include "core/delay_model.h"
 #include "core/two_pole.h"
+#include "numeric/fp_env.h"
 #include "numeric/sparse.h"
 #include "numeric/sparse_batch.h"
 #include "repbus/stage_compose.h"
@@ -409,8 +410,11 @@ struct SweepEngine::Impl {
     out.ejected_lanes = ejected.load();
     for (const auto& r : reuse) out.solver_reuse_hits += r.reuse_hits;
     for (const auto& r : mor_reuse) out.solver_reuse_hits += r.reuse_hits;
+    // Wall-clock reads feed ONLY the elapsed/points-per-second observability
+    // counters, never a result value — the one sanctioned use in src/.
     out.elapsed_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+        std::chrono::duration<double>(  // rlcsim-lint: allow(wall-clock)
+            std::chrono::steady_clock::now() - started)
             .count();
     out.points_per_second = out.elapsed_seconds > 0.0
                                 ? static_cast<double>(points) / out.elapsed_seconds
@@ -428,9 +432,11 @@ std::size_t SweepEngine::threads() const { return impl_->pool.size(); }
 const EngineOptions& SweepEngine::options() const { return impl_->options; }
 
 SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
+  const numeric::fp_env_guard fp_guard("sweep::SweepEngine::run");
   spec.validate();
   const std::size_t n = spec.size();
-  const auto started = std::chrono::steady_clock::now();
+  // Timing metadata only (elapsed_seconds), not a result value.
+  const auto started = std::chrono::steady_clock::now();  // rlcsim-lint: allow(wall-clock)
 
   SweepResult out;
   out.threads_used = impl_->pool.size();
@@ -570,7 +576,9 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
 SweepResult SweepEngine::run_custom(
     std::size_t n,
     const std::function<double(std::size_t, PointContext&)>& eval) const {
-  const auto started = std::chrono::steady_clock::now();
+  const numeric::fp_env_guard fp_guard("sweep::SweepEngine::run_custom");
+  // Timing metadata only (elapsed_seconds), not a result value.
+  const auto started = std::chrono::steady_clock::now();  // rlcsim-lint: allow(wall-clock)
   SweepResult out;
   out.threads_used = impl_->pool.size();
   out.values.assign(n, kNaN);

@@ -10,6 +10,7 @@
 
 #include "../bench/bench_util.h"
 #include "numeric/sparse_batch.h"
+#include "runtime/env.h"
 #include "runtime/thread_pool.h"
 
 namespace {
@@ -124,6 +125,81 @@ TEST(LanesEnv, JunkThrowsWithTheOffendingValue) {
       FAIL() << "expected std::invalid_argument for RLCSIM_LANES=" << bad;
     } catch (const std::invalid_argument& error) {
       EXPECT_NE(std::string(error.what()).find("RLCSIM_LANES"),
+                std::string::npos);
+      EXPECT_NE(std::string(error.what()).find(bad), std::string::npos);
+    }
+  }
+}
+
+// Both knobs above route through the shared runtime::parse_env_* helpers;
+// these pin the helpers' own contract directly so a future knob gets the
+// junk-throws behavior for free.
+TEST(ParseEnvInt, ContractDirectly) {
+  {
+    ScopedEnv env("RLCSIM_TEST_KNOB", nullptr);
+    EXPECT_FALSE(
+        rlcsim::runtime::parse_env_int("RLCSIM_TEST_KNOB", 1, 100).has_value());
+  }
+  {
+    ScopedEnv env("RLCSIM_TEST_KNOB", "");  // empty = no override, not junk
+    EXPECT_FALSE(
+        rlcsim::runtime::parse_env_int("RLCSIM_TEST_KNOB", 1, 100).has_value());
+  }
+  {
+    ScopedEnv env("RLCSIM_TEST_KNOB", "42");
+    EXPECT_EQ(rlcsim::runtime::parse_env_int("RLCSIM_TEST_KNOB", 1, 100), 42);
+  }
+  {
+    ScopedEnv env("RLCSIM_TEST_KNOB", " 7");  // strtol leading whitespace ok
+    EXPECT_EQ(rlcsim::runtime::parse_env_int("RLCSIM_TEST_KNOB", 1, 100), 7);
+  }
+  // Junk, partial parses, and out-of-range values all throw naming the
+  // variable and the offending text.
+  for (const char* bad : {"abc", "7x", "2.5", "1e3", "0", "-3", "101",
+                          "99999999999999999999"}) {
+    ScopedEnv env("RLCSIM_TEST_KNOB", bad);
+    try {
+      (void)rlcsim::runtime::parse_env_int("RLCSIM_TEST_KNOB", 1, 100);
+      FAIL() << "expected std::invalid_argument for value " << bad;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("RLCSIM_TEST_KNOB"),
+                std::string::npos);
+      EXPECT_NE(std::string(error.what()).find(bad), std::string::npos);
+    }
+  }
+}
+
+TEST(ParseEnvEnum, ContractDirectly) {
+  const auto parse = [] {
+    return rlcsim::runtime::parse_env_enum(
+        "RLCSIM_TEST_KNOB", {{"auto", 8}, {"1", 1}, {"4", 4}},
+        "1, 4, or \"auto\"");
+  };
+  {
+    ScopedEnv env("RLCSIM_TEST_KNOB", nullptr);
+    EXPECT_FALSE(parse().has_value());
+  }
+  {
+    ScopedEnv env("RLCSIM_TEST_KNOB", "");
+    EXPECT_FALSE(parse().has_value());
+  }
+  {
+    ScopedEnv env("RLCSIM_TEST_KNOB", "auto");
+    EXPECT_EQ(parse(), 8);
+  }
+  {
+    ScopedEnv env("RLCSIM_TEST_KNOB", "4");
+    EXPECT_EQ(parse(), 4);
+  }
+  // Exact-token matching: whitespace, zero padding, and near-misses are
+  // junk — no numeric aliasing onto the token list.
+  for (const char* bad : {"AUTO", " 4", "04", "4 ", "2", "junk"}) {
+    ScopedEnv env("RLCSIM_TEST_KNOB", bad);
+    try {
+      (void)parse();
+      FAIL() << "expected std::invalid_argument for value \"" << bad << "\"";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("RLCSIM_TEST_KNOB"),
                 std::string::npos);
       EXPECT_NE(std::string(error.what()).find(bad), std::string::npos);
     }

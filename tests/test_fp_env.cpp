@@ -1,0 +1,62 @@
+// FP-environment guard: the runtime half of the determinism tooling layer.
+// check_fp_env must accept the IEEE-754 default environment and loudly
+// reject altered rounding modes — the silent-drift failure mode every
+// memcmp gate in the tree is blind to (identical wrong bits on both sides
+// of a comparison still compare equal).
+#include <cfenv>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "numeric/fp_env.h"
+
+namespace {
+
+using rlcsim::numeric::check_fp_env;
+using rlcsim::numeric::fp_env_matches_contract;
+
+// Restores the entry rounding mode even when an assertion throws out.
+class ScopedRounding {
+ public:
+  explicit ScopedRounding(int mode) : saved_(std::fegetround()) {
+    EXPECT_EQ(std::fesetround(mode), 0);
+  }
+  ~ScopedRounding() { std::fesetround(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(FpEnv, DefaultEnvironmentMatchesContract) {
+  EXPECT_TRUE(fp_env_matches_contract());
+  EXPECT_NO_THROW(check_fp_env("test"));
+}
+
+TEST(FpEnv, AlteredRoundingModeIsRejected) {
+  for (const int mode : {FE_UPWARD, FE_DOWNWARD, FE_TOWARDZERO}) {
+    ScopedRounding rounding(mode);
+    EXPECT_FALSE(fp_env_matches_contract());
+    try {
+      check_fp_env("test_fp_env");
+      FAIL() << "expected std::runtime_error under non-default rounding";
+    } catch (const std::runtime_error& error) {
+      // The message must name the call site so a CI failure is actionable.
+      EXPECT_NE(std::string(error.what()).find("test_fp_env"),
+                std::string::npos);
+      EXPECT_NE(std::string(error.what()).find("round-to-nearest"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(FpEnv, RestoredEnvironmentPassesAgain) {
+  {
+    ScopedRounding rounding(FE_UPWARD);
+    EXPECT_FALSE(fp_env_matches_contract());
+  }
+  EXPECT_TRUE(fp_env_matches_contract());
+  EXPECT_NO_THROW(check_fp_env("test"));
+}
+
+}  // namespace

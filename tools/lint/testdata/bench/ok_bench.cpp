@@ -1,0 +1,13 @@
+// Fixture: bench mains OWN wall-clock timing — none of the src/-scoped
+// rules apply here. But the everywhere-scoped rules still do: the fma()
+// below must be flagged even in bench/.
+#include <chrono>
+#include <cmath>
+
+int main() {
+  const auto start = std::chrono::steady_clock::now();  // fine in bench/
+  const double fused = std::fma(2.0, 3.0, 4.0);  // planted: fp-contract
+  const auto elapsed = std::chrono::steady_clock::now() - start;  // fine
+  return (std::chrono::duration<double>(elapsed).count() + fused) > 0.0 ? 0
+                                                                        : 1;
+}

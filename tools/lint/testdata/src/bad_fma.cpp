@@ -1,0 +1,16 @@
+// Fixture: explicit FMA and FP_CONTRACT pragmas.
+#include <cmath>
+
+#pragma STDC FP_CONTRACT ON  // planted: fp-contract
+
+namespace fixture {
+
+double fused(double a, double b, double c) {
+  return std::fma(a, b, c);  // planted: fp-contract
+}
+
+// sigma( contains "ma(" but not the fma( token.
+double sigma(double x) { return x; }
+double uses_sigma(double x) { return sigma(x); }
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: ambient randomness in library code.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+double noisy() {
+  std::srand(42);                      // planted: nondeterministic-source
+  const int raw = std::rand();         // planted: nondeterministic-source
+  std::random_device entropy;          // planted: nondeterministic-source
+  std::mt19937 rng(entropy());         // planted: nondeterministic-source
+  return static_cast<double>(raw + static_cast<int>(rng()));
+}
+
+// Identifiers merely CONTAINING the tokens must not be flagged.
+int operand(int x) { return x; }
+int spread_of(int x) { return operand(x); }
+
+}  // namespace fixture

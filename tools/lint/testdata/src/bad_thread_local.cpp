@@ -1,0 +1,17 @@
+// Fixture: thread_local outside the allowlist, plus a justified instance
+// and a stale suppression that must itself be flagged.
+namespace fixture {
+
+thread_local int per_worker_accumulator = 0;  // planted: thread-local
+
+// Observability-only counter — the sanctioned shape.
+// rlcsim-lint: allow(thread-local)
+thread_local int sanctioned_counter = 0;
+
+int bump() { return ++per_worker_accumulator + ++sanctioned_counter; }
+
+// A suppression with no matching violation is stale and must be reported.
+// rlcsim-lint: allow(wall-clock)
+int no_violation_here() { return 0; }  // planted: unused-suppression above
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: unordered-container iteration in a result-producing path.
+#include <string>
+#include <unordered_map>  // planted: unordered-container
+
+namespace fixture {
+
+double sum_values(const std::unordered_map<std::string, double>& m) {  // planted: unordered-container
+  double total = 0.0;
+  for (const auto& [key, value] : m) total += value;  // order-dependent!
+  return total;
+}
+
+}  // namespace fixture

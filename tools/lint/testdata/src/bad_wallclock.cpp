@@ -1,0 +1,29 @@
+// Fixture: wall-clock reads in library code. Each planted violation below
+// is pinned by expected.txt; the suppressed ones must NOT be reported.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double elapsed() {
+  const auto start = std::chrono::steady_clock::now();  // planted: wall-clock
+  const std::time_t stamp = std::time(nullptr);         // planted: wall-clock
+  (void)stamp;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();  // the now() above is on its own line and planted too
+}
+
+// Observability-only counter: the sanctioned exception shape.
+double sanctioned() {
+  const auto t = std::chrono::steady_clock::now();  // rlcsim-lint: allow(wall-clock)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+// Accessors NAMED time are not wall-clock reads and must not be flagged.
+struct Trace {
+  double time() const { return 0.0; }
+};
+double accessor(const Trace& trace) { return trace.time(); }
+
+}  // namespace fixture

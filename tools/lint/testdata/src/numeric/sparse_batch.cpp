@@ -1,0 +1,24 @@
+// Fixture standing in for the REAL src/numeric/sparse_batch.cpp (the
+// batch-kernel rules key on this path): a lane loop missing its
+// load-bearing pragma and a kernel base pointer missing __restrict.
+#include <vector>
+
+namespace fixture {
+
+template <int W>
+void kernel(std::vector<double>& values) {
+  double* x = values.data();  // planted: kernel-restrict
+  for (int lane = 0; lane < W; ++lane) x[lane] = 0.0;  // planted: lane-unroll
+
+  double* __restrict const y = values.data();  // compliant: not flagged
+#pragma GCC unroll 1
+  for (int lane = 0; lane < W; ++lane) y[lane] = 1.0;  // compliant
+
+  // Loops over a runtime lane count are management loops, not kernels.
+  const int lanes = W;
+  for (int lane = 0; lane < lanes; ++lane) y[lane] += 1.0;
+}
+
+template void kernel<4>(std::vector<double>&);
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: tests may read clocks (src/-scoped rules don't apply), but the
+// everywhere-scoped thread-local rule still bites without a justification.
+#include <chrono>
+
+thread_local int test_scratch = 0;  // planted: thread-local
+
+int probe() {
+  const auto t0 = std::chrono::steady_clock::now();  // fine in tests/
+  (void)t0;
+  return ++test_scratch;
+}
