@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace benchutil {
 
 // "--threads a,b,c" parser shared by the scaling benches. Every entry must
@@ -82,6 +84,16 @@ inline void batch_run_json(std::size_t lanes, std::size_t threads,
               lanes, threads, seconds, points_per_second, speedup,
               symbolic_factorizations, solver_reuse_hits, ejected_lanes,
               batched_points, scalar_points, identical ? "true" : "false",
+              last ? "" : ",");
+}
+
+// The unified observability block every BENCH_*.json carries: one
+// process-wide aggregation of all obs counters and histograms at emit
+// time (see README "Observability" for the metric catalog). Printed as a
+// `"metrics": {...},` member — call it right before the JSON's final key
+// (or with last=true when metrics itself closes the document).
+inline void metrics_json_block(bool last = false) {
+  std::printf("  \"metrics\": %s%s\n", rlcsim::obs::metrics_json(2).c_str(),
               last ? "" : ",");
 }
 

@@ -115,6 +115,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("  ],\n");
+  benchutil::metrics_json_block();
   std::printf("  \"all_thread_counts_bit_identical\": %s\n",
               all_identical ? "true" : "false");
   std::printf("}\n");

@@ -243,6 +243,7 @@ int main(int argc, char** argv) {
   gate("thread_determinism_failures", deterministic ? 0.0 : 1.0, 0.0, &pass,
        true);
   std::printf("  ],\n");
+  benchutil::metrics_json_block();
   std::printf("  \"pass\": %s\n}\n", pass ? "true" : "false");
   return pass ? 0 : 1;
 }

@@ -262,6 +262,7 @@ int main(int argc, char** argv) {
   // machine noise cannot flake this.
   gate("min_speedup_x", 10.0 / std::max(speedup, 1e-9), 1.0, &pass);
   std::printf("\n  ],\n");
+  benchutil::metrics_json_block();
   std::printf("  \"pass\": %s\n}\n", pass ? "true" : "false");
   return pass ? 0 : 1;
 }

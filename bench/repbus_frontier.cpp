@@ -226,6 +226,7 @@ int main(int argc, char** argv) {
   gate("staggered_over_uniform_quiet_noise",
        staggered_noise_mna / uniform_noise_mna, 0.95, &pass);
   std::printf("\n  ],\n");
+  benchutil::metrics_json_block();
   std::printf("  \"pass\": %s\n}\n", pass ? "true" : "false");
   return pass ? 0 : 1;
 }

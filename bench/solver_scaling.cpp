@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "sim/ac.h"
 #include "sim/builders.h"
 #include "sim/transient.h"
@@ -193,7 +194,8 @@ int main(int argc, char** argv) {
     std::printf("}%s\n", idx + 1 < sizes.size() ? "," : "");
     std::fflush(stdout);
   }
-  std::printf("  ]\n");
+  std::printf("  ],\n");
+  benchutil::metrics_json_block(/*last=*/true);
   std::printf("}\n");
   return 0;
 }

@@ -265,6 +265,7 @@ int main(int argc, char** argv) {
   const bool batched_ok = min_batched_fraction >= 0.9;
 
   std::printf("  ],\n");
+  benchutil::metrics_json_block();
   std::printf("  \"gates\": {\n");
   std::printf("    \"bit_identical\": %s,\n", identical ? "true" : "false");
   std::printf("    \"transient_speedup_w8_vs_w1\": %.2f,\n", w8_speedup);

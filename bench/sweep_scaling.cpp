@@ -10,10 +10,13 @@
 // same bits. Speedups are only meaningful up to the machine's core count —
 // the JSON carries hardware_concurrency so readers can judge.
 //
-// Usage: sweep_scaling [--fast] [--points N] [--threads a,b,c]
+// Usage: sweep_scaling [--fast] [--points N] [--threads a,b,c] [--dump F]
 //   --fast      512-point grid, thread counts 1,2 (CI smoke run)
 //   --points N  approximate grid size (rounded to a 3-axis box)
 //   --threads   comma list of thread counts (default 1,2,4,8)
+//   --dump F    write the reference run's raw result bytes to file F — the
+//               CI tracing-on/off gate cmp's two dumps to prove telemetry
+//               cannot perturb results
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -52,12 +55,15 @@ sweep::SweepSpec grid_of(std::size_t target_points) {
 int main(int argc, char** argv) {
   std::size_t target_points = 5120;
   std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+  const char* dump_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fast") == 0) {
       target_points = 512;
       thread_counts = {1, 2};
     } else if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc) {
       target_points = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
+      dump_path = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       try {
         thread_counts = benchutil::parse_thread_list(argv[++i]);
@@ -108,8 +114,22 @@ int main(int argc, char** argv) {
   }
 
   std::printf("  ],\n");
+  benchutil::metrics_json_block();
   std::printf("  \"all_thread_counts_bit_identical\": %s\n",
               all_identical ? "true" : "false");
   std::printf("}\n");
+
+  if (dump_path != nullptr) {
+    // Raw reference bytes (not text): the CI tracing-on/off gate compares
+    // two dumps with cmp, so any formatting would only blur the identity.
+    std::FILE* f = std::fopen(dump_path, "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "sweep_scaling: cannot open --dump path %s\n",
+                   dump_path);
+      return 2;
+    }
+    std::fwrite(reference.data(), sizeof(double), reference.size(), f);
+    std::fclose(f);
+  }
   return all_identical ? 0 : 1;
 }

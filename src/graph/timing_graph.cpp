@@ -7,6 +7,7 @@
 
 #include "mor/response.h"
 #include "numeric/fp_env.h"
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 #include "sim/mna.h"
 
@@ -15,6 +16,8 @@ namespace rlcsim::graph {
 StageModel reduce_stage(const sim::Circuit& circuit,
                         const std::vector<std::string>& outputs, int order,
                         double max_delay, mor::ConductanceReuse* reuse) {
+  OBS_SPAN("graph.reduce_stage");
+  OBS_COUNTER_ADD("graph.stage_reductions", 1);
   if (order < 1)
     throw std::invalid_argument("reduce_stage: order must be >= 1");
   if (outputs.empty())
@@ -125,8 +128,11 @@ struct ChainScratch {
 }  // namespace
 
 GraphResult TimingGraph::evaluate(std::size_t threads) const {
+  OBS_SPAN("graph.evaluate");
+  OBS_COUNTER_ADD("graph.evaluations", 1);
   const numeric::fp_env_guard fp_guard("graph::TimingGraph::evaluate");
   const std::size_t n = nodes_.size();
+  OBS_COUNTER_ADD("graph.nodes_evaluated", n);
   GraphResult out;
   out.nodes.resize(n);
   out.chains.resize(chains_.size());
@@ -156,10 +162,12 @@ GraphResult TimingGraph::evaluate(std::size_t threads) const {
   runtime::ThreadPool pool(threads);
   out.threads_used = pool.size();
 
-  for (const std::vector<std::size_t>& bucket : buckets) {
+  for (std::size_t lvl = 0; lvl < buckets.size(); ++lvl) {
+    const std::vector<std::size_t>& bucket = buckets[lvl];
     // One level at a time; within a level every node writes ONLY its own
     // slots (out.nodes[k], scratch[k]) and reads only completed levels —
     // the determinism contract needs nothing further.
+    OBS_SPAN("graph.level", static_cast<long>(lvl));
     pool.parallel_for(bucket.size(), [&](std::size_t b, std::size_t) {
       const std::size_t k = bucket[b];
       const NodeRecord& record = nodes_[k];

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace rlcsim::mor {
 namespace {
 
@@ -75,7 +77,9 @@ MomentGenerator::MomentGenerator(const numeric::RealSparse& g,
     lu_.emplace(*reuse->symbolic);  // copy factors: reuse the symbolic
     lu_->refactor(g);
     ++reuse->reuse_hits;
+    OBS_COUNTER_ADD("reuse.conductance_hits", 1);
   } else {
+    OBS_COUNTER_ADD("reuse.conductance_misses", 1);
     lu_.emplace(g);
     if (reuse)
       reuse->symbolic = std::make_shared<const numeric::RealSparseLu>(*lu_);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "numeric/polynomial.h"
+#include "obs/obs.h"
 
 namespace rlcsim::mor {
 namespace {
@@ -243,6 +244,8 @@ double PoleResidueModel::step_response(double t) const {
 // -------------------------------------------------------------------- AWE
 
 PoleResidueModel pade_reduce(const std::vector<double>& moments, int order) {
+  OBS_SPAN("mor.pade_reduce");
+  OBS_COUNTER_ADD("mor.pade_reductions", 1);
   if (order < 1) throw std::invalid_argument("pade_reduce: order must be >= 1");
   if (moments.size() < 2 * static_cast<std::size_t>(order))
     throw std::invalid_argument("pade_reduce: need 2*order moments");
@@ -391,6 +394,8 @@ ReducedModel project_system(const LinearSystem& system,
 
 ReducedModel arnoldi_reduce(const LinearSystem& system, int order,
                             ConductanceReuse* reuse, ArnoldiBasis* basis_out) {
+  OBS_SPAN("mor.arnoldi_reduce");
+  OBS_COUNTER_ADD("mor.arnoldi_reductions", 1);
   if (order < 1)
     throw std::invalid_argument("arnoldi_reduce: order must be >= 1");
   if (system.inputs.empty() || system.outputs.empty())
@@ -450,6 +455,7 @@ ReducedModel arnoldi_reduce(const LinearSystem& system, int order,
 }
 
 ReducedModel project_onto(const LinearSystem& system, const ArnoldiBasis& basis) {
+  OBS_COUNTER_ADD("mor.projections", 1);
   if (basis.order() == 0)
     throw std::invalid_argument("project_onto: empty basis");
   if (basis.dimension() != system.unknowns())

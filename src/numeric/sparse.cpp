@@ -198,12 +198,14 @@ std::vector<int> rcm_ordering(const SparsePattern& pattern) {
 
 // ------------------------------------------------------------------- stats
 
-SparseLuStats& sparse_lu_stats() {
-  // Thread-local so concurrent sweeps never race on the counters; each
-  // thread observes exactly the factorization work it performed itself.
+SparseLuStatsView& sparse_lu_stats() {
+  // One global view object; per-thread isolation lives in the obs
+  // registry's shards (each Cell access resolves the CALLING thread's
+  // cell), so concurrent sweeps never race on the counters and the same
+  // numbers aggregate into bench metrics blocks for free.
   // Observability metadata only — never feeds result values.
-  thread_local SparseLuStats stats;  // rlcsim-lint: allow(thread-local)
-  return stats;
+  static SparseLuStatsView view(/*live=*/true);
+  return view;
 }
 
 // --------------------------------------------------------------------- LU
@@ -445,6 +447,7 @@ template <typename T>
 void SparseLu<T>::solve_in_place(std::vector<T>& x) const {
   if (x.size() != static_cast<std::size_t>(n_))
     throw std::invalid_argument("SparseLu::solve: rhs size mismatch");
+  OBS_COUNTER_ADD("lu.solves", 1);
   std::vector<T>& w = work_;
 
   // A2 = A(perm,perm) and P2 A2 = L U, so w = P2 * (b permuted by perm).

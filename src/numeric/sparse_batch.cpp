@@ -181,6 +181,8 @@ void SparseLuBatch::refactor(const BatchedValues& values) {
   auto& stats = sparse_lu_stats();
   stats.numeric += lanes_ - n_ejected;
   stats.ejected_lanes += n_ejected;
+  OBS_COUNTER_ADD("batch.refactors", 1);
+  OBS_COUNTER_ADD("batch.lanes_refactored", lanes_ - n_ejected);
   if (n_ejected == 0) return;
 
   // Ejected lanes fall back to exactly what the scalar path would do: a
@@ -276,6 +278,7 @@ void SparseLuBatch::solve_in_place(BatchedValues& x) const {
     throw std::invalid_argument("SparseLuBatch::solve: lane count mismatch");
   if (x.slots() != static_cast<std::size_t>(donor_.n_))
     throw std::invalid_argument("SparseLuBatch::solve: rhs size mismatch");
+  OBS_COUNTER_ADD("batch.solves", 1);
 
   // Solve ejected lanes through their scalar fallback BEFORE the batch
   // kernel clobbers x; the kernel then streams garbage through those lanes

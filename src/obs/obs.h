@@ -1,0 +1,7 @@
+// Umbrella header for the observability subsystem: counters/histograms
+// (obs/metrics.h) plus spans/tracing/Stopwatch (obs/trace.h). Library code
+// instruments through this single include.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"

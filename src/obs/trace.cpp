@@ -1,0 +1,145 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace rlcsim::obs {
+namespace {
+
+struct TraceState {
+  std::mutex mutex;
+  std::string path;
+  bool active = false;
+  bool atexit_registered = false;
+};
+
+TraceState& state() {
+  static TraceState s;
+  return s;
+}
+
+// Fast-path flag so spans outside an active trace cost one relaxed load.
+std::atomic<bool> g_trace_on{false};
+
+// Nanoseconds since the process trace epoch (pinned at first use, which
+// begin_trace forces so every event in a trace shares one origin).
+std::uint64_t now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void maybe_start_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const auto path = trace_path_from_env();
+    if (path) begin_trace(*path);
+  });
+}
+
+// Prints a ns quantity as microseconds with exact .3 fraction — integer
+// arithmetic only, so the JSON round-trips the nanosecond losslessly.
+void print_us(std::FILE* f, std::uint64_t ns) {
+  std::fprintf(f, "%llu.%03llu", static_cast<unsigned long long>(ns / 1000),
+               static_cast<unsigned long long>(ns % 1000));
+}
+
+}  // namespace
+
+std::optional<std::string> trace_path_from_env() {
+  const char* raw = std::getenv("RLCSIM_TRACE");
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
+bool trace_active() {
+  maybe_start_from_env();
+  return g_trace_on.load(std::memory_order_acquire);
+}
+
+void begin_trace(const std::string& path) {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.active)
+    throw std::logic_error(
+        "obs::begin_trace: a trace is already active (writing to \"" +
+        s.path + "\")");
+  // Probe the path NOW: a typo'd RLCSIM_TRACE must fail loudly at startup,
+  // not lose the whole trace at exit.
+  std::FILE* probe = std::fopen(path.c_str(), "w");
+  if (probe == nullptr)
+    throw std::invalid_argument(
+        "RLCSIM_TRACE: cannot open trace output path \"" + path + "\"");
+  std::fclose(probe);
+  (void)now_ns();  // pin the epoch before any span starts
+  s.path = path;
+  s.active = true;
+  if (!s.atexit_registered) {
+    s.atexit_registered = true;
+    std::atexit([] { end_trace(); });
+  }
+  g_trace_on.store(true, std::memory_order_release);
+}
+
+void end_trace() {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.active) return;
+  g_trace_on.store(false, std::memory_order_release);
+  s.active = false;
+
+  auto events = drain_trace_events();
+  // Perfetto groups by tid and expects a parent's "X" event before its
+  // children; (tid, start asc, dur desc) puts enclosing spans first.
+  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    if (a.second.start_ns != b.second.start_ns)
+      return a.second.start_ns < b.second.start_ns;
+    return a.second.dur_ns > b.second.dur_ns;
+  });
+
+  std::FILE* f = std::fopen(s.path.c_str(), "w");
+  if (f == nullptr) return;  // probed at begin; exit paths must not throw
+  std::fprintf(f, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+  bool first = true;
+  for (const auto& [tid, event] : events) {
+    if (!first) std::fprintf(f, ",\n");
+    first = false;
+    std::fprintf(f, "{\"name\":\"%s\",\"cat\":\"rlcsim\",\"ph\":\"X\",\"ts\":",
+                 event.name);
+    print_us(f, event.start_ns);
+    std::fprintf(f, ",\"dur\":");
+    print_us(f, event.dur_ns);
+    std::fprintf(f, ",\"pid\":1,\"tid\":%llu",
+                 static_cast<unsigned long long>(tid));
+    if (event.arg != kSpanNoArg)
+      std::fprintf(f, ",\"args\":{\"n\":%ld}", event.arg);
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+}
+
+ScopedSpan::ScopedSpan(const char* name, long arg) : name_(name), arg_(arg) {
+  tracing_ = trace_active();
+  timing_ = tracing_ || metrics_enabled();
+  if (timing_) start_ns_ = now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!timing_) return;
+  const std::uint64_t end_ns = now_ns();
+  const std::uint64_t dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  if (tracing_ && g_trace_on.load(std::memory_order_acquire))
+    append_trace_event(TraceEvent{name_, start_ns_, dur_ns, arg_});
+  record_span_seconds(name_, static_cast<double>(dur_ns) * 1e-9);
+}
+
+}  // namespace rlcsim::obs

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.h"
 #include "runtime/env.h"
 
 namespace rlcsim::runtime {
@@ -77,9 +78,16 @@ struct ThreadPool::Impl {
 
   bool take_own(std::size_t worker, std::size_t* out) {
     Range& r = *ranges[worker];
-    std::lock_guard<std::mutex> lock(r.mutex);
-    if (r.begin >= r.end) return false;
-    *out = r.begin++;
+    std::size_t remaining = 0;
+    {
+      std::lock_guard<std::mutex> lock(r.mutex);
+      if (r.begin >= r.end) return false;
+      *out = r.begin++;
+      remaining = r.end - r.begin;
+    }
+    // Sampled at every pop: the depth distribution shows whether the static
+    // per-worker split keeps workers fed or stealing is doing the balancing.
+    OBS_HISTOGRAM_RECORD("pool.queue_depth", remaining);
     return true;
   }
 
@@ -117,6 +125,7 @@ struct ThreadPool::Impl {
       own.end = stolen_end;
     }
     *out = stolen_begin;
+    OBS_COUNTER_ADD("pool.steals", 1);
     return true;
   }
 
@@ -131,6 +140,7 @@ struct ThreadPool::Impl {
       } catch (...) {
         record_error(index);
       }
+      OBS_COUNTER_ADD("pool.tasks_executed", 1);
       if (completed.fetch_add(1) + 1 == total) {
         std::lock_guard<std::mutex> lock(job_mutex);
         done_cv.notify_all();
@@ -189,6 +199,10 @@ void ThreadPool::parallel_for(
   // stay consistent).
   if (tls_identity.pool == impl_.get()) {
     const std::size_t worker = tls_identity.worker;
+    // The inline path still books its tasks so the global invariant
+    // tasks_executed == tasks_submitted holds at quiescence.
+    OBS_COUNTER_ADD("pool.jobs_nested_inline", 1);
+    OBS_COUNTER_ADD("pool.tasks_submitted", n);
     std::exception_ptr error;
     std::size_t error_index = 0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -200,6 +214,7 @@ void ThreadPool::parallel_for(
           error_index = i;
         }
       }
+      OBS_COUNTER_ADD("pool.tasks_executed", 1);
     }
     (void)error_index;
     if (error) std::rethrow_exception(error);
@@ -208,6 +223,9 @@ void ThreadPool::parallel_for(
 
   // One external job at a time; a concurrent caller waits its turn here.
   std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
+
+  OBS_COUNTER_ADD("pool.jobs", 1);
+  OBS_COUNTER_ADD("pool.tasks_submitted", n);
 
   {
     std::lock_guard<std::mutex> lock(impl_->job_mutex);

@@ -12,6 +12,7 @@
 
 #include "numeric/matrix.h"
 #include "numeric/sparse.h"
+#include "obs/obs.h"
 
 namespace rlcsim::sim {
 namespace {
@@ -94,6 +95,8 @@ std::vector<double> dc_operating_point(const Circuit& circuit, double gmin) {
 }
 
 TransientResult run_transient(const Circuit& circuit, const TransientOptions& options) {
+  OBS_SPAN("transient.run");
+  OBS_COUNTER_ADD("transient.runs", 1);
   if (!(options.t_stop > 0.0))
     throw std::invalid_argument("run_transient: t_stop must be > 0");
   const double dt_nominal =
@@ -192,12 +195,22 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
   // runs either), else the first factorization of this run.
   const numeric::RealSparseLu* symbolic_donor =
       (reuse && reuse->system_symbolic) ? reuse->system_symbolic.get() : nullptr;
-  if (symbolic_donor) ++reuse->reuse_hits;
+  if (symbolic_donor) {
+    ++reuse->reuse_hits;
+    OBS_COUNTER_ADD("reuse.solver_hits", 1);
+  } else {
+    OBS_COUNTER_ADD("reuse.solver_misses", 1);
+  }
   std::vector<double> system_values;  // reused CSR value buffer
 
   const auto factorized = [&](double dt, Integrator method) -> const CachedFactor& {
     const auto key = std::make_pair(quantize(dt), static_cast<int>(method));
     auto it = lu_cache.find(key);
+    if (it != lu_cache.end()) {
+      OBS_COUNTER_ADD("cache.lu_dt.hits", 1);
+    } else {
+      OBS_COUNTER_ADD("cache.lu_dt.misses", 1);
+    }
     if (it == lu_cache.end()) {
       CachedFactor factor;
       if (use_sparse) {
@@ -348,6 +361,7 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
     ++steps;
   }
 
+  OBS_COUNTER_ADD("transient.steps", steps);
   TransientResult result;
   result.waveforms = WaveformSet(std::move(times), std::move(node_values));
   result.buffer_fire_times = state.buffer_fire_time;

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "numeric/sparse_batch.h"
+#include "obs/obs.h"
 #include "sim/mna.h"
 #include "sim/waveform.h"
 
@@ -46,6 +47,7 @@ std::set<double> breakpoints_of(const Circuit& circuit, double t_stop) {
 std::optional<std::vector<double>> run_batched_crossings(
     const std::vector<Circuit>& circuits, const std::string& node, double level,
     const TransientOptions& options, const char* context) {
+  OBS_SPAN("transient.batch");
   const std::size_t lanes = circuits.size();
   if (!numeric::is_supported_lane_width(lanes)) return std::nullopt;
 
@@ -228,6 +230,9 @@ std::optional<std::vector<double>> run_batched_crossings(
   };
   std::map<std::pair<std::int64_t, int>, numeric::SparseLuBatch> lu_cache;
   reuse->reuse_hits += lanes;  // one replayed system symbolic per lane
+  OBS_COUNTER_ADD("reuse.solver_hits", lanes);
+  OBS_COUNTER_ADD("batch.tiles", 1);
+  OBS_COUNTER_ADD("batch.lanes", lanes);
   numeric::BatchedValues system_values(
       static_cast<std::size_t>(reuse->system_pattern->nnz()), lanes);
 
@@ -239,8 +244,16 @@ std::optional<std::vector<double>> run_batched_crossings(
   const auto factorized = [&](double dt,
                               Integrator method) -> const numeric::SparseLuBatch& {
     const auto key = std::make_pair(quantize(dt), static_cast<int>(method));
-    if (last_factor != nullptr && key == last_key) return *last_factor;
+    if (last_factor != nullptr && key == last_key) {
+      OBS_COUNTER_ADD("cache.lu_dt_batch.hits", 1);
+      return *last_factor;
+    }
     auto it = lu_cache.find(key);
+    if (it != lu_cache.end()) {
+      OBS_COUNTER_ADD("cache.lu_dt_batch.hits", 1);
+    } else {
+      OBS_COUNTER_ADD("cache.lu_dt_batch.misses", 1);
+    }
     if (it == lu_cache.end()) {
       const double scale = MnaAssembler::transient_scale(dt, method);
       for (std::size_t lane = 0; lane < lanes; ++lane)

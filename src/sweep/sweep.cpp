@@ -1,7 +1,6 @@
 #include "sweep/sweep.h"
 
 #include <atomic>
-#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -11,6 +10,7 @@
 #include "numeric/fp_env.h"
 #include "numeric/sparse.h"
 #include "numeric/sparse_batch.h"
+#include "obs/obs.h"
 #include "repbus/stage_compose.h"
 #include "runtime/thread_pool.h"
 #include "sim/ac.h"
@@ -405,20 +405,20 @@ struct SweepEngine::Impl {
                        const std::vector<mor::ConductanceReuse>& mor_reuse,
                        const std::atomic<std::size_t>& symbolic,
                        const std::atomic<std::size_t>& ejected,
-                       std::chrono::steady_clock::time_point started) {
+                       const obs::Stopwatch& started) {
     out.symbolic_factorizations = symbolic.load();
     out.ejected_lanes = ejected.load();
     for (const auto& r : reuse) out.solver_reuse_hits += r.reuse_hits;
     for (const auto& r : mor_reuse) out.solver_reuse_hits += r.reuse_hits;
-    // Wall-clock reads feed ONLY the elapsed/points-per-second observability
-    // counters, never a result value — the one sanctioned use in src/.
-    out.elapsed_seconds =
-        std::chrono::duration<double>(  // rlcsim-lint: allow(wall-clock)
-            std::chrono::steady_clock::now() - started)
-            .count();
+    // Wall time feeds ONLY the elapsed/points-per-second observability
+    // metadata, never a result value; obs::Stopwatch is the sanctioned
+    // clock access (the lint wallclock-scope rule bans ::now() here).
+    out.elapsed_seconds = started.seconds();
     out.points_per_second = out.elapsed_seconds > 0.0
                                 ? static_cast<double>(points) / out.elapsed_seconds
                                 : 0.0;
+    OBS_COUNTER_ADD("sweep.points_batched", out.batched_points);
+    OBS_COUNTER_ADD("sweep.points_scalar", out.scalar_points);
   }
 };
 
@@ -432,11 +432,13 @@ std::size_t SweepEngine::threads() const { return impl_->pool.size(); }
 const EngineOptions& SweepEngine::options() const { return impl_->options; }
 
 SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
+  OBS_SPAN("sweep.run");
+  OBS_COUNTER_ADD("sweep.runs", 1);
   const numeric::fp_env_guard fp_guard("sweep::SweepEngine::run");
   spec.validate();
   const std::size_t n = spec.size();
   // Timing metadata only (elapsed_seconds), not a result value.
-  const auto started = std::chrono::steady_clock::now();  // rlcsim-lint: allow(wall-clock)
+  const obs::Stopwatch started;
 
   SweepResult out;
   out.threads_used = impl_->pool.size();
@@ -507,6 +509,7 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
   if (lane_width > 1) {
     const std::size_t tiles = (n - first + lane_width - 1) / lane_width;
     impl_->pool.parallel_for(tiles, [&](std::size_t tile, std::size_t worker) {
+      OBS_SPAN("sweep.tile");
       const std::size_t begin = first + tile * lane_width;
       const std::size_t count = std::min(lane_width, n - begin);
       const std::size_t before = numeric::sparse_lu_stats().symbolic;
@@ -552,6 +555,7 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
 
   scalar_points += n - first;  // the non-tiled path is scalar point by point
   impl_->pool.parallel_for(n - first, [&](std::size_t i, std::size_t worker) {
+    OBS_SPAN("sweep.point");
     const std::size_t flat = i + first;
     const Scenario scenario = spec.at(flat);
     // A point whose reduction_order differs from the basis's build order
@@ -559,6 +563,7 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
     // per-point reduction at its own order, like structural mismatches do.
     const bool point_projects =
         project && scenario.xtalk.reduction_order == basis_order;
+    if (point_projects) OBS_COUNTER_ADD("reuse.projection_points", 1);
     const std::size_t before = numeric::sparse_lu_stats().symbolic;
     out.values[flat] = evaluate_point(scenario, analysis, options,
                                       seeded ? &reuse[worker] : nullptr,
@@ -576,9 +581,11 @@ SweepResult SweepEngine::run(const SweepSpec& spec, Analysis analysis) const {
 SweepResult SweepEngine::run_custom(
     std::size_t n,
     const std::function<double(std::size_t, PointContext&)>& eval) const {
+  OBS_SPAN("sweep.run_custom");
+  OBS_COUNTER_ADD("sweep.runs", 1);
   const numeric::fp_env_guard fp_guard("sweep::SweepEngine::run_custom");
   // Timing metadata only (elapsed_seconds), not a result value.
-  const auto started = std::chrono::steady_clock::now();  // rlcsim-lint: allow(wall-clock)
+  const obs::Stopwatch started;
   SweepResult out;
   out.threads_used = impl_->pool.size();
   out.values.assign(n, kNaN);
@@ -588,6 +595,7 @@ SweepResult SweepEngine::run_custom(
   std::vector<mor::ConductanceReuse> mor_reuse(impl_->pool.size());
 
   impl_->pool.parallel_for(n, [&](std::size_t i, std::size_t worker) {
+    OBS_SPAN("sweep.point");
     PointContext ctx{&reuse[worker], &mor_reuse[worker], worker};
     const std::size_t before = numeric::sparse_lu_stats().symbolic;
     out.values[i] = eval(i, ctx);

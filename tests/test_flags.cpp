@@ -10,6 +10,7 @@
 
 #include "../bench/bench_util.h"
 #include "numeric/sparse_batch.h"
+#include "obs/obs.h"
 #include "runtime/env.h"
 #include "runtime/thread_pool.h"
 
@@ -204,6 +205,51 @@ TEST(ParseEnvEnum, ContractDirectly) {
       EXPECT_NE(std::string(error.what()).find(bad), std::string::npos);
     }
   }
+}
+
+// The observability knobs ride the same junk-throws contract. These pin
+// the pure re-reading parsers (parse_metrics_env / trace_path_from_env);
+// the cached metrics_enabled()/trace_active() gates are process-lifetime
+// and covered behaviorally by test_obs.
+TEST(MetricsEnv, UnsetEmptyAndOneEnable) {
+  for (const char* value : {static_cast<const char*>(nullptr), "", "1"}) {
+    ScopedEnv env("RLCSIM_METRICS", value);
+    EXPECT_TRUE(rlcsim::obs::parse_metrics_env());
+  }
+}
+
+TEST(MetricsEnv, ZeroDisables) {
+  ScopedEnv env("RLCSIM_METRICS", "0");
+  EXPECT_FALSE(rlcsim::obs::parse_metrics_env());
+}
+
+TEST(MetricsEnv, JunkThrowsWithTheOffendingValue) {
+  // Exact-token matching: boolean spellings, padding, and whitespace are
+  // junk — a typo must not silently flip telemetry on or off.
+  for (const char* bad : {"2", "true", "on", "01", " 1", "yes"}) {
+    ScopedEnv env("RLCSIM_METRICS", bad);
+    try {
+      (void)rlcsim::obs::parse_metrics_env();
+      FAIL() << "expected std::invalid_argument for RLCSIM_METRICS=" << bad;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("RLCSIM_METRICS"),
+                std::string::npos);
+      EXPECT_NE(std::string(error.what()).find(bad), std::string::npos);
+    }
+  }
+}
+
+TEST(TraceEnv, UnsetAndEmptyMeanNoTrace) {
+  for (const char* value : {static_cast<const char*>(nullptr), ""}) {
+    ScopedEnv env("RLCSIM_TRACE", value);
+    EXPECT_FALSE(rlcsim::obs::trace_path_from_env().has_value());
+  }
+}
+
+TEST(TraceEnv, AnyOtherValueIsTheOutputPath) {
+  ScopedEnv env("RLCSIM_TRACE", "/tmp/rlcsim_trace.json");
+  EXPECT_EQ(rlcsim::obs::trace_path_from_env(),
+            std::string("/tmp/rlcsim_trace.json"));
 }
 
 TEST(ThreadListFlag, ParsesValidLists) {

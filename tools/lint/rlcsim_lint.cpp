@@ -6,11 +6,14 @@
 // run. This linter enforces the *source-level* invariants the contract
 // rests on, on every line of src/, bench/ and tests/, at every PR:
 //
-//   wall-clock            std::chrono::*::now(), time(), clock(),
-//                         gettimeofday/clock_gettime in src/ — wall-clock
-//                         reads belong in bench mains; in library code they
-//                         are either dead weight or a schedule-dependent
-//                         input to a result.
+//   wallclock-scope       std::chrono::*::now(), time(), clock(),
+//                         gettimeofday/clock_gettime in src/ outside
+//                         src/obs/ — wall-clock reads belong in bench mains
+//                         and the observability subsystem (whose telemetry
+//                         is write-only by construction); anywhere else in
+//                         library code they are either dead weight or a
+//                         schedule-dependent input to a result. Library
+//                         code that needs a duration uses obs::Stopwatch.
 //   nondeterministic-source
 //                         rand()/srand()/std::random_device/std::mt19937 in
 //                         src/ — any randomness in a result-producing path
@@ -137,7 +140,7 @@ std::string strip_line_comment(const std::string& line) {
   return line;
 }
 
-enum class Scope { kSrcOnly, kEverywhere, kBatchKernels };
+enum class Scope { kSrcOnly, kSrcOutsideObs, kEverywhere, kBatchKernels };
 
 struct Rule {
   const char* id;
@@ -153,7 +156,7 @@ std::string check_wall_clock(const std::string& code, const std::string&) {
       contains_word(code, "clock(") || contains(code, "gettimeofday") ||
       contains(code, "clock_gettime"))
     return "wall-clock read in library code; timing belongs in bench mains "
-           "(or must be observability-only metadata)";
+           "or src/obs/ (use obs::Stopwatch for durations)";
   return {};
 }
 
@@ -212,8 +215,10 @@ std::string check_kernel_restrict(const std::string& code,
 }
 
 constexpr Rule kRules[] = {
-    {"wall-clock", Scope::kSrcOnly,
-     "no wall-clock reads in src/ (bench mains only)", check_wall_clock},
+    {"wallclock-scope", Scope::kSrcOutsideObs,
+     "no wall-clock reads in src/ outside src/obs/ (bench mains and the "
+     "observability subsystem only)",
+     check_wall_clock},
     {"nondeterministic-source", Scope::kSrcOnly,
      "no ambient PRNGs (rand/random_device/mt19937) in src/", check_random},
     {"fp-contract", Scope::kEverywhere,
@@ -300,6 +305,12 @@ void scan_file(const fs::path& path, const std::string& rel_path,
     const std::string& raw_prev = i > 0 ? raw_lines[i - 1] : std::string();
     for (const Rule& rule : kRules) {
       if (rule.scope == Scope::kSrcOnly && top_dir != "src") continue;
+      // The obs subsystem is the one sanctioned home for wall-clock reads
+      // in src/: its telemetry is write-only, so a clock there cannot feed
+      // a result. Everything else in src/obs/ is still linted.
+      if (rule.scope == Scope::kSrcOutsideObs &&
+          (top_dir != "src" || rel_path.rfind("src/obs/", 0) == 0))
+        continue;
       if (rule.scope == Scope::kBatchKernels && !batch_kernel) continue;
       const std::string message = rule.check(code, raw_prev);
       if (message.empty()) continue;

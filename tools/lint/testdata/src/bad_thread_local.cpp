@@ -11,7 +11,7 @@ thread_local int sanctioned_counter = 0;
 int bump() { return ++per_worker_accumulator + ++sanctioned_counter; }
 
 // A suppression with no matching violation is stale and must be reported.
-// rlcsim-lint: allow(wall-clock)
+// rlcsim-lint: allow(wallclock-scope)
 int no_violation_here() { return 0; }  // planted: unused-suppression above
 
 }  // namespace fixture

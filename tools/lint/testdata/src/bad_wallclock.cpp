@@ -14,9 +14,10 @@ double elapsed() {
       .count();  // the now() above is on its own line and planted too
 }
 
-// Observability-only counter: the sanctioned exception shape.
+// A reviewed one-off exception: the suppression shape (real library code
+// should reach for obs::Stopwatch or live in src/obs/ instead).
 double sanctioned() {
-  const auto t = std::chrono::steady_clock::now();  // rlcsim-lint: allow(wall-clock)
+  const auto t = std::chrono::steady_clock::now();  // rlcsim-lint: allow(wallclock-scope)
   return std::chrono::duration<double>(t.time_since_epoch()).count();
 }
 
