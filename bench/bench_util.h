@@ -11,11 +11,55 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "numeric/sparse_batch.h"
 #include "obs/obs.h"
+#include "runtime/thread_pool.h"
+
+// Build provenance, injected per bench target by CMakeLists.txt
+// (target_compile_definitions). The fallbacks keep bench TUs compiling in
+// ad-hoc builds (e.g. a bare `c++ bench/foo.cpp`) that bypass CMake.
+#ifndef RLCSIM_GIT_SHA
+#define RLCSIM_GIT_SHA "unknown"
+#endif
+#ifndef RLCSIM_BUILD_TYPE
+#define RLCSIM_BUILD_TYPE "unknown"
+#endif
+#ifndef RLCSIM_BUILD_CXX_FLAGS
+#define RLCSIM_BUILD_CXX_FLAGS ""
+#endif
+#ifndef RLCSIM_NATIVE_BUILD
+#define RLCSIM_NATIVE_BUILD 0
+#endif
 
 namespace benchutil {
+
+// Bumped whenever a bench's JSON shape changes incompatibly (keys renamed,
+// arrays restructured). tools/perfkit/perfkit_compare refuses to compare
+// across schema versions — a shape change must re-bless bench/baselines/.
+inline constexpr int kBenchSchemaVersion = 1;
+
+// Run provenance: the `"manifest": {...},` member every BENCH_*.json leads
+// with, so any archived result can be traced to the exact code, build, and
+// host shape that produced it. Call it right after printing the opening
+// `{` of the document. lane_width/default_threads reflect the env knobs
+// (RLCSIM_LANES, RLCSIM_THREADS) in effect at emit time; host_cores is the
+// physical context that makes cross-machine rate comparisons guesswork —
+// which is why perfkit baselines gate machine-independent metrics only.
+inline void manifest_json_block(const char* bench_name) {
+  std::printf(
+      "  \"manifest\": {\"schema_version\": %d, \"bench\": \"%s\", "
+      "\"git_sha\": \"%s\", \"build_type\": \"%s\", "
+      "\"cxx_flags\": \"%s\", \"native_build\": %s, \"lane_width\": %zu, "
+      "\"default_threads\": %zu, \"host_cores\": %u},\n",
+      kBenchSchemaVersion, bench_name, RLCSIM_GIT_SHA, RLCSIM_BUILD_TYPE,
+      RLCSIM_BUILD_CXX_FLAGS, RLCSIM_NATIVE_BUILD ? "true" : "false",
+      rlcsim::numeric::default_lane_width(),
+      rlcsim::runtime::default_thread_count(),
+      std::thread::hardware_concurrency());
+}
 
 // "--threads a,b,c" parser shared by the scaling benches. Every entry must
 // be a positive integer: junk, nonpositive, or empty entries throw

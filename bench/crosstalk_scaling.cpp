@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
   const std::size_t points = spec.size();
 
   std::printf("{\n");
+  benchutil::manifest_json_block("crosstalk_scaling");
   std::printf("  \"bench\": \"crosstalk_scaling\",\n");
   std::printf("  \"analysis\": \"crosstalk_delay\",\n");
   std::printf("  \"bus_lines\": %d,\n", spec.base.xtalk.bus_lines);

@@ -144,7 +144,9 @@ int main(int argc, char** argv) {
   }
 
   bool pass = true;
-  std::printf("{\n  \"bench\": \"graph_scaling\",\n");
+  std::printf("{\n");
+  benchutil::manifest_json_block("graph_scaling");
+  std::printf("  \"bench\": \"graph_scaling\",\n");
   std::printf("  \"fast\": %s,\n", fast ? "true" : "false");
 
   // ---------------------------------------- 2. chain equivalence (bitwise)

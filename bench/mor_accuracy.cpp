@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
 
   bool pass = true;
   std::printf("{\n");
+  benchutil::manifest_json_block("mor_accuracy");
   std::printf("  \"bench\": \"mor_accuracy\",\n");
   std::printf("  \"segments\": %d,\n", kSegments);
 

@@ -71,7 +71,9 @@ int main(int argc, char** argv) {
   spec.segments_per_section = 12;
 
   bool pass = true;
-  std::printf("{\n  \"bench\": \"repbus_frontier\",\n");
+  std::printf("{\n");
+  benchutil::manifest_json_block("repbus_frontier");
+  std::printf("  \"bench\": \"repbus_frontier\",\n");
   std::printf("  \"bus\": {\"lines\": %d, \"cc_ratio\": 0.4, \"lm_ratio\": 0.25,"
               " \"sections\": %d, \"size\": %.1f},\n",
               bus.lines, spec.sections, spec.size);

@@ -134,6 +134,7 @@ int main(int argc, char** argv) {
   const int dense_ac_cap = 200;
 
   std::printf("{\n");
+  benchutil::manifest_json_block("solver_scaling");
   std::printf("  \"workload\": \"gate + N-segment RLC ladder + load "
               "(Rtr=500, Rt=500, Lt=1e-7, Ct=1e-12, CL=0.5e-12)\",\n");
 

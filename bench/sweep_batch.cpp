@@ -210,6 +210,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("{\n");
+  benchutil::manifest_json_block("sweep_batch");
   std::printf("  \"bench\": \"sweep_batch\",\n");
   std::printf("  \"fast\": %s,\n", fast ? "true" : "false");
   std::printf("  \"hardware_concurrency\": %u,\n",

@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
   const std::size_t points = spec.size();
 
   std::printf("{\n");
+  benchutil::manifest_json_block("sweep_scaling");
   std::printf("  \"bench\": \"sweep_scaling\",\n");
   std::printf("  \"analysis\": \"transient_delay\",\n");
   std::printf("  \"points\": %zu,\n", points);

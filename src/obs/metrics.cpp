@@ -143,18 +143,39 @@ double histogram_bucket_upper_bound(std::size_t bucket) {
   return std::ldexp(1.0, static_cast<int>(bucket) - 31);
 }
 
+double histogram_bucket_lower_bound(std::size_t bucket) {
+  if (bucket == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(bucket) - 32);
+}
+
 double HistogramSnapshot::percentile(double p) const {
   if (count == 0) return 0.0;
   double rank = std::ceil(p / 100.0 * static_cast<double>(count));
   if (rank < 1.0) rank = 1.0;
   if (rank > static_cast<double>(count)) rank = static_cast<double>(count);
-  std::uint64_t cumulative = 0;
+  std::uint64_t before = 0;
   for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
-    cumulative += buckets[b];
-    if (static_cast<double>(cumulative) >= rank)
-      return histogram_bucket_upper_bound(b);
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(before + in_bucket) >= rank) {
+      // Bucket 0 (zero/negative/underflow) has no logarithmic width to
+      // interpolate across; the exact observed minimum is the honest answer.
+      if (b == 0) return min;
+      // Geometric interpolation: the rank sits a fraction f through this
+      // bucket's occupants, so report lower * 2^f — the log-uniform
+      // position inside [2^(b-32), 2^(b-31)). Clamping to the exact
+      // observed extrema makes p100 report max (not the bucket bound, up
+      // to 2x above it) and keeps p0 at or above min.
+      const double fraction = (rank - static_cast<double>(before)) /
+                              static_cast<double>(in_bucket);
+      double value = histogram_bucket_lower_bound(b) * std::pow(2.0, fraction);
+      if (value < min) value = min;
+      if (value > max) value = max;
+      return value;
+    }
+    before += in_bucket;
   }
-  return histogram_bucket_upper_bound(kHistogramBuckets - 1);
+  return max;
 }
 
 // ------------------------------------------------------------------ Counter
@@ -255,6 +276,25 @@ MetricsSnapshot snapshot() {
   for (const auto& [name, id] : reg.histogram_ids)
     out.histograms.emplace(name, merge_histogram_locked(reg, id));
   return out;
+}
+
+std::optional<std::uint64_t> counter_total(const std::string& name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto found = reg.counter_ids.find(name);
+  if (found == reg.counter_ids.end()) return std::nullopt;
+  std::uint64_t sum = 0;
+  for (const auto& shard : reg.shards)
+    sum += shard->counters[found->second].load(std::memory_order_relaxed);
+  return sum;
+}
+
+std::optional<HistogramSnapshot> histogram_total(const std::string& name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto found = reg.histogram_ids.find(name);
+  if (found == reg.histogram_ids.end()) return std::nullopt;
+  return merge_histogram_locked(reg, found->second);
 }
 
 std::string metrics_json(int indent) {

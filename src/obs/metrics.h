@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -66,9 +67,11 @@ bool metrics_enabled();
 // deterministic, allocation-free shape with hand-computable percentiles,
 // not a research-grade sketch.
 std::size_t histogram_bucket_of(double value);
-// The EXCLUSIVE upper bound 2^(bucket-31) of a bucket; percentile estimates
-// report this bound.
+// The EXCLUSIVE upper bound 2^(bucket-31) of a bucket.
 double histogram_bucket_upper_bound(std::size_t bucket);
+// The INCLUSIVE lower bound 2^(bucket-32) of a bucket; 0 for bucket 0
+// (which collects zero/negative/underflow/NaN and has no log width).
+double histogram_bucket_lower_bound(std::size_t bucket);
 
 struct HistogramSnapshot {
   std::uint64_t count = 0;
@@ -77,9 +80,15 @@ struct HistogramSnapshot {
   double max = 0.0;
   std::array<std::uint64_t, kHistogramBuckets> buckets{};
 
-  // Bucket-upper-bound percentile estimate, p in [0, 100]: the bound of the
-  // first bucket whose cumulative count reaches rank ceil(p/100 * count)
-  // (clamped to [1, count]); 0 when the histogram is empty.
+  // Log-interpolated percentile estimate, p in [0, 100]: locates the bucket
+  // holding rank ceil(p/100 * count) (clamped to [1, count]), interpolates
+  // geometrically across the bucket's [2^(b-32), 2^(b-31)) span by the
+  // rank's position within it, and clamps to the exact observed [min, max].
+  // Returning the raw bucket upper bound — the pre-PR-10 behavior — could
+  // overstate a percentile by almost 2x at this bucket width, which would
+  // poison any tolerance window compared against it (tools/perfkit). Rank
+  // within bucket 0 (zero/negative/underflow) reports the exact min; an
+  // empty histogram reports 0.
   double percentile(double p) const;
 };
 
@@ -129,6 +138,13 @@ class Histogram {
 
 // Aggregates every registered metric across all shards, names sorted.
 MetricsSnapshot snapshot();
+
+// Name-keyed single-metric aggregation (what external consumers — tests,
+// tools/perfkit, the future resident service — need without paying for a
+// full snapshot or holding a handle). std::nullopt = name never registered;
+// a registered-but-untouched metric reports zeros, matching snapshot().
+std::optional<std::uint64_t> counter_total(const std::string& name);
+std::optional<HistogramSnapshot> histogram_total(const std::string& name);
 
 // The unified `"metrics": {...}` JSON object every BENCH_*.json embeds:
 // {"counters": {...}, "histograms": {name: {count,sum,min,max,p50,p99}}}.

@@ -83,14 +83,19 @@ TEST(ObsHistogram, BucketShapeIsThePinnedPowerOfTwoLadder) {
   EXPECT_EQ(obs::histogram_bucket_of(1e300), 63u);
   EXPECT_DOUBLE_EQ(obs::histogram_bucket_upper_bound(32), 2.0);
   EXPECT_DOUBLE_EQ(obs::histogram_bucket_upper_bound(33), 4.0);
+  // Lower bounds: the previous bucket's upper bound, except bucket 0 (the
+  // zero/negative/underflow sink) whose conceptual lower bound is 0.
+  EXPECT_DOUBLE_EQ(obs::histogram_bucket_lower_bound(32), 1.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_bucket_lower_bound(33), 2.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_bucket_lower_bound(0), 0.0);
 }
 
 TEST(ObsHistogram, PercentilesMatchHandComputedGolden) {
   if (!obs::metrics_enabled())
     GTEST_SKIP() << "RLCSIM_METRICS=0 in this environment";
   const obs::Histogram hist("test.obs.percentile_golden");
-  // {1, 1, 1, 1, 3}: four values in bucket 32 (upper bound 2), one in
-  // bucket 33 (upper bound 4).
+  // {1, 1, 1, 1, 3}: four values in bucket 32 ([1, 2)), one in bucket 33
+  // ([2, 4)).
   for (int i = 0; i < 4; ++i) hist.record(1.0);
   hist.record(3.0);
 
@@ -99,19 +104,62 @@ TEST(ObsHistogram, PercentilesMatchHandComputedGolden) {
   EXPECT_DOUBLE_EQ(snap.sum, 7.0);
   EXPECT_DOUBLE_EQ(snap.min, 1.0);
   EXPECT_DOUBLE_EQ(snap.max, 3.0);
-  // p50: rank ceil(0.5 * 5) = 3 -> bucket 32 -> bound 2.0.
-  EXPECT_DOUBLE_EQ(snap.percentile(50.0), 2.0);
-  // p99: rank ceil(0.99 * 5) = 5 -> bucket 33 -> bound 4.0.
-  EXPECT_DOUBLE_EQ(snap.percentile(99.0), 4.0);
-  // Rank clamps to [1, count]: p0 is the first value's bucket, p100 the last.
-  EXPECT_DOUBLE_EQ(snap.percentile(0.0), 2.0);
-  EXPECT_DOUBLE_EQ(snap.percentile(100.0), 4.0);
+  // p50: rank ceil(0.5 * 5) = 3, the 3rd of bucket 32's four occupants ->
+  // log-interpolated 1 * 2^(3/4).
+  EXPECT_DOUBLE_EQ(snap.percentile(50.0), std::pow(2.0, 0.75));
+  // p99: rank 5 fills bucket 33 -> 2 * 2^1 = 4, clamped to the exact
+  // max 3.0 (the old upper-bound answer was 4.0 — a 33% overstatement).
+  EXPECT_DOUBLE_EQ(snap.percentile(99.0), 3.0);
+  // Rank clamps to [1, count]: p0 interpolates the first occupant of
+  // bucket 32 (1 * 2^(1/4)), p100 clamps to the exact max.
+  EXPECT_DOUBLE_EQ(snap.percentile(0.0), std::pow(2.0, 0.25));
+  EXPECT_DOUBLE_EQ(snap.percentile(100.0), 3.0);
+}
+
+TEST(ObsHistogram, PercentileInterpolationStaysInsideObservedRange) {
+  if (!obs::metrics_enabled())
+    GTEST_SKIP() << "RLCSIM_METRICS=0 in this environment";
+  // One value, recorded once: every percentile must report exactly it.
+  // The pre-interpolation behavior returned the bucket upper bound 2.0 for
+  // a lone 1.1 — the ~2x overstatement the perfkit comparator cares about.
+  const obs::Histogram hist("test.obs.percentile_single");
+  hist.record(1.1);
+  const obs::HistogramSnapshot snap = hist.total();
+  EXPECT_DOUBLE_EQ(snap.percentile(50.0), 1.1);
+  EXPECT_DOUBLE_EQ(snap.percentile(99.0), 1.1);
+
+  // Values in bucket 0 report the exact observed minimum.
+  const obs::Histogram zeros("test.obs.percentile_zeros");
+  zeros.record(0.0);
+  zeros.record(0.0);
+  EXPECT_DOUBLE_EQ(zeros.total().percentile(50.0), 0.0);
 }
 
 TEST(ObsHistogram, EmptySnapshotReportsZero) {
   const obs::HistogramSnapshot empty;
   EXPECT_EQ(empty.count, 0u);
   EXPECT_DOUBLE_EQ(empty.percentile(50.0), 0.0);
+}
+
+// ------------------------------------------------ name-keyed aggregation
+
+TEST(ObsRegistry, NameKeyedTotalsMatchHandleTotals) {
+  const obs::Counter counter("test.obs.named_counter");
+  counter.add_always(5);
+  const auto by_name = obs::counter_total("test.obs.named_counter");
+  ASSERT_TRUE(by_name.has_value());
+  EXPECT_EQ(*by_name, counter.total());
+  EXPECT_FALSE(obs::counter_total("test.obs.never_registered").has_value());
+
+  if (!obs::metrics_enabled())
+    GTEST_SKIP() << "RLCSIM_METRICS=0 in this environment";
+  const obs::Histogram hist("test.obs.named_histogram");
+  hist.record(2.5);
+  const auto hist_by_name = obs::histogram_total("test.obs.named_histogram");
+  ASSERT_TRUE(hist_by_name.has_value());
+  EXPECT_EQ(hist_by_name->count, hist.total().count);
+  EXPECT_DOUBLE_EQ(hist_by_name->sum, hist.total().sum);
+  EXPECT_FALSE(obs::histogram_total("test.obs.never_registered").has_value());
 }
 
 // ------------------------------------------------------------ trace export
